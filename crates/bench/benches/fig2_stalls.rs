@@ -1,0 +1,44 @@
+//! Figure 2: total number of stalls vs available bandwidth, for GOP-based
+//! and 2/4/8-second duration-based splicing.
+//!
+//! Paper shape: GOP splicing stalls most at every bandwidth; 2 s is worse
+//! than 4 s at low bandwidth and converges to it as bandwidth grows; 8 s
+//! stalls more than 4 s; everything falls as bandwidth rises.
+
+use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, FIG_BANDWIDTHS, SEEDS};
+use splicecast_core::{sweep, SweepPoint, Table};
+
+fn main() {
+    banner("Figure 2", "total number of stalls for different bandwidths");
+
+    let variants = splicing_variants();
+    let mut points = Vec::new();
+    for (_, bandwidth) in FIG_BANDWIDTHS {
+        for (name, splicing) in &variants {
+            points.push(SweepPoint {
+                label: format!("{name}@{bandwidth}"),
+                config: apply_scale(paper_config(bandwidth).with_splicing(*splicing)),
+            });
+        }
+    }
+    let results = sweep(&points, &SEEDS);
+
+    let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    let mut stalls = Table::new(
+        "Total number of stalls (rounded mean per viewer)",
+        "bandwidth",
+        &series,
+    );
+    stalls.precision(0);
+    let mut iter = results.iter();
+    for (label, _) in FIG_BANDWIDTHS {
+        let row: Vec<f64> = variants
+            .iter()
+            .map(|_| iter.next().expect("sweep result").1.rounded_stalls as f64)
+            .collect();
+        stalls.push_row(label, &row);
+    }
+    println!("{stalls}");
+    println!("{}", splicecast_core::chart::render(&stalls, 56, 14));
+    println!("csv:\n{}", stalls.to_csv());
+}

@@ -1,0 +1,36 @@
+//! Figure 3: total stall duration vs available bandwidth, for GOP-based
+//! and 2/4/8-second duration-based splicing.
+//!
+//! Paper shape: GOP-based splicing has the longest total stall duration at
+//! every bandwidth; duration shrinks as bandwidth grows.
+
+use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, FIG_BANDWIDTHS, SEEDS};
+use splicecast_core::{sweep, SweepPoint, Table};
+
+fn main() {
+    banner("Figure 3", "total stall duration for different bandwidths");
+
+    let variants = splicing_variants();
+    let mut points = Vec::new();
+    for (_, bandwidth) in FIG_BANDWIDTHS {
+        for (name, splicing) in &variants {
+            points.push(SweepPoint {
+                label: format!("{name}@{bandwidth}"),
+                config: apply_scale(paper_config(bandwidth).with_splicing(*splicing)),
+            });
+        }
+    }
+    let results = sweep(&points, &SEEDS);
+
+    let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    let mut table =
+        Table::new("Total stall duration, seconds (mean per viewer)", "bandwidth", &series);
+    let mut iter = results.iter();
+    for (label, _) in FIG_BANDWIDTHS {
+        let row: Vec<f64> =
+            variants.iter().map(|_| iter.next().expect("sweep result").1.stall_secs.mean).collect();
+        table.push_row(label, &row);
+    }
+    println!("{table}");
+    println!("csv:\n{}", table.to_csv());
+}

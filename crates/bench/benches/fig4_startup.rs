@@ -1,0 +1,42 @@
+//! Figure 4: startup time vs available bandwidth for 2/4/8-second
+//! segments.
+//!
+//! This is the one experiment the paper runs with the seeder 500 ms away
+//! ("each peer contacts the seeder... latency between seeder and peer is
+//! 500 milliseconds"). Paper shape: startup falls with bandwidth; larger
+//! segments start much slower, dramatically so on a thin link.
+
+use splicecast_bench::{apply_scale, banner, paper_config, FIG4_BANDWIDTHS, SEEDS};
+use splicecast_core::{sweep, SplicingSpec, SweepPoint, Table};
+
+fn main() {
+    banner("Figure 4", "startup time for different bandwidths");
+
+    let variants = [
+        ("2s", SplicingSpec::Duration(2.0)),
+        ("4s", SplicingSpec::Duration(4.0)),
+        ("8s", SplicingSpec::Duration(8.0)),
+    ];
+    let mut points = Vec::new();
+    for (_, bandwidth) in FIG4_BANDWIDTHS {
+        for (name, splicing) in &variants {
+            let mut config = apply_scale(paper_config(bandwidth).with_splicing(*splicing));
+            config.swarm.seeder_one_way_latency_secs = 0.5; // the paper's fig-4 setup
+            points.push(SweepPoint { label: format!("{name}@{bandwidth}"), config });
+        }
+    }
+    let results = sweep(&points, &SEEDS);
+
+    let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    let mut table = Table::new("Startup time, seconds (mean per viewer)", "bandwidth", &series);
+    let mut iter = results.iter();
+    for (label, _) in FIG4_BANDWIDTHS {
+        let row: Vec<f64> = variants
+            .iter()
+            .map(|_| iter.next().expect("sweep result").1.startup_secs.mean)
+            .collect();
+        table.push_row(label, &row);
+    }
+    println!("{table}");
+    println!("csv:\n{}", table.to_csv());
+}

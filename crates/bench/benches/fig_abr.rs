@@ -1,0 +1,120 @@
+//! §I motivation ablation: bitrate adaptation vs duration-adaptive
+//! splicing.
+//!
+//! The paper's pitch: "Instead of varying the bit-rate, we can vary the
+//! segment duration. In this way, we can adapt the segment size to avoid
+//! stalls without degrading the video quality." This harness puts the two
+//! on the same substrate:
+//!
+//! - **bitrate adaptation** (the Netflix/Hulu baseline): CDN-served
+//!   clients on a 250k/500k/1M ladder with buffer-based and rate-based
+//!   selection — few stalls, degraded quality at low bandwidth;
+//! - **fixed top quality**: the same clients pinned to 1 Mbps — full
+//!   quality, stalls when the link is thin;
+//! - **duration-adaptive splicing** (the paper's direction): full-quality
+//!   1 Mbps video, but spliced at the duration the §IV bound prescribes
+//!   for the available bandwidth, served the same CDN-only way.
+
+use splicecast_bench::{banner, SEEDS};
+use splicecast_core::{
+    max_cdn_segment_secs, run_abr, run_once, AbrAlgorithm, AbrConfig, CdnConfig,
+    ExperimentConfig, Ladder, SplicingSpec, Table, VideoSpec,
+};
+
+const BANDWIDTHS: [(&str, f64); 3] =
+    [("96 kB/s", 96_000.0), ("160 kB/s", 160_000.0), ("256 kB/s", 256_000.0)];
+
+fn abr_point(bandwidth: f64, algorithm: AbrAlgorithm, ladder: &Ladder) -> (f64, f64, f64) {
+    let mut stalls = 0.0;
+    let mut stall_secs = 0.0;
+    let mut quality = 0.0;
+    for &seed in &SEEDS {
+        let config = AbrConfig {
+            client_bandwidth_bytes_per_sec: bandwidth,
+            algorithm,
+            ..AbrConfig::default()
+        };
+        let metrics = run_abr(ladder, &config, seed);
+        stalls += metrics.mean_stalls();
+        stall_secs += metrics.mean_stall_secs();
+        quality += metrics.mean_bitrate_bps();
+    }
+    let n = SEEDS.len() as f64;
+    (stalls / n, stall_secs / n, quality / n / 1e6)
+}
+
+fn duration_adaptive_point(bandwidth: f64) -> (f64, f64, f64) {
+    // The paper's alternative: keep 1 Mbps quality, pick the segment
+    // duration from the §IV bound (T = 4 s of buffer as the design point),
+    // stream CDN-only like the ABR baseline.
+    let d = max_cdn_segment_secs(bandwidth, 4.0, 1_000_000.0).clamp(1.0, 8.0);
+    let mut stalls = 0.0;
+    let mut stall_secs = 0.0;
+    for &seed in &SEEDS {
+        let mut config = ExperimentConfig::paper_baseline()
+            .with_bandwidth(bandwidth)
+            .with_splicing(SplicingSpec::Duration(d));
+        config.video = VideoSpec::default();
+        config.swarm.p2p = false;
+        config.swarm.cdn = Some(CdnConfig {
+            bandwidth_bytes_per_sec: 8_000_000.0,
+            one_way_latency_secs: 0.05,
+            upload_slots: 64,
+        });
+        let result = run_once(&config, seed);
+        stalls += result.metrics.mean_stalls();
+        stall_secs += result.metrics.mean_stall_secs();
+    }
+    let n = SEEDS.len() as f64;
+    (stalls / n, stall_secs / n, 1.0)
+}
+
+fn main() {
+    banner("§I ablation", "bitrate adaptation vs duration-adaptive splicing");
+
+    let ladder = Ladder::builder()
+        .duration_secs(120.0)
+        .bitrates(&[250_000, 500_000, 1_000_000])
+        .segment_secs(4.0)
+        .seed(2015)
+        .build();
+
+    let arms: Vec<(&str, Box<dyn Fn(f64) -> (f64, f64, f64)>)> = vec![
+        (
+            "buffer-abr",
+            Box::new(|bw| {
+                abr_point(bw, AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 }, &ladder)
+            }),
+        ),
+        ("rate-abr", Box::new(|bw| abr_point(bw, AbrAlgorithm::RateBased { safety: 0.8 }, &ladder))),
+        ("fixed-1Mbps", Box::new(|bw| abr_point(bw, AbrAlgorithm::FixedRendition(2), &ladder))),
+        ("dur-adapt", Box::new(duration_adaptive_point)),
+    ];
+
+    let series: Vec<&str> = arms.iter().map(|(n, _)| *n).collect();
+    let mut stalls = Table::new("Stalls per viewer (CDN-served)", "bandwidth", &series);
+    let mut stall_secs = Table::new("Total stall duration, seconds", "bandwidth", &series);
+    let mut quality = Table::new("Delivered quality, Mbps (1.0 = full)", "bandwidth", &series);
+    quality.precision(2);
+    for (label, bandwidth) in BANDWIDTHS {
+        let mut s_row = Vec::new();
+        let mut d_row = Vec::new();
+        let mut q_row = Vec::new();
+        for (_, arm) in &arms {
+            let (s, d, q) = arm(bandwidth);
+            s_row.push(s);
+            d_row.push(d);
+            q_row.push(q);
+        }
+        stalls.push_row(label, &s_row);
+        stall_secs.push_row(label, &d_row);
+        quality.push_row(label, &q_row);
+    }
+    println!("{stalls}");
+    println!("{stall_secs}");
+    println!("{quality}");
+    println!("reading: ABR avoids stalls by dropping quality; duration-adaptive");
+    println!("splicing holds quality at 1 Mbps and pays in stall time only when");
+    println!("the link cannot carry the bitrate at all.");
+    println!("\ncsv:\n{}", stalls.to_csv());
+}

@@ -1,0 +1,56 @@
+//! §IV ablation: hybrid-CDN segment sizing.
+//!
+//! When a CDN serves the stream, peers download one segment at a time, so
+//! a segment must fit within `B·T` bytes (Eq. 1 with k = 1) or the buffer
+//! drains before it lands. This harness streams from a CDN only (no P2P
+//! exchange) while sweeping the segment duration, and marks the §IV bound.
+
+use splicecast_bench::{apply_scale, banner, paper_config, SEEDS};
+use splicecast_core::{max_cdn_segment_secs, sweep, CdnConfig, SplicingSpec, SweepPoint, Table};
+
+fn main() {
+    banner("§IV ablation", "CDN-served streaming vs segment duration");
+
+    let bandwidths = [("128 kB/s", 128_000.0), ("256 kB/s", 256_000.0)];
+    let durations = [1.0, 2.0, 4.0, 8.0, 16.0];
+    let cdn = CdnConfig {
+        bandwidth_bytes_per_sec: 8_000_000.0, // a fat edge cache
+        one_way_latency_secs: 0.1,
+        upload_slots: 64,
+    };
+
+    let mut points = Vec::new();
+    for (_, bandwidth) in bandwidths {
+        for d in durations {
+            let mut config =
+                apply_scale(paper_config(bandwidth).with_splicing(SplicingSpec::Duration(d)));
+            config.swarm.cdn = Some(cdn);
+            config.swarm.p2p = false; // §IV: the CDN serves the video
+            points.push(SweepPoint { label: format!("{d}s@{bandwidth}"), config });
+        }
+    }
+    let results = sweep(&points, &SEEDS);
+
+    let series: Vec<String> = durations.iter().map(|d| format!("{d}s")).collect();
+    let series_refs: Vec<&str> = series.iter().map(String::as_str).collect();
+    let mut stalls = Table::new(
+        "Total number of stalls, CDN-only delivery (mean per viewer)",
+        "bandwidth",
+        &series_refs,
+    );
+    let mut iter = results.iter();
+    for (label, _) in bandwidths {
+        let row: Vec<f64> =
+            durations.iter().map(|_| iter.next().expect("sweep result").1.stalls.mean).collect();
+        stalls.push_row(label, &row);
+    }
+    println!("{stalls}");
+
+    println!("§IV bound: with T = one segment duration buffered, the largest");
+    println!("sustainable segment duration d satisfies d ≤ 8·B·T/bitrate:");
+    for (label, bandwidth) in bandwidths {
+        let bound = max_cdn_segment_secs(bandwidth, 4.0, 1_000_000.0);
+        println!("  at {label}, T = 4 s: d_max = {bound:.1} s");
+    }
+    println!("\ncsv:\n{}", stalls.to_csv());
+}

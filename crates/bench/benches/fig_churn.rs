@@ -1,0 +1,56 @@
+//! Churn ablation (§III's motivation: "peers can leave the swarm
+//! anytime... downloading a segment ahead of time increases the chance of
+//! the availability of a segment").
+//!
+//! Sweeps the fraction of peers that churn out mid-stream and compares
+//! download policies by the stalls of the peers that stay.
+
+use splicecast_bench::{apply_scale, banner, paper_config, SEEDS};
+use splicecast_core::{sweep, ChurnConfig, PolicyConfig, SweepPoint, Table};
+
+fn main() {
+    banner("Churn ablation", "stalls of staying viewers vs departure rate");
+
+    let bandwidth = 256_000.0;
+    let policies = [
+        ("adaptive", PolicyConfig::Adaptive),
+        ("pool-1", PolicyConfig::Fixed(1)),
+        ("pool-4", PolicyConfig::Fixed(4)),
+    ];
+    let volatile_fractions = [0.0, 0.2, 0.4, 0.6];
+
+    let mut points = Vec::new();
+    for fraction in volatile_fractions {
+        for (name, policy) in &policies {
+            let mut config = apply_scale(paper_config(bandwidth).with_policy(*policy));
+            if fraction > 0.0 {
+                config.swarm.churn = Some(ChurnConfig::new(fraction, 45.0));
+            }
+            points.push(SweepPoint { label: format!("{name}@{fraction}"), config });
+        }
+    }
+    let results = sweep(&points, &SEEDS);
+
+    let series: Vec<&str> = policies.iter().map(|(n, _)| *n).collect();
+    let mut stalls = Table::new(
+        "Total number of stalls among staying viewers (mean)",
+        "volatile fraction",
+        &series,
+    );
+    let mut duration = Table::new("Total stall duration, seconds (mean)", "volatile fraction", &series);
+    let mut iter = results.iter();
+    for fraction in volatile_fractions {
+        let mut stall_row = Vec::new();
+        let mut dur_row = Vec::new();
+        for _ in &policies {
+            let metrics = &iter.next().expect("sweep result").1;
+            stall_row.push(metrics.stalls.mean);
+            dur_row.push(metrics.stall_secs.mean);
+        }
+        stalls.push_row(&format!("{fraction}"), &stall_row);
+        duration.push_row(&format!("{fraction}"), &dur_row);
+    }
+    println!("{stalls}");
+    println!("{duration}");
+    println!("csv:\n{}", stalls.to_csv());
+}

@@ -1,0 +1,54 @@
+//! §VIII ablation: competing flows.
+//!
+//! "We also should experiment how the splicing works in case of competing
+//! flows and high congestion environment." A background bulk server keeps
+//! long-lived downloads running toward every viewer, so the stream shares
+//! each access link with unrelated traffic.
+
+use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, SEEDS};
+use splicecast_core::{sweep, SweepPoint, Table};
+use splicecast_core::swarm::CrossTrafficConfig;
+
+fn main() {
+    banner("§VIII ablation", "splicing under competing flows at 256 kB/s");
+
+    let bandwidth = 256_000.0;
+    let loads = [("no load", 0usize), ("1 flow/peer", 1), ("2 flows/peer", 2)];
+    let variants = splicing_variants();
+
+    let mut points = Vec::new();
+    for (_, flows) in loads {
+        for (name, splicing) in &variants {
+            let mut config = apply_scale(paper_config(bandwidth).with_splicing(*splicing));
+            if flows > 0 {
+                config.swarm.cross_traffic = Some(CrossTrafficConfig {
+                    flows_per_peer: flows,
+                    ..CrossTrafficConfig::default()
+                });
+            }
+            points.push(SweepPoint { label: format!("{name}@{flows}"), config });
+        }
+    }
+    let results = sweep(&points, &SEEDS);
+
+    let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    let mut stalls = Table::new("Stalls per viewer under background load", "cross traffic", &series);
+    let mut duration =
+        Table::new("Total stall duration, seconds", "cross traffic", &series);
+    let mut iter = results.iter();
+    for (label, _) in loads {
+        let mut s_row = Vec::new();
+        let mut d_row = Vec::new();
+        for _ in &variants {
+            let metrics = &iter.next().expect("sweep result").1;
+            s_row.push(metrics.stalls.mean);
+            d_row.push(metrics.stall_secs.mean);
+        }
+        stalls.push_row(label, &s_row);
+        duration.push_row(label, &d_row);
+    }
+    println!("{stalls}");
+    println!("{duration}");
+    println!("reading: congestion from competing flows should raise every");
+    println!("column while preserving the splicing ordering (gop worst).");
+}

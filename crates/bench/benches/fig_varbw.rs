@@ -1,0 +1,58 @@
+//! Variable-bandwidth ablation (the paper's §VIII future work: "in
+//! real-word scenario, available bandwidth changes over time. An
+//! experiment should be conducted to measure the effect of splicing on
+//! variable bandwidth environment").
+//!
+//! Peer access links oscillate around a 256 kB/s mean with increasing
+//! amplitude; the splicing schemes are compared on stalls.
+
+use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, SEEDS};
+use splicecast_core::{sweep, SweepPoint, Table};
+
+fn main() {
+    banner("Variable-bandwidth ablation", "stalls under oscillating peer links");
+
+    let mean_bw = 256_000.0;
+    let amplitudes = [("constant", 0.0), ("±64 kB/s", 64_000.0), ("±128 kB/s", 128_000.0)];
+    let variants = splicing_variants();
+
+    let mut points = Vec::new();
+    for (_, amplitude) in amplitudes {
+        for (name, splicing) in &variants {
+            let mut config = apply_scale(paper_config(mean_bw).with_splicing(*splicing));
+            if amplitude > 0.0 {
+                // Square-wave oscillation with a 10-second half period.
+                config.swarm.bandwidth_schedule = (0..120)
+                    .map(|i| {
+                        let at = 10.0 * (i + 1) as f64;
+                        let bw = if i % 2 == 0 { mean_bw - amplitude } else { mean_bw + amplitude };
+                        (at, bw)
+                    })
+                    .collect();
+            }
+            points.push(SweepPoint { label: format!("{name}@{amplitude}"), config });
+        }
+    }
+    let results = sweep(&points, &SEEDS);
+
+    let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    let mut stalls =
+        Table::new("Total number of stalls (mean per viewer)", "bandwidth profile", &series);
+    let mut duration =
+        Table::new("Total stall duration, seconds (mean per viewer)", "bandwidth profile", &series);
+    let mut iter = results.iter();
+    for (label, _) in amplitudes {
+        let mut stall_row = Vec::new();
+        let mut dur_row = Vec::new();
+        for _ in &variants {
+            let metrics = &iter.next().expect("sweep result").1;
+            stall_row.push(metrics.stalls.mean);
+            dur_row.push(metrics.stall_secs.mean);
+        }
+        stalls.push_row(label, &stall_row);
+        duration.push_row(label, &dur_row);
+    }
+    println!("{stalls}");
+    println!("{duration}");
+    println!("csv:\n{}", stalls.to_csv());
+}

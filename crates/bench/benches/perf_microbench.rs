@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the substrate itself: splicing speed,
+//! protocol codec throughput, distribution sampling, and a full small
+//! swarm simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splicecast_core::{run_once, ExperimentConfig, SplicingSpec, VideoSpec};
+use splicecast_media::{DurationSplicer, GopSplicer, Splicer, Video};
+use splicecast_protocol::{encode_to_bytes, Bitfield, Decoder, Message};
+
+fn bench_splicers(c: &mut Criterion) {
+    let video = Video::builder().seed(1).build();
+    c.bench_function("splice/gop/2min", |b| {
+        b.iter(|| GopSplicer.splice(black_box(&video)))
+    });
+    c.bench_function("splice/4s/2min", |b| {
+        b.iter(|| DurationSplicer::new(4.0).splice(black_box(&video)))
+    });
+    c.bench_function("encode/2min-video", |b| {
+        b.iter(|| Video::builder().seed(black_box(1)).build())
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut held = Bitfield::new(1024);
+    for i in (0..1024).step_by(3) {
+        held.set(i);
+    }
+    let messages = vec![
+        Message::Handshake { peer_id: 7, info_hash: [9; 20], version: 1 },
+        Message::Bitfield(held),
+        Message::Request { index: 42 },
+        Message::SegmentHeader { index: 42, bytes: 512_000 },
+        Message::Have { index: 42 },
+    ];
+    let wire: Vec<u8> = messages.iter().flat_map(|m| encode_to_bytes(m).to_vec()).collect();
+    c.bench_function("codec/encode-5-messages", |b| {
+        b.iter(|| {
+            for m in &messages {
+                black_box(encode_to_bytes(black_box(m)));
+            }
+        })
+    });
+    c.bench_function("codec/decode-5-messages", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new();
+            dec.feed(black_box(&wire));
+            while let Ok(Some(m)) = dec.poll() {
+                black_box(m);
+            }
+        })
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    c.bench_function("rng/binomial-small-n", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| splicecast_netsim::rng::binomial(&mut rng, black_box(20), black_box(0.05)))
+    });
+    c.bench_function("rng/binomial-large-n", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| splicecast_netsim::rng::binomial(&mut rng, black_box(10_000), black_box(0.05)))
+    });
+}
+
+fn bench_swarm(c: &mut Criterion) {
+    let mut config = ExperimentConfig::paper_baseline()
+        .with_bandwidth(512_000.0)
+        .with_splicing(SplicingSpec::Duration(4.0))
+        .with_leechers(5);
+    config.video = VideoSpec { duration_secs: 24.0, ..VideoSpec::default() };
+    config.swarm.max_sim_secs = 600.0;
+    let mut group = c.benchmark_group("swarm");
+    group.sample_size(10);
+    group.bench_function("5-peers-24s-video", |b| {
+        b.iter(|| run_once(black_box(&config), black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_splicers, bench_codec, bench_sampling, bench_swarm);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Shared helpers for the figure-regeneration benches.
+//!
+//! Each bench target (`cargo bench -p splicecast-bench --bench figN_...`)
+//! reruns one figure of the paper's evaluation and prints the same
+//! rows/series the figure reports. Absolute values come from our simulated
+//! substrate, so only the *shape* (orderings, trends, crossovers) is
+//! expected to match the paper; `EXPERIMENTS.md` records both.
+
+use splicecast_core::{ExperimentConfig, SplicingSpec};
+
+/// The paper's three-runs-per-point methodology.
+pub const SEEDS: [u64; 3] = [101, 202, 303];
+
+/// The bandwidths of Figs. 2/3/5 (bytes per second, labelled as in the
+/// paper's x-axis).
+pub const FIG_BANDWIDTHS: [(&str, f64); 4] = [
+    ("128 kB/s", 128_000.0),
+    ("256 kB/s", 256_000.0),
+    ("512 kB/s", 512_000.0),
+    ("768 kB/s", 768_000.0),
+];
+
+/// The bandwidths of Fig. 4 (its x-axis tops out at 1024 kB/s).
+pub const FIG4_BANDWIDTHS: [(&str, f64); 4] = [
+    ("128 kB/s", 128_000.0),
+    ("256 kB/s", 256_000.0),
+    ("512 kB/s", 512_000.0),
+    ("1024 kB/s", 1_024_000.0),
+];
+
+/// The splicing schemes compared in Figs. 2 and 3.
+pub fn splicing_variants() -> Vec<(&'static str, SplicingSpec)> {
+    vec![
+        ("gop", SplicingSpec::Gop),
+        ("2s", SplicingSpec::Duration(2.0)),
+        ("4s", SplicingSpec::Duration(4.0)),
+        ("8s", SplicingSpec::Duration(8.0)),
+    ]
+}
+
+/// The paper's full-scale experiment config at a given bandwidth.
+pub fn paper_config(bandwidth_bytes_per_sec: f64) -> ExperimentConfig {
+    ExperimentConfig::paper_baseline().with_bandwidth(bandwidth_bytes_per_sec)
+}
+
+/// Scale knob honoured by every bench: `SPLICECAST_SCALE=quick` shrinks the
+/// swarm and video so the whole suite runs in seconds (CI smoke mode);
+/// anything else (or unset) runs the paper-scale experiment.
+pub fn apply_scale(mut cfg: ExperimentConfig) -> ExperimentConfig {
+    if std::env::var("SPLICECAST_SCALE").as_deref() == Ok("quick") {
+        cfg.video.duration_secs = 24.0;
+        cfg.swarm.n_leechers = 5;
+        cfg.swarm.max_sim_secs = 600.0;
+    }
+    cfg
+}
+
+/// Prints the standard bench header.
+pub fn banner(figure: &str, what: &str) {
+    println!("================================================================");
+    println!("{figure}: {what}");
+    println!("video: 2 min of 1 Mbps MPEG-4 (mixed content), 19 peers + seeder");
+    println!("star topology, 50 ms peer-to-peer latency, 5% end-to-end loss");
+    println!("each point: rounded average of {} seeded runs", SEEDS.len());
+    println!("================================================================");
+}

@@ -1,0 +1,140 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The first non-flag argument.
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments.
+    ///
+    /// Flags take exactly one value (`--peers 8`). Bare flags are written
+    /// `--cdn true` style or given the implicit value `"true"` when the
+    /// next token is another flag or the end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when no subcommand is present or an option is
+    /// repeated.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        iter.next().expect("peeked").clone()
+                    }
+                    _ => "true".to_owned(),
+                };
+                if args.options.insert(key.to_owned(), value).is_some() {
+                    return Err(format!("option --{key} given twice"));
+                }
+            } else if args.command.is_empty() {
+                args.command = token.clone();
+            } else {
+                return Err(format!("unexpected argument `{token}`"));
+            }
+        }
+        if args.command.is_empty() {
+            return Err("no command given".to_owned());
+        }
+        Ok(args)
+    }
+
+    /// The raw value of an option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// A comma-separated list of numbers, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any element does not parse.
+    pub fn num_list<T: std::str::FromStr>(&self, key: &str, default: &[T]) -> Result<Vec<T>, String>
+    where
+        T: Clone,
+    {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(|piece| {
+                    piece.trim().parse().map_err(|_| format!("--{key}: cannot parse `{piece}`"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Names of all options that were passed.
+    pub fn option_keys(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(&tokens.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let args = parse(&["run", "--peers", "8", "--splicing", "gop", "--cdn"]).unwrap();
+        assert_eq!(args.command, "run");
+        assert_eq!(args.get("peers"), Some("8"));
+        assert_eq!(args.get("splicing"), Some("gop"));
+        assert!(args.flag("cdn"));
+        assert!(!args.flag("tracker"));
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        let args = parse(&["run", "--peers", "8", "--bandwidths", "128,256"]).unwrap();
+        assert_eq!(args.num("peers", 3usize).unwrap(), 8);
+        assert_eq!(args.num("seed", 42u64).unwrap(), 42);
+        assert_eq!(args.num_list("bandwidths", &[64.0f64]).unwrap(), vec![128.0, 256.0]);
+        assert_eq!(args.num_list("missing", &[64.0f64]).unwrap(), vec![64.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["run", "extra"]).is_err());
+        assert!(parse(&["run", "--x", "1", "--x", "2"]).is_err());
+        let args = parse(&["run", "--peers", "eight"]).unwrap();
+        assert!(args.num("peers", 1usize).is_err());
+    }
+
+    #[test]
+    fn bare_flag_before_another_flag() {
+        let args = parse(&["run", "--cdn", "--peers", "4"]).unwrap();
+        assert!(args.flag("cdn"));
+        assert_eq!(args.get("peers"), Some("4"));
+    }
+}

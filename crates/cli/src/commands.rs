@@ -1,0 +1,307 @@
+//! The CLI subcommands.
+
+use splicecast_core::{
+    max_cdn_segment_bytes, max_cdn_segment_secs, optimal_pool_size, run_abr, run_averaged,
+    AbrAlgorithm, AbrConfig, CdnConfig, ChurnConfig, DiscoveryMode, ExperimentConfig, Ladder,
+    PolicyConfig, SplicingSpec, Table, VideoSpec,
+};
+
+use crate::args::Args;
+
+/// The `help` text.
+pub fn help() -> String {
+    "\
+splicecast — P2P video-splicing experiments (ICDCS 2015 reproduction)
+
+USAGE:
+    splicecast <COMMAND> [--option value]...
+
+COMMANDS:
+    run       stream one configuration and print its metrics
+    sweep     bandwidth × splicing sweep printed as a figure-style table
+    overhead  splicing byte-overhead statistics (no simulation)
+    formula   evaluate Eq. 1 and the §IV CDN segment-size bound
+    abr       adaptive-bitrate baseline (CDN-served ladder)
+    help      this text
+
+COMMON OPTIONS (run / sweep):
+    --bandwidth KB        peer access bandwidth in kB/s        [128]
+    --bandwidths A,B,...  sweep bandwidths in kB/s             [128,256,512,768]
+    --splicing S          gop | <secs>s | bytes:<n>            [4s]
+    --splicings A,B,...   sweep splicings                      [gop,2s,4s,8s]
+    --policy P            adaptive | fixed:<k>                 [adaptive]
+    --peers N             number of leechers                   [19]
+    --clip-secs S         video length                         [120]
+    --seeds A,B,...       seeds to average over                [101,202,303]
+    --churn FRAC          volatile fraction (45 s mean life)   [off]
+    --cdn                 add a CDN node (hybrid mode)
+    --cdn-only            serve from the CDN only (implies --cdn)
+    --tracker             tracker-based peer discovery
+    --metric M            sweep metric: stalls|stallsecs|startup  [stalls]
+    --chart               draw the sweep as an ASCII chart
+    --csv                 also print machine-readable rows
+
+FORMULA OPTIONS:
+    --bandwidth KB --buffered SECS --segment-kb KB
+
+ABR OPTIONS:
+    --clients N --bandwidth KB --algorithm buffer|rate|fixed:<rung>
+"
+    .to_owned()
+}
+
+fn parse_splicing(raw: &str) -> Result<SplicingSpec, String> {
+    if raw == "gop" {
+        return Ok(SplicingSpec::Gop);
+    }
+    if let Some(bytes) = raw.strip_prefix("bytes:") {
+        let n: u64 = bytes.parse().map_err(|_| format!("bad splicing byte count `{bytes}`"))?;
+        return Ok(SplicingSpec::Bytes(n));
+    }
+    let secs = raw.trim_end_matches('s');
+    secs.parse::<f64>()
+        .map(SplicingSpec::Duration)
+        .map_err(|_| format!("bad splicing `{raw}` (expected gop, <secs>s, or bytes:<n>)"))
+}
+
+fn parse_policy(raw: &str) -> Result<PolicyConfig, String> {
+    if raw == "adaptive" {
+        return Ok(PolicyConfig::Adaptive);
+    }
+    if let Some(k) = raw.strip_prefix("fixed:") {
+        let k: usize = k.parse().map_err(|_| format!("bad pool size `{k}`"))?;
+        return Ok(PolicyConfig::Fixed(k));
+    }
+    Err(format!("bad policy `{raw}` (expected adaptive or fixed:<k>)"))
+}
+
+fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
+    let mut config = ExperimentConfig::paper_baseline();
+    config.video =
+        VideoSpec { duration_secs: args.num("clip-secs", 120.0)?, ..VideoSpec::default() };
+    let bandwidth_kb: f64 = args.num("bandwidth", 128.0)?;
+    config = config.with_bandwidth(bandwidth_kb * 1_000.0);
+    config = config.with_splicing(parse_splicing(args.get("splicing").unwrap_or("4s"))?);
+    config = config.with_policy(parse_policy(args.get("policy").unwrap_or("adaptive"))?);
+    config = config.with_leechers(args.num("peers", 19usize)?);
+    let churn: f64 = args.num("churn", 0.0)?;
+    if churn > 0.0 {
+        config.swarm.churn = Some(ChurnConfig::new(churn, 45.0));
+    }
+    if args.flag("cdn") || args.flag("cdn-only") {
+        config.swarm.cdn = Some(CdnConfig::default());
+    }
+    if args.flag("cdn-only") {
+        config.swarm.p2p = false;
+    }
+    if args.flag("tracker") {
+        config.swarm.discovery = DiscoveryMode::Tracker;
+    }
+    Ok(config)
+}
+
+fn seeds(args: &Args) -> Result<Vec<u64>, String> {
+    let list = args.num_list("seeds", &[101u64, 202, 303])?;
+    if list.is_empty() {
+        return Err("--seeds needs at least one seed".to_owned());
+    }
+    Ok(list)
+}
+
+/// `splicecast run`.
+pub fn run_swarm_command(args: &Args) -> Result<String, String> {
+    let config = base_config(args)?;
+    let averaged = run_averaged(&config, &seeds(args)?);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "streaming {:.0}s of {:.1} Mbps video to {} peers at {:.0} kB/s ({} splicing, {} policy)\n\n",
+        config.video.duration_secs,
+        config.video.bitrate_bps as f64 / 1e6,
+        config.swarm.n_leechers,
+        config.swarm.peer_bandwidth_bytes_per_sec / 1e3,
+        config.splicing.label(),
+        match config.swarm.policy {
+            PolicyConfig::Adaptive => "adaptive".to_owned(),
+            PolicyConfig::Fixed(k) => format!("fixed-{k}"),
+        },
+    ));
+    out.push_str(&format!("  segments:          {}\n", averaged.segment_count));
+    out.push_str(&format!("  byte overhead:     {:.1}%\n", averaged.overhead_ratio * 100.0));
+    out.push_str(&format!(
+        "  stalls:            {:.1}  (rounded: {})\n",
+        averaged.stalls.mean, averaged.rounded_stalls
+    ));
+    out.push_str(&format!("  stall time:        {:.1} s\n", averaged.stall_secs.mean));
+    out.push_str(&format!("  startup:           {:.1} s\n", averaged.startup_secs.mean));
+    out.push_str(&format!("  completion:        {:.0}%\n", averaged.completion_rate * 100.0));
+    out.push_str(&format!("  peer offload:      {:.0}%\n", averaged.peer_offload * 100.0));
+    if args.flag("csv") {
+        out.push_str(&format!(
+            "\ncsv:\nstalls,stall_secs,startup_secs,completion,offload\n{:.2},{:.2},{:.2},{:.3},{:.3}\n",
+            averaged.stalls.mean,
+            averaged.stall_secs.mean,
+            averaged.startup_secs.mean,
+            averaged.completion_rate,
+            averaged.peer_offload,
+        ));
+    }
+    Ok(out)
+}
+
+/// `splicecast sweep`.
+pub fn sweep_command(args: &Args) -> Result<String, String> {
+    let bandwidths = args.num_list("bandwidths", &[128.0f64, 256.0, 512.0, 768.0])?;
+    let splicing_names: Vec<String> = match args.get("splicings") {
+        None => vec!["gop".into(), "2s".into(), "4s".into(), "8s".into()],
+        Some(raw) => raw.split(',').map(|s| s.trim().to_owned()).collect(),
+    };
+    let metric = args.get("metric").unwrap_or("stalls");
+    let seeds = seeds(args)?;
+
+    let mut table = Table::new(
+        match metric {
+            "stalls" => "Stalls per viewer",
+            "stallsecs" => "Total stall duration, seconds",
+            "startup" => "Startup time, seconds",
+            other => return Err(format!("unknown metric `{other}`")),
+        },
+        "bandwidth (kB/s)",
+        &splicing_names.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &bandwidth in &bandwidths {
+        let mut row = Vec::new();
+        for name in &splicing_names {
+            let mut config = base_config(args)?;
+            config = config
+                .with_bandwidth(bandwidth * 1_000.0)
+                .with_splicing(parse_splicing(name)?);
+            let averaged = run_averaged(&config, &seeds);
+            row.push(match metric {
+                "stalls" => averaged.stalls.mean,
+                "stallsecs" => averaged.stall_secs.mean,
+                _ => averaged.startup_secs.mean,
+            });
+        }
+        table.push_row(&format!("{bandwidth:.0}"), &row);
+    }
+    let mut out = table.to_string();
+    if args.flag("chart") {
+        out.push('\n');
+        out.push_str(&splicecast_core::chart::render(&table, 56, 14));
+    }
+    if args.flag("csv") {
+        out.push_str("\ncsv:\n");
+        out.push_str(&table.to_csv());
+    }
+    Ok(out)
+}
+
+/// `splicecast overhead`.
+pub fn overhead_command(args: &Args) -> Result<String, String> {
+    let video = VideoSpec {
+        duration_secs: args.num("clip-secs", 120.0)?,
+        ..VideoSpec::default()
+    }
+    .build();
+    let durations = args.num_list("durations", &[1.0f64, 2.0, 4.0, 8.0, 16.0])?;
+    let mut table = Table::new(
+        "Splicing overhead",
+        "splicing",
+        &["segments", "total MB", "overhead %", "mean kB", "max kB"],
+    );
+    let mut variants: Vec<(String, SplicingSpec)> = vec![("gop".into(), SplicingSpec::Gop)];
+    variants.extend(durations.iter().map(|&d| (format!("{d}s"), SplicingSpec::Duration(d))));
+    for (name, spec) in &variants {
+        let list = spec.splice(&video);
+        table.push_row(
+            name,
+            &[
+                list.len() as f64,
+                list.total_bytes() as f64 / 1e6,
+                list.overhead_ratio() * 100.0,
+                list.mean_segment_bytes() / 1e3,
+                list.max_segment_bytes() as f64 / 1e3,
+            ],
+        );
+    }
+    let mut out = table.to_string();
+    if args.flag("csv") {
+        out.push_str("\ncsv:\n");
+        out.push_str(&table.to_csv());
+    }
+    Ok(out)
+}
+
+/// `splicecast formula`.
+pub fn formula_command(args: &Args) -> Result<String, String> {
+    let bandwidth_kb: f64 = args.num("bandwidth", 128.0)?;
+    let buffered: f64 = args.num("buffered", 4.0)?;
+    let segment_kb: f64 = args.num("segment-kb", 512.0)?;
+    let bitrate_mbps: f64 = args.num("bitrate-mbps", 1.0)?;
+    let b = bandwidth_kb * 1_000.0;
+    let w = (segment_kb * 1_000.0) as u64;
+    let k = optimal_pool_size(b, buffered, w);
+    let cdn_bytes = max_cdn_segment_bytes(b, buffered);
+    let cdn_secs = max_cdn_segment_secs(b, buffered, bitrate_mbps * 1e6);
+    Ok(format!(
+        "Eq. 1 (§III): with B = {bandwidth_kb:.0} kB/s, T = {buffered:.1} s, W = {segment_kb:.0} kB\n\
+         \x20 k = max(⌊B·T/W⌋, 1) = {k} simultaneous downloads\n\n\
+         §IV bound: a CDN-served segment must fit B·T = {} kB\n\
+         \x20 at {bitrate_mbps:.1} Mbps that allows segments up to {cdn_secs:.1} s\n",
+        cdn_bytes / 1000,
+    ))
+}
+
+/// `splicecast abr`.
+pub fn abr_command(args: &Args) -> Result<String, String> {
+    let algorithm = match args.get("algorithm").unwrap_or("buffer") {
+        "buffer" => AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 },
+        "rate" => AbrAlgorithm::RateBased { safety: 0.8 },
+        other => {
+            if let Some(rung) = other.strip_prefix("fixed:") {
+                let rung: usize =
+                    rung.parse().map_err(|_| format!("bad rendition `{rung}`"))?;
+                AbrAlgorithm::FixedRendition(rung)
+            } else {
+                return Err(format!("unknown algorithm `{other}`"));
+            }
+        }
+    };
+    let ladder = Ladder::builder()
+        .duration_secs(args.num("clip-secs", 120.0)?)
+        .bitrates(&[250_000, 500_000, 1_000_000])
+        .segment_secs(4.0)
+        .seed(2015)
+        .build();
+    let config = AbrConfig {
+        n_clients: args.num("clients", 19usize)?,
+        client_bandwidth_bytes_per_sec: args.num("bandwidth", 256.0)? * 1_000.0,
+        algorithm,
+        max_sim_secs: 900.0,
+        ..AbrConfig::default()
+    };
+    let seeds = seeds(args)?;
+    let (mut stalls, mut stall_secs, mut startup, mut quality) = (0.0, 0.0, 0.0, 0.0);
+    for &seed in &seeds {
+        let metrics = run_abr(&ladder, &config, seed);
+        stalls += metrics.mean_stalls();
+        stall_secs += metrics.mean_stall_secs();
+        startup += metrics.mean_startup_secs();
+        quality += metrics.mean_bitrate_bps();
+    }
+    let n = seeds.len() as f64;
+    Ok(format!(
+        "ABR ({}) with {} clients at {:.0} kB/s, ladder 0.25/0.5/1.0 Mbps:\n\
+         \x20 stalls:     {:.1}\n\
+         \x20 stall time: {:.1} s\n\
+         \x20 startup:    {:.1} s\n\
+         \x20 delivered:  {:.2} Mbps\n",
+        algorithm.name(),
+        config.n_clients,
+        config.client_bandwidth_bytes_per_sec / 1e3,
+        stalls / n,
+        stall_secs / n,
+        startup / n,
+        quality / n / 1e6,
+    ))
+}

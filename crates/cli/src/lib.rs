@@ -1,0 +1,164 @@
+//! # splicecast-cli
+//!
+//! Command-line front end for the splicecast experiment stack: run single
+//! swarms, sweep parameters into figure-shaped tables, evaluate the
+//! paper's formulas, and compare against the adaptive-bitrate baseline —
+//! all without writing Rust.
+//!
+//! ```text
+//! splicecast run --bandwidth 256 --splicing 4s --peers 8
+//! splicecast sweep --bandwidths 128,256,512 --metric stalls
+//! splicecast overhead
+//! splicecast formula --bandwidth 128 --buffered 8 --segment-kb 512
+//! splicecast abr --bandwidth 160 --algorithm buffer
+//! ```
+
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::Args;
+
+/// Entry point: parse and dispatch, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands or bad options.
+pub fn run(raw: &[String]) -> Result<String, String> {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        return Ok(commands::help());
+    }
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "run" => commands::run_swarm_command(&args),
+        "sweep" => commands::sweep_command(&args),
+        "overhead" => commands::overhead_command(&args),
+        "formula" => commands::formula_command(&args),
+        "abr" => commands::abr_command(&args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(tokens: &[&str]) -> Result<String, String> {
+        run(&tokens.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_is_always_available() {
+        for invocation in [&["help"][..], &["--help"], &["-h"], &[]] {
+            let text = call(invocation).unwrap();
+            assert!(text.contains("splicecast"), "{invocation:?}");
+            assert!(text.contains("sweep"));
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(call(&["dance"]).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn formula_command_prints_eq1() {
+        let text =
+            call(&["formula", "--bandwidth", "128", "--buffered", "8", "--segment-kb", "512"])
+                .unwrap();
+        assert!(text.contains("= 2 simultaneous"), "{text}");
+        assert!(text.contains("B·T"), "{text}");
+    }
+
+    #[test]
+    fn overhead_command_prints_table() {
+        let text = call(&["overhead", "--clip-secs", "20"]).unwrap();
+        assert!(text.contains("gop"));
+        assert!(text.contains("overhead"));
+    }
+
+    #[test]
+    fn run_command_small_swarm() {
+        let text = call(&[
+            "run",
+            "--peers",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidth",
+            "512",
+            "--seeds",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("stalls"), "{text}");
+        assert!(text.contains("startup"), "{text}");
+    }
+
+    #[test]
+    fn run_command_rejects_bad_splicing() {
+        let err = call(&["run", "--splicing", "nonsense"]).unwrap_err();
+        assert!(err.contains("splicing"), "{err}");
+    }
+
+    #[test]
+    fn sweep_command_produces_rows() {
+        let text = call(&[
+            "sweep",
+            "--peers",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidths",
+            "256,512",
+            "--splicings",
+            "gop,4s",
+            "--seeds",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("256"), "{text}");
+        assert!(text.contains("512"), "{text}");
+        assert!(text.contains("gop"), "{text}");
+    }
+
+    #[test]
+    fn sweep_chart_flag_draws() {
+        let text = call(&[
+            "sweep",
+            "--peers",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidths",
+            "256,512",
+            "--splicings",
+            "4s",
+            "--seeds",
+            "1",
+            "--chart",
+        ])
+        .unwrap();
+        assert!(text.contains("o = 4s"), "{text}");
+    }
+
+    #[test]
+    fn abr_command_reports_quality() {
+        let text = call(&[
+            "abr",
+            "--clients",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidth",
+            "200",
+            "--algorithm",
+            "buffer",
+            "--seeds",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("Mbps"), "{text}");
+    }
+}

@@ -1,0 +1,18 @@
+//! The `splicecast` command-line tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match splicecast_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `splicecast help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

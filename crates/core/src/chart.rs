@@ -1,0 +1,177 @@
+//! ASCII charts: draw a [`Table`]'s series the way the
+//! paper's figures are drawn, straight into the terminal.
+
+use crate::report::Table;
+
+/// Symbols assigned to series, in order.
+const MARKS: [char; 8] = ['o', '*', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders the table as an ASCII scatter/line chart: x-axis = rows,
+/// y-axis = value, one mark per series.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_core::{chart, Table};
+///
+/// let mut t = Table::new("Stalls", "bandwidth", &["gop", "4s"]);
+/// t.push_row("128", &[9.0, 3.0]);
+/// t.push_row("256", &[5.0, 1.0]);
+/// let plot = chart::render(&t, 40, 10);
+/// assert!(plot.contains("o = gop"));
+/// assert!(plot.contains('|'));
+/// ```
+pub fn render(table: &Table, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let rows = table.len();
+    let series = table.series_names();
+    if rows == 0 || series.is_empty() {
+        return String::from("(empty chart)\n");
+    }
+
+    let mut max_value = f64::MIN;
+    let mut min_value: f64 = 0.0; // charts anchor at zero like the paper's
+    for r in 0..rows {
+        for s in 0..series.len() {
+            let v = table.value(r, s).unwrap_or(0.0);
+            max_value = max_value.max(v);
+            min_value = min_value.min(v);
+        }
+    }
+    if max_value <= min_value {
+        max_value = min_value + 1.0;
+    }
+    let span = max_value - min_value;
+
+    // Grid of (height) value rows; column position per x row.
+    let mut grid = vec![vec![' '; width]; height];
+    let x_of = |row: usize| -> usize {
+        if rows == 1 {
+            width / 2
+        } else {
+            row * (width - 1) / (rows - 1)
+        }
+    };
+    let y_of = |value: f64| -> usize {
+        let frac = (value - min_value) / span;
+        let level = (frac * (height - 1) as f64).round() as usize;
+        (height - 1).saturating_sub(level.min(height - 1))
+    };
+    for (s, _) in series.iter().enumerate() {
+        let mark = MARKS[s % MARKS.len()];
+        for r in 0..rows {
+            if let Some(v) = table.value(r, s) {
+                let (x, y) = (x_of(r), y_of(v));
+                // Stacked marks shift right rather than overwrite.
+                let mut x_draw = x;
+                while x_draw < width && grid[y][x_draw] != ' ' {
+                    x_draw += 1;
+                }
+                if x_draw < width {
+                    grid[y][x_draw] = mark;
+                }
+            }
+        }
+    }
+
+    let label_width = 8;
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", table.title()));
+    for (level, line) in grid.iter().enumerate() {
+        let axis_value = max_value - span * level as f64 / (height - 1) as f64;
+        let label = if level == 0 || level == height - 1 || level == (height - 1) / 2 {
+            format!("{axis_value:>label_width$.1}")
+        } else {
+            " ".repeat(label_width)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.push_str(&line.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_width));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+
+    // X labels, left-aligned at their column, with room for the last one
+    // to spill past the axis.
+    let last_label_len = table.row_label(rows - 1).map(|l| l.len()).unwrap_or(0);
+    let mut x_line = vec![' '; width + label_width + 2 + last_label_len];
+    for r in 0..rows {
+        let label = table.row_label(r).unwrap_or_default();
+        let start = label_width + 2 + x_of(r);
+        for (i, ch) in label.chars().enumerate() {
+            if start + i < x_line.len() {
+                x_line[start + i] = ch;
+            }
+        }
+    }
+    out.push_str(&x_line.into_iter().collect::<String>());
+    out.push('\n');
+
+    // Legend.
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(s, name)| format!("{} = {name}", MARKS[s % MARKS.len()]))
+        .collect();
+    out.push_str(&format!("{}{}\n", " ".repeat(label_width + 2), legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Stalls", "bandwidth", &["gop", "2s", "4s"]);
+        t.push_row("128", &[136.0, 58.0, 28.0]);
+        t.push_row("256", &[40.0, 24.0, 16.0]);
+        t.push_row("512", &[14.0, 5.0, 3.0]);
+        t.push_row("768", &[10.0, 3.0, 2.0]);
+        t
+    }
+
+    #[test]
+    fn renders_axes_labels_and_legend() {
+        let plot = render(&sample(), 48, 12);
+        assert!(plot.contains("Stalls"));
+        assert!(plot.contains("136.0"), "{plot}");
+        assert!(plot.contains("0.0"));
+        assert!(plot.contains("o = gop"));
+        assert!(plot.contains("+ = 4s"));
+        assert!(plot.contains("128"));
+        assert!(plot.contains("768"));
+        // All four gop points are drawn (plus the legend's mark and the
+        // 'o' inside the word "gop" itself).
+        assert_eq!(plot.matches('o').count(), 4 + 2, "{plot}");
+    }
+
+    #[test]
+    fn monotone_series_descends_visually() {
+        let plot = render(&sample(), 48, 12);
+        // The first 'o' (highest value) appears on an earlier line than the
+        // last one.
+        let lines: Vec<&str> = plot.lines().collect();
+        let first = lines.iter().position(|l| l.contains('o')).unwrap();
+        let last = lines.iter().rposition(|l| l.contains('o') && !l.contains("o = ")).unwrap();
+        assert!(last > first, "{plot}");
+    }
+
+    #[test]
+    fn degenerate_tables_do_not_panic() {
+        let empty = Table::new("t", "x", &["a"]);
+        assert!(render(&empty, 40, 8).contains("empty"));
+
+        let mut flat = Table::new("t", "x", &["a"]);
+        flat.push_row("only", &[0.0]);
+        let plot = render(&flat, 40, 8);
+        assert!(plot.contains('a'));
+
+        let mut one = Table::new("t", "x", &["a", "b"]);
+        one.push_row("r", &[5.0, 5.0]);
+        let _ = render(&one, 16, 4); // collision path: marks shift right
+    }
+}

@@ -1,0 +1,155 @@
+//! Experiment configuration: video, splicing, and swarm in one bundle.
+
+use serde::{Deserialize, Serialize};
+
+use splicecast_media::{ContentProfile, EncoderConfig, Video};
+use splicecast_swarm::SwarmConfig;
+
+use crate::splicing::SplicingSpec;
+
+/// Describes the synthetic test video.
+///
+/// Defaults reproduce the paper's clip: 2 minutes of 1 Mbps, 30 fps MPEG-4
+/// with mixed content. The content seed is fixed so every run streams the
+/// *same* video, as in the paper (run-to-run randomness comes from the
+/// swarm seed instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoSpec {
+    /// Clip length in seconds.
+    pub duration_secs: f64,
+    /// Target bitrate in bits per second.
+    pub bitrate_bps: u64,
+    /// Frame rate.
+    pub fps: u32,
+    /// GOP-duration model.
+    pub profile: ContentProfile,
+    /// Seed for content sampling and frame-size jitter.
+    pub content_seed: u64,
+}
+
+impl Default for VideoSpec {
+    fn default() -> Self {
+        VideoSpec {
+            duration_secs: 120.0,
+            bitrate_bps: 1_000_000,
+            fps: 30,
+            profile: ContentProfile::paper_default(),
+            content_seed: 2015, // the venue year; any fixed value works
+        }
+    }
+}
+
+impl VideoSpec {
+    /// Encodes the video.
+    pub fn build(&self) -> Video {
+        let mut encoder = EncoderConfig::default();
+        encoder.fps = self.fps;
+        encoder.bitrate_bps = self.bitrate_bps;
+        Video::builder()
+            .duration_secs(self.duration_secs)
+            .profile(self.profile.clone())
+            .encoder(encoder)
+            .seed(self.content_seed)
+            .build()
+    }
+}
+
+/// One complete experiment: what video, how it is spliced, and what swarm
+/// streams it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The test video.
+    pub video: VideoSpec,
+    /// The splicing strategy under test.
+    pub splicing: SplicingSpec,
+    /// The swarm and network configuration.
+    pub swarm: SwarmConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            video: VideoSpec::default(),
+            splicing: SplicingSpec::Duration(4.0),
+            swarm: SwarmConfig::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's baseline setup (Fig. 2 operating point with 4 s
+    /// splicing).
+    pub fn paper_baseline() -> Self {
+        ExperimentConfig::default()
+    }
+
+    /// Sets both peer and seeder access bandwidth, bytes per second (the
+    /// figures' x-axis variable).
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.swarm.peer_bandwidth_bytes_per_sec = bytes_per_sec;
+        self.swarm.seeder_bandwidth_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Sets the splicing strategy.
+    pub fn with_splicing(mut self, splicing: SplicingSpec) -> Self {
+        self.splicing = splicing;
+        self
+    }
+
+    /// Sets the download policy.
+    pub fn with_policy(mut self, policy: splicecast_swarm::PolicyConfig) -> Self {
+        self.swarm.policy = policy;
+        self
+    }
+
+    /// Sets the number of leechers.
+    pub fn with_leechers(mut self, n: usize) -> Self {
+        self.swarm.n_leechers = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_video_matches_paper() {
+        let v = VideoSpec::default().build();
+        assert!((v.duration().as_secs_f64() - 120.0).abs() < 0.2);
+        assert!((v.bitrate_bps() - 1e6).abs() < 2e4);
+    }
+
+    #[test]
+    fn video_build_is_deterministic() {
+        assert_eq!(VideoSpec::default().build(), VideoSpec::default().build());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = ExperimentConfig::paper_baseline()
+            .with_bandwidth(256_000.0)
+            .with_splicing(SplicingSpec::Gop)
+            .with_policy(splicecast_swarm::PolicyConfig::Fixed(2))
+            .with_leechers(5);
+        assert_eq!(cfg.swarm.peer_bandwidth_bytes_per_sec, 256_000.0);
+        assert_eq!(cfg.swarm.seeder_bandwidth_bytes_per_sec, 256_000.0);
+        assert_eq!(cfg.splicing, SplicingSpec::Gop);
+        assert_eq!(cfg.swarm.n_leechers, 5);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = ExperimentConfig::default();
+        let json = serde_json_like(&cfg);
+        assert!(json.contains("Duration"));
+    }
+
+    // serde_json is not a dependency; use the debug form as a stand-in for
+    // "it derives Serialize without blowing up" (compile-time check) and
+    // check Debug formatting here.
+    fn serde_json_like(cfg: &ExperimentConfig) -> String {
+        format!("{cfg:?}")
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-seed experiments and parameter sweeps.
+//!
+//! The paper "ran the application three times for each bandwidth and took
+//! the rounded average" (§VI-A); [`run_averaged`] reproduces exactly that
+//! methodology, and [`sweep`] fans a list of labelled configurations out
+//! over worker threads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+use crate::runner::{run_once, RunResult};
+use crate::stats::{rounded_mean, Summary};
+
+/// Seeds used when the caller does not supply their own (three runs, like
+/// the paper).
+pub const DEFAULT_SEEDS: [u64; 3] = [101, 202, 303];
+
+/// Averages over seeded runs of one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AveragedMetrics {
+    /// Number of runs.
+    pub runs: usize,
+    /// Mean (over runs) of the per-viewer mean stall count.
+    pub stalls: Summary,
+    /// The paper's headline number: the rounded average stall count.
+    pub rounded_stalls: i64,
+    /// Mean of per-viewer total stall duration, seconds.
+    pub stall_secs: Summary,
+    /// Mean of per-viewer startup time, seconds.
+    pub startup_secs: Summary,
+    /// Mean fraction of viewers that finished the video.
+    pub completion_rate: f64,
+    /// Mean fraction of segment deliveries served by other peers.
+    pub peer_offload: f64,
+    /// Splicing overhead ratio (identical across runs).
+    pub overhead_ratio: f64,
+    /// Number of segments (identical across runs).
+    pub segment_count: usize,
+}
+
+impl AveragedMetrics {
+    /// Folds per-run results into averages.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty result list.
+    pub fn from_runs(results: &[RunResult]) -> Self {
+        assert!(!results.is_empty(), "no runs to average");
+        let stalls: Vec<f64> = results.iter().map(|r| r.metrics.mean_stalls()).collect();
+        let stall_secs: Vec<f64> = results.iter().map(|r| r.metrics.mean_stall_secs()).collect();
+        let startup: Vec<f64> = results.iter().map(|r| r.metrics.mean_startup_secs()).collect();
+        AveragedMetrics {
+            runs: results.len(),
+            rounded_stalls: rounded_mean(&stalls),
+            stalls: Summary::of(&stalls),
+            stall_secs: Summary::of(&stall_secs),
+            startup_secs: Summary::of(&startup),
+            completion_rate: Summary::of(
+                &results.iter().map(|r| r.metrics.completion_rate()).collect::<Vec<_>>(),
+            )
+            .mean,
+            peer_offload: Summary::of(
+                &results.iter().map(|r| r.metrics.peer_offload_ratio()).collect::<Vec<_>>(),
+            )
+            .mean,
+            overhead_ratio: results[0].overhead_ratio,
+            segment_count: results[0].segment_count,
+        }
+    }
+}
+
+/// Runs `config` once per seed and averages, exactly like the paper's
+/// three-run methodology.
+///
+/// # Panics
+///
+/// Panics when `seeds` is empty.
+pub fn run_averaged(config: &ExperimentConfig, seeds: &[u64]) -> AveragedMetrics {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let results: Vec<RunResult> = seeds.iter().map(|&s| run_once(config, s)).collect();
+    AveragedMetrics::from_runs(&results)
+}
+
+/// A labelled configuration for a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Label shown in reports (e.g. "gop @ 128 kB/s").
+    pub label: String,
+    /// The configuration to run.
+    pub config: ExperimentConfig,
+}
+
+/// Runs every sweep point (each averaged over `seeds`) in parallel across
+/// worker threads, preserving input order in the output.
+///
+/// # Panics
+///
+/// Panics when `seeds` is empty or any worker run panics.
+pub fn sweep(points: &[SweepPoint], seeds: &[u64]) -> Vec<(String, AveragedMetrics)> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<(String, AveragedMetrics)>> = Vec::new();
+    slots.resize_with(points.len(), || None);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(points.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let point = &points[i];
+                let averaged = run_averaged(&point.config, seeds);
+                let mut guard = slots_mutex.lock().expect("sweep slot lock");
+                guard[i] = Some((point.label.clone(), averaged));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots.into_iter().map(|s| s.expect("every sweep point filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VideoSpec;
+    use crate::splicing::SplicingSpec;
+
+    fn quick_config(bandwidth: f64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_baseline()
+            .with_bandwidth(bandwidth)
+            .with_leechers(3);
+        cfg.video = VideoSpec { duration_secs: 12.0, ..VideoSpec::default() };
+        cfg.swarm.max_sim_secs = 300.0;
+        cfg
+    }
+
+    #[test]
+    fn averaging_matches_manual_fold() {
+        let cfg = quick_config(512_000.0);
+        let seeds = [1, 2];
+        let avg = run_averaged(&cfg, &seeds);
+        assert_eq!(avg.runs, 2);
+        let manual: Vec<f64> =
+            seeds.iter().map(|&s| run_once(&cfg, s).metrics.mean_stalls()).collect();
+        assert!((avg.stalls.mean - Summary::of(&manual).mean).abs() < 1e-12);
+        assert_eq!(avg.rounded_stalls, rounded_mean(&manual));
+        assert_eq!(avg.segment_count, 3);
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_matches_serial() {
+        let points: Vec<SweepPoint> = [512_000.0, 768_000.0]
+            .iter()
+            .map(|&bw| SweepPoint { label: format!("{bw}"), config: quick_config(bw) })
+            .collect();
+        let seeds = [3];
+        let parallel = sweep(&points, &seeds);
+        assert_eq!(parallel.len(), 2);
+        assert_eq!(parallel[0].0, "512000");
+        assert_eq!(parallel[1].0, "768000");
+        for (point, (_, metrics)) in points.iter().zip(&parallel) {
+            let serial = run_averaged(&point.config, &seeds);
+            assert_eq!(*metrics, serial, "parallel and serial disagree");
+        }
+    }
+
+    #[test]
+    fn gop_vs_duration_overhead_shows_up_in_averages() {
+        let gop = run_averaged(&quick_config(512_000.0).with_splicing(SplicingSpec::Gop), &[1]);
+        let dur =
+            run_averaged(&quick_config(512_000.0).with_splicing(SplicingSpec::Duration(2.0)), &[1]);
+        assert_eq!(gop.overhead_ratio, 0.0);
+        assert!(dur.overhead_ratio > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        let _ = run_averaged(&quick_config(512_000.0), &[]);
+    }
+}

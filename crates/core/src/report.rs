@@ -1,0 +1,204 @@
+//! Plain-text tables in the shape of the paper's figures.
+
+use std::fmt;
+
+/// A series-by-x table, printed with aligned columns — one row per x-axis
+/// value (e.g. bandwidth), one column per series (e.g. splicing scheme),
+/// mirroring how the paper's figures are read.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_core::Table;
+///
+/// let mut t = Table::new("Fig. 2: stalls", "bandwidth", &["gop", "4s"]);
+/// t.push_row("128 kB/s", &[9.0, 3.0]);
+/// t.push_row("256 kB/s", &[5.0, 1.0]);
+/// let text = t.to_string();
+/// assert!(text.contains("gop"));
+/// assert!(text.contains("128 kB/s"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    x_label: String,
+    series: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    precision: usize,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, x_label: &str, series: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            series: series.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            precision: 1,
+        }
+    }
+
+    /// Sets decimal places for values (default 1).
+    pub fn precision(&mut self, digits: usize) -> &mut Self {
+        self.precision = digits;
+        self
+    }
+
+    /// Appends one x-axis row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count differs from the series count.
+    pub fn push_row(&mut self, x: &str, values: &[f64]) -> &mut Self {
+        assert_eq!(values.len(), self.series.len(), "row width mismatch");
+        self.rows.push((x.to_owned(), values.to_vec()));
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at (row, series), if present.
+    pub fn value(&self, row: usize, series: usize) -> Option<f64> {
+        self.rows.get(row).and_then(|(_, v)| v.get(series)).copied()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The series (column) names.
+    pub fn series_names(&self) -> &[String] {
+        &self.series
+    }
+
+    /// The x label of one row.
+    pub fn row_label(&self, row: usize) -> Option<String> {
+        self.rows.get(row).map(|(x, _)| x.clone())
+    }
+
+    /// Renders as comma-separated values (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (x, values) in &self.rows {
+            out.push_str(x);
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v:.prec$}", prec = self.precision));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(x, _)| x.len())
+                .chain(std::iter::once(self.x_label.len()))
+                .max()
+                .unwrap_or(0),
+        );
+        for (i, s) in self.series.iter().enumerate() {
+            let data_width = self
+                .rows
+                .iter()
+                .map(|(_, v)| format!("{:.prec$}", v[i], prec = self.precision).len())
+                .max()
+                .unwrap_or(0);
+            widths.push(s.len().max(data_width));
+        }
+        write!(f, "  {:<width$}", self.x_label, width = widths[0])?;
+        for (i, s) in self.series.iter().enumerate() {
+            write!(f, "  {:>width$}", s, width = widths[i + 1])?;
+        }
+        writeln!(f)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len()) + 2;
+        writeln!(f, "  {}", "-".repeat(total.saturating_sub(2)))?;
+        for (x, values) in &self.rows {
+            write!(f, "  {:<width$}", x, width = widths[0])?;
+            for (i, v) in values.iter().enumerate() {
+                write!(f, "  {:>width$.prec$}", v, width = widths[i + 1], prec = self.precision)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Stalls", "bandwidth", &["gop", "2s", "4s"]);
+        t.push_row("128", &[9.0, 5.0, 3.25]);
+        t.push_row("256", &[5.0, 2.0, 2.0]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_and_contains_everything() {
+        let text = sample().to_string();
+        assert!(text.contains("Stalls"));
+        assert!(text.contains("bandwidth"));
+        for needle in ["gop", "2s", "4s", "128", "256", "9.0", "3.2"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Every data line has the same width.
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "bandwidth,gop,2s,4s");
+        assert_eq!(lines[1], "128,9.0,5.0,3.2");
+    }
+
+    #[test]
+    fn precision_is_respected() {
+        let mut t = sample();
+        t.precision(3);
+        assert!(t.to_csv().contains("3.250"));
+    }
+
+    #[test]
+    fn value_accessor() {
+        let t = sample();
+        assert_eq!(t.value(0, 2), Some(3.25));
+        assert_eq!(t.value(5, 0), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t", "x", &["a"]);
+        t.push_row("r", &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Serializable splicing selector.
+
+use serde::{Deserialize, Serialize};
+
+use splicecast_media::{ByteSplicer, DurationSplicer, GopSplicer, RampSplicer, SegmentList, Splicer, Video};
+
+/// Which splicing strategy an experiment uses (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplicingSpec {
+    /// One segment per closed GOP (§II-A).
+    Gop,
+    /// Frame-accurate cuts every given number of seconds (§II-B).
+    Duration(f64),
+    /// PPLive-style fixed-byte blocks.
+    Bytes(u64),
+    /// Ramped durations from `initial` to `max` seconds (growth 1.5×) —
+    /// the §VIII "adaptive splicing" future work.
+    Ramp {
+        /// First segment's target duration, seconds.
+        initial: f64,
+        /// Steady-state target duration, seconds.
+        max: f64,
+    },
+}
+
+impl SplicingSpec {
+    /// Instantiates the splicer.
+    pub fn build(&self) -> Box<dyn Splicer> {
+        match self {
+            SplicingSpec::Gop => Box::new(GopSplicer),
+            SplicingSpec::Duration(secs) => Box::new(DurationSplicer::new(*secs)),
+            SplicingSpec::Bytes(bytes) => Box::new(ByteSplicer::new(*bytes)),
+            SplicingSpec::Ramp { initial, max } => Box::new(RampSplicer::new(*initial, *max, 1.5)),
+        }
+    }
+
+    /// Cuts the video.
+    pub fn splice(&self, video: &Video) -> SegmentList {
+        self.build().splice(video)
+    }
+
+    /// Short label for reports ("gop", "4s", ...).
+    pub fn label(&self) -> String {
+        self.build().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_and_label() {
+        assert_eq!(SplicingSpec::Gop.label(), "gop");
+        assert_eq!(SplicingSpec::Duration(2.0).label(), "2s");
+        assert_eq!(SplicingSpec::Bytes(1024).label(), "1024B");
+    }
+
+    #[test]
+    fn ramp_spec_builds() {
+        assert_eq!(SplicingSpec::Ramp { initial: 1.0, max: 8.0 }.label(), "ramp(1→8s)");
+    }
+
+    #[test]
+    fn specs_splice_consistently() {
+        let video = Video::builder().duration_secs(20.0).seed(1).build();
+        for spec in [
+            SplicingSpec::Gop,
+            SplicingSpec::Duration(4.0),
+            SplicingSpec::Bytes(200_000),
+            SplicingSpec::Ramp { initial: 1.0, max: 8.0 },
+        ] {
+            let list = spec.splice(&video);
+            list.validate(&video).unwrap();
+            assert!(!list.is_empty());
+        }
+    }
+}

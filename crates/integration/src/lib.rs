@@ -1,0 +1,1 @@
+//! See crate-level docs in the workspace README.

@@ -1,0 +1,89 @@
+//! Error types for the media model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by video construction, validation, and manifest parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MediaError {
+    /// A video must contain at least one frame.
+    EmptyVideo,
+    /// Frame presentation timestamps must be strictly increasing.
+    NonMonotonicPts {
+        /// Index of the offending frame.
+        frame: usize,
+    },
+    /// A (closed) GOP must begin with an I-frame.
+    GopMissingIFrame {
+        /// Index of the offending GOP.
+        gop: usize,
+    },
+    /// An I-frame appeared in the middle of a GOP.
+    StrayIFrame {
+        /// Index of the offending frame.
+        frame: usize,
+    },
+    /// Segments must partition the video's frames without gaps or overlap.
+    SegmentCoverage {
+        /// First frame index not covered correctly.
+        frame: usize,
+    },
+    /// A segment byte count disagrees with the frames it spans.
+    SegmentBytes {
+        /// Index of the offending segment.
+        segment: usize,
+    },
+    /// A manifest could not be parsed.
+    ParseManifest(String),
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::EmptyVideo => write!(f, "video contains no frames"),
+            MediaError::NonMonotonicPts { frame } => {
+                write!(f, "frame {frame} does not advance the presentation timestamp")
+            }
+            MediaError::GopMissingIFrame { gop } => {
+                write!(f, "gop {gop} does not begin with an I-frame")
+            }
+            MediaError::StrayIFrame { frame } => {
+                write!(f, "frame {frame} is an I-frame in the middle of a gop")
+            }
+            MediaError::SegmentCoverage { frame } => {
+                write!(f, "segments do not cover frame {frame} exactly once")
+            }
+            MediaError::SegmentBytes { segment } => {
+                write!(f, "segment {segment} byte count disagrees with its frames")
+            }
+            MediaError::ParseManifest(msg) => write!(f, "invalid manifest: {msg}"),
+        }
+    }
+}
+
+impl Error for MediaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(MediaError::EmptyVideo.to_string(), "video contains no frames");
+        assert_eq!(
+            MediaError::GopMissingIFrame { gop: 3 }.to_string(),
+            "gop 3 does not begin with an I-frame"
+        );
+        assert_eq!(
+            MediaError::ParseManifest("bad header".into()).to_string(),
+            "invalid manifest: bad header"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MediaError>();
+    }
+}

@@ -1,0 +1,202 @@
+//! Frames and the MPEG 90 kHz media clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Ticks of the MPEG system clock: 90 000 per second.
+pub const TICKS_PER_SEC: u64 = 90_000;
+
+/// A point on (or span of) the media timeline, in 90 kHz ticks.
+///
+/// MPEG transport uses a 90 kHz clock for presentation timestamps; keeping
+/// the same unit makes frame timing exact for all common frame rates.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_media::MediaTicks;
+///
+/// let one_frame = MediaTicks::from_secs_f64(1.0 / 30.0);
+/// assert_eq!(one_frame.ticks(), 3_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MediaTicks(u64);
+
+impl MediaTicks {
+    /// The zero point / empty span.
+    pub const ZERO: MediaTicks = MediaTicks(0);
+
+    /// Constructs from raw 90 kHz ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        MediaTicks(ticks)
+    }
+
+    /// Constructs from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid media time: {secs}");
+        MediaTicks((secs * TICKS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Value in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// True for the zero value.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: MediaTicks) -> MediaTicks {
+        MediaTicks(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for MediaTicks {
+    type Output = MediaTicks;
+    fn add(self, rhs: MediaTicks) -> MediaTicks {
+        MediaTicks(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MediaTicks {
+    fn add_assign(&mut self, rhs: MediaTicks) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MediaTicks {
+    type Output = MediaTicks;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`MediaTicks::saturating_sub`] when the
+    /// operands may be unordered.
+    fn sub(self, rhs: MediaTicks) -> MediaTicks {
+        MediaTicks(self.0.checked_sub(rhs.0).expect("MediaTicks underflow"))
+    }
+}
+
+impl fmt::Display for MediaTicks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// The coding type of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameType {
+    /// Intra-coded: decodable on its own. Starts every closed GOP and is by
+    /// far the largest frame type.
+    I,
+    /// Predicted from previous reference frames.
+    P,
+    /// Bi-directionally predicted; the smallest frame type.
+    B,
+}
+
+impl FrameType {
+    /// True for I-frames.
+    pub const fn is_intra(self) -> bool {
+        matches!(self, FrameType::I)
+    }
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameType::I => write!(f, "I"),
+            FrameType::P => write!(f, "P"),
+            FrameType::B => write!(f, "B"),
+        }
+    }
+}
+
+/// One coded video frame: its type, its coded size, and its place on the
+/// media timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Coding type.
+    pub kind: FrameType,
+    /// Coded size in bytes.
+    pub bytes: u32,
+    /// Presentation timestamp.
+    pub pts: MediaTicks,
+    /// Display duration (1/fps for constant-rate video).
+    pub duration: MediaTicks,
+}
+
+impl Frame {
+    /// The timestamp just after this frame finishes displaying.
+    pub fn end_pts(&self) -> MediaTicks {
+        self.pts + self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_round_trip() {
+        let t = MediaTicks::from_secs_f64(2.5);
+        assert_eq!(t.ticks(), 225_000);
+        assert_eq!(t.as_secs_f64(), 2.5);
+        assert_eq!(t.to_string(), "2.500s");
+    }
+
+    #[test]
+    fn exact_frame_durations_for_common_rates() {
+        for fps in [24u64, 25, 30, 60] {
+            assert_eq!(TICKS_PER_SEC % fps, 0, "{fps} fps is not exact at 90kHz");
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = MediaTicks::from_ticks(100);
+        let b = MediaTicks::from_ticks(40);
+        assert_eq!(a + b, MediaTicks::from_ticks(140));
+        assert_eq!(a - b, MediaTicks::from_ticks(60));
+        assert_eq!(b.saturating_sub(a), MediaTicks::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = MediaTicks::from_ticks(1) - MediaTicks::from_ticks(2);
+    }
+
+    #[test]
+    fn frame_end_pts() {
+        let f = Frame {
+            kind: FrameType::P,
+            bytes: 1000,
+            pts: MediaTicks::from_ticks(3000),
+            duration: MediaTicks::from_ticks(3000),
+        };
+        assert_eq!(f.end_pts(), MediaTicks::from_ticks(6000));
+        assert!(!f.kind.is_intra());
+        assert!(FrameType::I.is_intra());
+    }
+
+    #[test]
+    fn frame_type_display() {
+        assert_eq!(FrameType::I.to_string(), "I");
+        assert_eq!(FrameType::P.to_string(), "P");
+        assert_eq!(FrameType::B.to_string(), "B");
+    }
+}

@@ -1,0 +1,87 @@
+//! Group-of-pictures views over a video's frames.
+
+use crate::frame::{Frame, MediaTicks};
+
+/// A borrowed view of one closed GOP: an I-frame followed by its dependent
+/// P/B frames.
+///
+/// Produced by [`crate::Video::gop`] / [`crate::Video::gops`].
+#[derive(Debug, Clone, Copy)]
+pub struct GopView<'a> {
+    /// Position of this GOP within the video.
+    pub index: usize,
+    /// Index of the first frame within the video's frame array.
+    pub first_frame: usize,
+    frames: &'a [Frame],
+}
+
+impl<'a> GopView<'a> {
+    pub(crate) fn new(index: usize, first_frame: usize, frames: &'a [Frame]) -> Self {
+        debug_assert!(!frames.is_empty(), "empty gop");
+        GopView { index, first_frame, frames }
+    }
+
+    /// The frames of this GOP, in presentation order.
+    pub fn frames(&self) -> &'a [Frame] {
+        self.frames
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Presentation timestamp of the first frame.
+    pub fn start_pts(&self) -> MediaTicks {
+        self.frames[0].pts
+    }
+
+    /// Total display duration.
+    pub fn duration(&self) -> MediaTicks {
+        let last = self.frames.last().expect("gop has frames");
+        last.end_pts() - self.frames[0].pts
+    }
+
+    /// Total coded bytes.
+    pub fn bytes(&self) -> u64 {
+        self.frames.iter().map(|f| u64::from(f.bytes)).sum()
+    }
+
+    /// Size of this GOP's I-frame — the cost of re-intra-coding a frame of
+    /// this GOP during duration-based splicing.
+    pub fn i_frame_bytes(&self) -> u32 {
+        self.frames[0].bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameType;
+
+    fn frame(kind: FrameType, bytes: u32, pts: u64) -> Frame {
+        Frame {
+            kind,
+            bytes,
+            pts: MediaTicks::from_ticks(pts),
+            duration: MediaTicks::from_ticks(3000),
+        }
+    }
+
+    #[test]
+    fn gop_accessors() {
+        let frames = vec![
+            frame(FrameType::I, 1000, 0),
+            frame(FrameType::B, 50, 3000),
+            frame(FrameType::P, 200, 6000),
+        ];
+        let gop = GopView::new(2, 10, &frames);
+        assert_eq!(gop.index, 2);
+        assert_eq!(gop.first_frame, 10);
+        assert_eq!(gop.frame_count(), 3);
+        assert_eq!(gop.bytes(), 1250);
+        assert_eq!(gop.i_frame_bytes(), 1000);
+        assert_eq!(gop.start_pts(), MediaTicks::ZERO);
+        assert_eq!(gop.duration(), MediaTicks::from_ticks(9000));
+    }
+}

@@ -1,0 +1,301 @@
+//! Multi-bitrate rendition ladders.
+//!
+//! The paper's §I motivates duration-adaptive splicing as an alternative to
+//! the industry's *bitrate* adaptation ("Netflix and Hulu ... clients
+//! determine a bit-rate based on the available bandwidth. As they keep the
+//! duration of the segment constant and vary the bit-rates, it will degrade
+//! the video quality"). To compare the two fairly we need that baseline: a
+//! ladder of renditions of the *same* content at different bitrates, cut at
+//! the *same* segment boundaries, so a client can switch rendition at any
+//! segment edge.
+
+use serde::{Deserialize, Serialize};
+
+use crate::content::ContentProfile;
+use crate::encoder::EncoderConfig;
+use crate::error::MediaError;
+use crate::segment::SegmentList;
+use crate::splicer::{DurationSplicer, Splicer};
+use crate::video::Video;
+
+/// One rung of a [`Ladder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rendition {
+    /// Target bitrate of this rendition, bits per second.
+    pub bitrate_bps: u64,
+    /// The coded video.
+    pub video: Video,
+    /// The video cut at the ladder's common segment boundaries.
+    pub segments: SegmentList,
+}
+
+/// An aligned set of renditions: same content, same GOP structure, same
+/// segment boundaries — only the bytes differ.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_media::Ladder;
+///
+/// let ladder = Ladder::builder()
+///     .duration_secs(20.0)
+///     .bitrates(&[250_000, 500_000, 1_000_000])
+///     .segment_secs(4.0)
+///     .seed(7)
+///     .build();
+/// assert_eq!(ladder.len(), 3);
+/// assert_eq!(ladder.segment_count(), 5);
+/// // Higher rungs cost more bytes for the same timeline.
+/// assert!(ladder.segment_bytes(2, 0) > ladder.segment_bytes(0, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ladder {
+    renditions: Vec<Rendition>,
+}
+
+impl Ladder {
+    /// Starts building a ladder.
+    pub fn builder() -> LadderBuilder {
+        LadderBuilder::default()
+    }
+
+    /// The renditions, ascending by bitrate.
+    pub fn renditions(&self) -> &[Rendition] {
+        &self.renditions
+    }
+
+    /// Number of renditions.
+    pub fn len(&self) -> usize {
+        self.renditions.len()
+    }
+
+    /// True when the ladder has no renditions (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.renditions.is_empty()
+    }
+
+    /// Number of segments (identical across renditions).
+    pub fn segment_count(&self) -> usize {
+        self.renditions[0].segments.len()
+    }
+
+    /// Transfer size of one segment of one rendition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn segment_bytes(&self, rendition: usize, segment: usize) -> u64 {
+        self.renditions[rendition].segments[segment].bytes
+    }
+
+    /// Display duration of a segment in seconds (identical across
+    /// renditions).
+    pub fn segment_secs(&self, segment: usize) -> f64 {
+        self.renditions[0].segments[segment].duration.as_secs_f64()
+    }
+
+    /// The segment list of one rendition.
+    pub fn segments(&self, rendition: usize) -> &SegmentList {
+        &self.renditions[rendition].segments
+    }
+
+    /// Bitrate of a rendition, bits per second.
+    pub fn bitrate_bps(&self, rendition: usize) -> u64 {
+        self.renditions[rendition].bitrate_bps
+    }
+
+    /// Index of the highest rendition whose bitrate does not exceed
+    /// `budget_bps`; rung 0 when even the lowest exceeds it.
+    pub fn rung_for_bitrate(&self, budget_bps: f64) -> usize {
+        self.renditions
+            .iter()
+            .rposition(|r| (r.bitrate_bps as f64) <= budget_bps)
+            .unwrap_or(0)
+    }
+
+    /// Validates cross-rendition alignment: same segment count, same
+    /// per-segment durations, strictly increasing bitrates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MediaError::SegmentCoverage`] flavoured error when
+    /// alignment is broken.
+    pub fn validate(&self) -> Result<(), MediaError> {
+        if self.renditions.is_empty() {
+            return Err(MediaError::EmptyVideo);
+        }
+        let reference = &self.renditions[0];
+        reference.segments.validate(&reference.video)?;
+        for rendition in &self.renditions[1..] {
+            rendition.segments.validate(&rendition.video)?;
+            if rendition.segments.len() != reference.segments.len() {
+                return Err(MediaError::SegmentCoverage { frame: 0 });
+            }
+            for (a, b) in rendition.segments.iter().zip(reference.segments.iter()) {
+                if a.duration != b.duration || a.start_pts != b.start_pts {
+                    return Err(MediaError::SegmentCoverage { frame: a.first_frame as usize });
+                }
+            }
+        }
+        if !self.renditions.windows(2).all(|w| w[0].bitrate_bps < w[1].bitrate_bps) {
+            return Err(MediaError::SegmentCoverage { frame: 0 });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Ladder`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderBuilder {
+    duration_secs: f64,
+    bitrates: Vec<u64>,
+    segment_secs: f64,
+    profile: ContentProfile,
+    fps: u32,
+    seed: u64,
+}
+
+impl Default for LadderBuilder {
+    fn default() -> Self {
+        LadderBuilder {
+            duration_secs: 120.0,
+            bitrates: vec![250_000, 500_000, 1_000_000],
+            segment_secs: 4.0,
+            profile: ContentProfile::paper_default(),
+            fps: 30,
+            seed: 0,
+        }
+    }
+}
+
+impl LadderBuilder {
+    /// Sets the clip length in seconds.
+    pub fn duration_secs(&mut self, secs: f64) -> &mut Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Sets the rendition bitrates (bits per second). Sorted ascending and
+    /// deduplicated at build time.
+    pub fn bitrates(&mut self, bitrates: &[u64]) -> &mut Self {
+        self.bitrates = bitrates.to_vec();
+        self
+    }
+
+    /// Sets the common segment duration.
+    pub fn segment_secs(&mut self, secs: f64) -> &mut Self {
+        self.segment_secs = secs;
+        self
+    }
+
+    /// Sets the content profile shared by all renditions.
+    pub fn profile(&mut self, profile: ContentProfile) -> &mut Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the content seed shared by all renditions.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Encodes every rendition from the same content realisation and cuts
+    /// them at the same boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no bitrates are given or parameters are invalid.
+    pub fn build(&self) -> Ladder {
+        assert!(!self.bitrates.is_empty(), "a ladder needs at least one bitrate");
+        let mut bitrates = self.bitrates.clone();
+        bitrates.sort_unstable();
+        bitrates.dedup();
+        let splicer = DurationSplicer::new(self.segment_secs);
+        let renditions = bitrates
+            .into_iter()
+            .map(|bitrate_bps| {
+                // Same profile + same seed ⇒ identical GOP structure and
+                // per-frame jitter draws; only the byte scaling differs.
+                let video = Video::builder()
+                    .duration_secs(self.duration_secs)
+                    .profile(self.profile.clone())
+                    .encoder(EncoderConfig { fps: self.fps, bitrate_bps, ..EncoderConfig::default() })
+                    .seed(self.seed)
+                    .build();
+                let segments = splicer.splice(&video);
+                Rendition { bitrate_bps, video, segments }
+            })
+            .collect();
+        let ladder = Ladder { renditions };
+        debug_assert!(ladder.validate().is_ok());
+        ladder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Ladder {
+        Ladder::builder()
+            .duration_secs(24.0)
+            .bitrates(&[300_000, 600_000, 1_200_000])
+            .segment_secs(4.0)
+            .seed(5)
+            .build()
+    }
+
+    #[test]
+    fn renditions_are_aligned() {
+        let l = ladder();
+        l.validate().unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.segment_count(), 6);
+        for seg in 0..l.segment_count() {
+            let d = l.segment_secs(seg);
+            assert!(d > 0.0);
+            // Bytes scale roughly with bitrate on every segment.
+            let low = l.segment_bytes(0, seg) as f64;
+            let high = l.segment_bytes(2, seg) as f64;
+            let ratio = high / low;
+            assert!((3.0..5.3).contains(&ratio), "segment {seg} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn bitrates_sort_and_dedup() {
+        let l = Ladder::builder()
+            .duration_secs(8.0)
+            .bitrates(&[800_000, 200_000, 800_000])
+            .build();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.bitrate_bps(0), 200_000);
+        assert_eq!(l.bitrate_bps(1), 800_000);
+    }
+
+    #[test]
+    fn rung_for_bitrate_picks_the_highest_affordable() {
+        let l = ladder();
+        assert_eq!(l.rung_for_bitrate(10_000.0), 0, "below the ladder → lowest rung");
+        assert_eq!(l.rung_for_bitrate(300_000.0), 0);
+        assert_eq!(l.rung_for_bitrate(599_999.0), 0);
+        assert_eq!(l.rung_for_bitrate(600_000.0), 1);
+        assert_eq!(l.rung_for_bitrate(5e6), 2);
+    }
+
+    #[test]
+    fn validate_catches_misalignment() {
+        let mut l = ladder();
+        // Cut the top rendition differently.
+        let video = l.renditions[2].video.clone();
+        l.renditions[2].segments = DurationSplicer::new(2.0).splice(&video);
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bitrate")]
+    fn empty_ladder_panics() {
+        let _ = Ladder::builder().bitrates(&[]).build();
+    }
+}

@@ -1,0 +1,247 @@
+//! Segments: the units a spliced video is transferred in.
+
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MediaError;
+use crate::frame::MediaTicks;
+use crate::video::Video;
+
+/// One spliced segment of a video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Position in the segment list.
+    pub index: u32,
+    /// Index of the first frame this segment carries.
+    pub first_frame: u32,
+    /// Number of frames carried.
+    pub frame_count: u32,
+    /// Presentation timestamp of the first frame.
+    pub start_pts: MediaTicks,
+    /// Total display duration.
+    pub duration: MediaTicks,
+    /// Bytes that must be transferred for this segment, **including**
+    /// splicing overhead.
+    pub bytes: u64,
+    /// Extra bytes the splicer added (re-intra-coding the first frame when
+    /// a cut lands mid-GOP). Zero for GOP-based splicing.
+    pub overhead_bytes: u64,
+}
+
+impl Segment {
+    /// The timestamp just after this segment's last frame.
+    pub fn end_pts(&self) -> MediaTicks {
+        self.start_pts + self.duration
+    }
+
+    /// Bytes of original media (excluding splicing overhead).
+    pub fn media_bytes(&self) -> u64 {
+        self.bytes - self.overhead_bytes
+    }
+}
+
+/// The complete splice of a video: an ordered list of segments that tile
+/// the video's frames.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_media::{DurationSplicer, Splicer, Video};
+///
+/// let video = Video::builder().duration_secs(20.0).seed(3).build();
+/// let segments = DurationSplicer::new(4.0).splice(&video);
+/// assert_eq!(segments.len(), 5);
+/// segments.validate(&video).unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentList {
+    segments: Vec<Segment>,
+}
+
+impl SegmentList {
+    /// Wraps a list of segments. Use [`SegmentList::validate`] to check it
+    /// against the video it was cut from.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        SegmentList { segments }
+    }
+
+    /// The segments in playback order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The segment at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&Segment> {
+        self.segments.get(index)
+    }
+
+    /// Iterates over the segments.
+    pub fn iter(&self) -> std::slice::Iter<'_, Segment> {
+        self.segments.iter()
+    }
+
+    /// Total transfer bytes (media + overhead).
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total splicing overhead bytes.
+    pub fn total_overhead_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.overhead_bytes).sum()
+    }
+
+    /// Overhead as a fraction of the original media bytes.
+    pub fn overhead_ratio(&self) -> f64 {
+        let media: u64 = self.segments.iter().map(|s| s.media_bytes()).sum();
+        if media == 0 {
+            0.0
+        } else {
+            self.total_overhead_bytes() as f64 / media as f64
+        }
+    }
+
+    /// Total display duration.
+    pub fn total_duration(&self) -> MediaTicks {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(first), Some(last)) => last.end_pts() - first.start_pts,
+            _ => MediaTicks::ZERO,
+        }
+    }
+
+    /// The largest segment, in bytes.
+    pub fn max_segment_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).max().unwrap_or(0)
+    }
+
+    /// The arithmetic-mean segment size, in bytes.
+    pub fn mean_segment_bytes(&self) -> f64 {
+        if self.segments.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.segments.len() as f64
+        }
+    }
+
+    /// The segment whose playback interval contains `pts`.
+    pub fn segment_at(&self, pts: MediaTicks) -> Option<&Segment> {
+        let idx = self.segments.partition_point(|s| s.end_pts() <= pts);
+        self.segments.get(idx).filter(|s| s.start_pts <= pts)
+    }
+
+    /// Checks that the segments exactly tile `video` and that their byte
+    /// counts are consistent with the frames they span.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self, video: &Video) -> Result<(), MediaError> {
+        let frames = video.frames();
+        let mut next_frame = 0u32;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.index != i as u32 || seg.first_frame != next_frame || seg.frame_count == 0 {
+                return Err(MediaError::SegmentCoverage { frame: next_frame as usize });
+            }
+            let span = &frames[seg.first_frame as usize..(seg.first_frame + seg.frame_count) as usize];
+            let media: u64 = span.iter().map(|f| u64::from(f.bytes)).sum();
+            if seg.bytes != media + seg.overhead_bytes {
+                return Err(MediaError::SegmentBytes { segment: i });
+            }
+            if seg.start_pts != span[0].pts {
+                return Err(MediaError::SegmentCoverage { frame: seg.first_frame as usize });
+            }
+            next_frame += seg.frame_count;
+        }
+        if next_frame as usize != frames.len() {
+            return Err(MediaError::SegmentCoverage { frame: next_frame as usize });
+        }
+        Ok(())
+    }
+}
+
+impl Index<usize> for SegmentList {
+    type Output = Segment;
+    fn index(&self, index: usize) -> &Segment {
+        &self.segments[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a SegmentList {
+    type Item = &'a Segment;
+    type IntoIter = std::slice::Iter<'a, Segment>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.segments.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splicer::{GopSplicer, Splicer};
+
+    fn video() -> Video {
+        Video::builder().duration_secs(30.0).seed(9).build()
+    }
+
+    #[test]
+    fn list_statistics() {
+        let v = video();
+        let list = GopSplicer.splice(&v);
+        assert_eq!(list.total_bytes(), v.total_bytes());
+        assert_eq!(list.total_overhead_bytes(), 0);
+        assert_eq!(list.overhead_ratio(), 0.0);
+        assert_eq!(list.total_duration(), v.duration());
+        assert!(list.max_segment_bytes() >= list.mean_segment_bytes() as u64);
+        assert!(!list.is_empty());
+        assert_eq!(list.len(), v.gop_count());
+    }
+
+    #[test]
+    fn segment_at_finds_the_right_segment() {
+        let v = video();
+        let list = GopSplicer.splice(&v);
+        for seg in &list {
+            let mid = MediaTicks::from_ticks((seg.start_pts.ticks() + seg.end_pts().ticks()) / 2);
+            assert_eq!(list.segment_at(mid).unwrap().index, seg.index);
+            assert_eq!(list.segment_at(seg.start_pts).unwrap().index, seg.index);
+        }
+        assert!(list.segment_at(v.duration()).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_tampered_lists() {
+        let v = video();
+        let list = GopSplicer.splice(&v);
+
+        let mut wrong_bytes = list.clone();
+        wrong_bytes.segments[0].bytes += 1;
+        assert_eq!(wrong_bytes.validate(&v).unwrap_err(), MediaError::SegmentBytes { segment: 0 });
+
+        let mut gap = list.clone();
+        gap.segments.remove(1);
+        assert!(matches!(gap.validate(&v).unwrap_err(), MediaError::SegmentCoverage { .. }));
+
+        let mut truncated = list.clone();
+        truncated.segments.pop();
+        assert!(matches!(truncated.validate(&v).unwrap_err(), MediaError::SegmentCoverage { .. }));
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let v = video();
+        let list = GopSplicer.splice(&v);
+        assert_eq!(list[0].index, 0);
+        let count = list.iter().count();
+        assert_eq!(count, list.len());
+    }
+}

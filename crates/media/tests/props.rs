@@ -1,0 +1,138 @@
+//! Property-based tests for the media model.
+
+use proptest::prelude::*;
+
+use rand::SeedableRng;
+use splicecast_media::*;
+
+fn arbitrary_profile() -> impl Strategy<Value = ContentProfile> {
+    prop_oneof![
+        (0.2f64..10.0).prop_map(|gop_secs| ContentProfile::Uniform { gop_secs }),
+        Just(ContentProfile::paper_default()),
+        Just(ContentProfile::action()),
+        Just(ContentProfile::talking_head()),
+        ((0.1f64..0.9), (0.2f64..2.0), (2.0f64..20.0)).prop_map(|(p, short, long)| {
+            ContentProfile::Mixture {
+                classes: vec![
+                    SceneClass::new(p, 0.1, short),
+                    SceneClass::new(1.0 - p, short, short + long),
+                ],
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profiles_cover_the_requested_duration_exactly(
+        profile in arbitrary_profile(),
+        total in 1.0f64..300.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let durations = profile.sample_gop_durations(&mut rng, total);
+        prop_assert!(!durations.is_empty());
+        let sum: f64 = durations.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6, "sum {sum} vs total {total}");
+        prop_assert!(durations.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn encoded_videos_always_validate_and_hit_bitrate(
+        profile in arbitrary_profile(),
+        secs in 2.0f64..90.0,
+        bitrate in 100_000u64..8_000_000,
+        seed in any::<u64>(),
+    ) {
+        let video = Video::builder()
+            .duration_secs(secs)
+            .profile(profile)
+            .bitrate_bps(bitrate)
+            .seed(seed)
+            .build();
+        prop_assert!(video.validate().is_ok());
+        // CBR scaling: actual bitrate within 2% of the target.
+        let err = (video.bitrate_bps() - bitrate as f64).abs() / bitrate as f64;
+        prop_assert!(err < 0.02, "bitrate off by {err}");
+        // Duration matches the request to within one frame per GOP.
+        prop_assert!((video.duration().as_secs_f64() - secs).abs() < 0.5 + video.gop_count() as f64 / 30.0);
+        // GOP index invariants.
+        let frames: usize = video.gops().map(|g| g.frame_count()).sum();
+        prop_assert_eq!(frames, video.frames().len());
+    }
+
+    #[test]
+    fn duration_splicer_segments_never_exceed_target_by_more_than_a_frame(
+        secs in 5.0f64..60.0,
+        target in 0.5f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let video = Video::builder().duration_secs(secs).seed(seed).build();
+        let list = DurationSplicer::new(target).splice(&video);
+        list.validate(&video).unwrap();
+        let frame = 1.0 / f64::from(video.fps());
+        for seg in list.segments() {
+            prop_assert!(
+                seg.duration.as_secs_f64() <= target + frame + 1e-9,
+                "segment {} lasts {}",
+                seg.index,
+                seg.duration
+            );
+        }
+    }
+
+    #[test]
+    fn segment_at_agrees_with_linear_scan(
+        secs in 5.0f64..40.0,
+        target in 0.5f64..10.0,
+        seed in any::<u64>(),
+        probe in 0.0f64..1.0,
+    ) {
+        let video = Video::builder().duration_secs(secs).seed(seed).build();
+        let list = DurationSplicer::new(target).splice(&video);
+        let pts = MediaTicks::from_ticks(
+            (probe * video.duration().ticks() as f64) as u64,
+        );
+        let fast = list.segment_at(pts).map(|s| s.index);
+        let slow = list
+            .iter()
+            .find(|s| s.start_pts <= pts && pts < s.end_pts())
+            .map(|s| s.index);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn byte_splicer_respects_its_floor(
+        secs in 5.0f64..40.0,
+        target in 20_000u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let video = Video::builder().duration_secs(secs).seed(seed).build();
+        let list = ByteSplicer::new(target).splice(&video);
+        list.validate(&video).unwrap();
+        // Every segment except the last reaches the target.
+        for seg in &list.segments()[..list.len() - 1] {
+            prop_assert!(seg.media_bytes() >= target.min(video.total_bytes()));
+        }
+    }
+
+    #[test]
+    fn manifests_round_trip(secs in 2.0f64..30.0, seed in any::<u64>(), d in 0.5f64..8.0) {
+        let video = Video::builder().duration_secs(secs).seed(seed).build();
+        for list in [GopSplicer.splice(&video), DurationSplicer::new(d).splice(&video)] {
+            let manifest = Manifest::from_segments("v", &list);
+            let parsed = Manifest::parse_m3u8(&manifest.to_m3u8()).unwrap();
+            prop_assert_eq!(parsed.version, manifest.version);
+            prop_assert_eq!(parsed.target_duration_secs, manifest.target_duration_secs);
+            prop_assert_eq!(parsed.len(), manifest.len());
+            for (a, b) in parsed.entries.iter().zip(&manifest.entries) {
+                prop_assert_eq!(&a.uri, &b.uri);
+                prop_assert_eq!(a.bytes, b.bytes);
+                // EXTINF carries 6 decimals, so durations round-trip to µs.
+                prop_assert!((a.duration_secs - b.duration_secs).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::id::{DirLinkId, NodeId};
+use crate::node::NodeEvent;
+use crate::time::SimTime;
+
+/// Everything that can be scheduled on the simulator clock.
+#[derive(Debug)]
+pub(crate) enum Scheduled {
+    /// Deliver an application-visible event to a node.
+    Node { target: NodeId, event: NodeEvent },
+    /// Advance one RTT round of a TCP flow.
+    FlowRound { flow: u64 },
+    /// Apply a scheduled link-capacity change (bandwidth modulation).
+    Capacity { dir: DirLinkId, capacity_bps: f64 },
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    what: Scheduled,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties in time break by insertion order, making runs deterministic.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, what: Scheduled) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, what }));
+    }
+
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    pub fn pop(&mut self) -> Option<(SimTime, Scheduled)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.what))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(token: u64) -> Scheduled {
+        Scheduled::Node { target: NodeId::from_index(0), event: NodeEvent::Timer { token } }
+    }
+
+    fn token_of(s: Scheduled) -> u64 {
+        match s {
+            Scheduled::Node { event: NodeEvent::Timer { token }, .. } => token,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), timer(3));
+        q.push(SimTime::from_micros(10), timer(1));
+        q.push(SimTime::from_micros(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, s)| token_of(s)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for token in 0..100 {
+            q.push(SimTime::from_micros(5), timer(token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, s)| token_of(s)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::from_micros(42), timer(0));
+        assert_eq!(q.next_time(), Some(SimTime::from_micros(42)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Links: the capacity, latency, and loss model of the simulated network.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{DirLinkId, LinkId, NodeId};
+use crate::time::SimDuration;
+
+/// Static properties of one direction of a link.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_netsim::{LinkSpec, SimDuration};
+///
+/// // A 128 kB/s access link with 25 ms one-way latency and ~2.5% loss.
+/// let spec = LinkSpec::new(128_000.0 * 8.0, SimDuration::from_millis(25), 0.025);
+/// assert_eq!(spec.capacity_bytes_per_sec(), 128_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Capacity in bits per second.
+    pub capacity_bps: f64,
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Probability that any given packet crossing the link is lost.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// Creates a link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bps` is not positive/finite or `loss` is outside
+    /// `[0, 1)`.
+    pub fn new(capacity_bps: f64, latency: SimDuration, loss: f64) -> Self {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be positive, got {capacity_bps}"
+        );
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1), got {loss}");
+        LinkSpec { capacity_bps, latency, loss }
+    }
+
+    /// Convenience constructor taking capacity in bytes per second.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64, latency: SimDuration, loss: f64) -> Self {
+        Self::new(bytes_per_sec * 8.0, latency, loss)
+    }
+
+    /// Capacity expressed in bytes per second.
+    pub fn capacity_bytes_per_sec(&self) -> f64 {
+        self.capacity_bps / 8.0
+    }
+
+    /// Time for `bytes` to be serialised onto the link at full capacity.
+    pub fn transmission_delay(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.capacity_bps)
+    }
+}
+
+/// A bidirectional link between two nodes, with independent per-direction
+/// specs (capacity is *not* shared between directions, as on full-duplex
+/// Ethernet).
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    /// Spec of the `a -> b` direction.
+    pub(crate) forward: LinkSpec,
+    /// Spec of the `b -> a` direction.
+    pub(crate) backward: LinkSpec,
+}
+
+impl Link {
+    /// The two endpoints, in `(a, b)` order.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// Spec for the given direction.
+    pub fn spec(&self, forward: bool) -> &LinkSpec {
+        if forward {
+            &self.forward
+        } else {
+            &self.backward
+        }
+    }
+
+    pub(crate) fn spec_mut(&mut self, forward: bool) -> &mut LinkSpec {
+        if forward {
+            &mut self.forward
+        } else {
+            &mut self.backward
+        }
+    }
+
+    /// The directed-link id for traffic leaving `from` over this link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of the link.
+    pub fn direction_from(&self, id: LinkId, from: NodeId) -> DirLinkId {
+        if from == self.a {
+            DirLinkId::new(id, true)
+        } else if from == self.b {
+            DirLinkId::new(id, false)
+        } else {
+            panic!("{from} is not an endpoint of {id}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_conversions() {
+        let s = LinkSpec::from_bytes_per_sec(1_000.0, SimDuration::from_millis(10), 0.0);
+        assert_eq!(s.capacity_bps, 8_000.0);
+        assert_eq!(s.capacity_bytes_per_sec(), 1_000.0);
+        assert_eq!(s.transmission_delay(500), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LinkSpec::new(0.0, SimDuration::ZERO, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in")]
+    fn full_loss_panics() {
+        let _ = LinkSpec::new(1.0, SimDuration::ZERO, 1.0);
+    }
+
+    #[test]
+    fn directions() {
+        let link = Link {
+            a: NodeId(0),
+            b: NodeId(1),
+            forward: LinkSpec::new(8.0, SimDuration::ZERO, 0.0),
+            backward: LinkSpec::new(16.0, SimDuration::ZERO, 0.0),
+        };
+        let id = LinkId(0);
+        assert!(link.direction_from(id, NodeId(0)).is_forward());
+        assert!(!link.direction_from(id, NodeId(1)).is_forward());
+        assert_eq!(link.spec(true).capacity_bps, 8.0);
+        assert_eq!(link.spec(false).capacity_bps, 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn direction_from_stranger_panics() {
+        let link = Link {
+            a: NodeId(0),
+            b: NodeId(1),
+            forward: LinkSpec::new(8.0, SimDuration::ZERO, 0.0),
+            backward: LinkSpec::new(8.0, SimDuration::ZERO, 0.0),
+        };
+        let _ = link.direction_from(LinkId(0), NodeId(5));
+    }
+}

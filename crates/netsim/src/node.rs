@@ -1,0 +1,107 @@
+//! Application nodes: the behaviour trait and the events delivered to it.
+
+use bytes::Bytes;
+
+use crate::id::{FlowId, NodeId};
+use crate::sim::Ctx;
+use crate::time::SimTime;
+
+/// Events delivered to a [`NodeBehavior`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum NodeEvent {
+    /// A control-plane message arrived.
+    Message {
+        /// Sender of the message.
+        from: NodeId,
+        /// Opaque payload (the application defines the encoding).
+        payload: Bytes,
+    },
+    /// A bulk transfer *to this node* finished; all bytes arrived.
+    TransferComplete {
+        /// The finished flow.
+        flow: FlowId,
+        /// The node that was sending.
+        from: NodeId,
+        /// Application tag supplied when the transfer was started.
+        tag: u64,
+        /// Total bytes delivered.
+        bytes: u64,
+        /// When the transfer was started (useful for goodput estimation).
+        started: SimTime,
+    },
+    /// A bulk transfer *from this node* finished sending.
+    UploadComplete {
+        /// The finished flow.
+        flow: FlowId,
+        /// The node that was receiving.
+        to: NodeId,
+        /// Application tag supplied when the transfer was started.
+        tag: u64,
+    },
+    /// A bulk transfer involving this node failed (peer went offline or the
+    /// transfer was cancelled).
+    TransferFailed {
+        /// The failed flow.
+        flow: FlowId,
+        /// The other endpoint.
+        peer: NodeId,
+        /// Application tag supplied when the transfer was started.
+        tag: u64,
+        /// Bytes that had been delivered before the failure.
+        delivered: u64,
+    },
+    /// A timer set via [`Ctx::set_timer`] fired.
+    Timer {
+        /// The token passed when the timer was set.
+        token: u64,
+    },
+}
+
+/// The behaviour of one simulated host.
+///
+/// Implementations are single-threaded state machines: the simulator calls
+/// [`NodeBehavior::on_event`] with each event in simulated-time order, and
+/// the behaviour reacts through the [`Ctx`] handle (sending messages,
+/// starting transfers, setting timers).
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_netsim::{Ctx, NodeBehavior, NodeEvent};
+///
+/// /// Counts how many messages it receives.
+/// struct Counter(u64);
+///
+/// impl NodeBehavior for Counter {
+///     fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: NodeEvent) {
+///         if let NodeEvent::Message { .. } = event {
+///             self.0 += 1;
+///         }
+///     }
+/// }
+/// ```
+pub trait NodeBehavior {
+    /// Called once, before any event, when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for every event addressed to this node while it is online.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent);
+
+    /// Called once when the simulation run ends (deadline reached or queue
+    /// drained), for final accounting.
+    fn on_sim_end(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// A node that ignores every event. Useful for switch/hub nodes that only
+/// exist to join links.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullBehavior;
+
+impl NodeBehavior for NullBehavior {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+}

@@ -1,0 +1,202 @@
+//! Deterministic random sampling helpers.
+//!
+//! The simulator owns a single seeded [`rand::rngs::StdRng`]; everything
+//! random in a run is derived from it, which is what makes runs
+//! reproducible. The helpers here implement the distributions the simulator
+//! needs without pulling in extra dependencies.
+
+use rand::Rng;
+
+/// Draws from a binomial distribution `Bin(n, p)`.
+///
+/// For small `n` the trials are sampled directly; for large `n` a normal
+/// approximation is used (with clamping to `[0, n]`), which is accurate to
+/// well under a packet for the window sizes the TCP model produces.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let k = splicecast_netsim::rng::binomial(&mut rng, 100, 0.05);
+/// assert!(k <= 100);
+/// ```
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 128 {
+        let mut hits = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                hits += 1;
+            }
+        }
+        hits
+    } else {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = standard_normal(rng);
+        let draw = (mean + sd * z).round();
+        draw.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Draws from an exponential distribution with the given rate (events per
+/// unit). Returns `f64::INFINITY` when `rate <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let dt = splicecast_netsim::rng::exponential(&mut rng, 2.0);
+/// assert!(dt >= 0.0);
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a log-normal variate with the given parameters of the underlying
+/// normal distribution.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = splicecast_netsim::rng::log_normal(&mut rng, 0.0, 0.25);
+/// assert!(x > 0.0);
+/// ```
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Draws from a geometric distribution: the number of failures before the
+/// first success when each trial succeeds with probability `1 - p`.
+///
+/// Used to model how many times a reliable control message must be
+/// retransmitted when the path loses packets with probability `p`.
+pub fn geometric_failures<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    let p = p.min(0.999_999);
+    let mut failures = 0;
+    while rng.gen::<f64>() < p {
+        failures += 1;
+        if failures >= 64 {
+            break; // pathological loss rates: cap so the sim always advances
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+        assert_eq!(binomial(&mut r, 10, -1.0), 0);
+        assert_eq!(binomial(&mut r, 10, 2.0), 10);
+    }
+
+    #[test]
+    fn binomial_small_n_mean_is_close() {
+        let mut r = rng();
+        let trials = 4_000;
+        let total: u64 = (0..trials).map(|_| binomial(&mut r, 20, 0.25)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_large_n_mean_is_close() {
+        let mut r = rng();
+        let trials = 4_000;
+        let total: u64 = (0..trials).map(|_| binomial(&mut r, 10_000, 0.05)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_large_n_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let k = binomial(&mut r, 1_000, 0.999);
+            assert!(k <= 1_000);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let trials = 20_000;
+        let total: f64 = (0..trials).map(|_| exponential(&mut r, 4.0)).sum();
+        let mean = total / trials as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_rate_is_infinite() {
+        let mut r = rng();
+        assert!(exponential(&mut r, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert!(log_normal(&mut r, 0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_zero_loss_never_retransmits() {
+        let mut r = rng();
+        assert_eq!(geometric_failures(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut r = rng();
+        let trials = 20_000;
+        let total: u64 = (0..trials).map(|_| geometric_failures(&mut r, 0.2)).sum();
+        let mean = total as f64 / trials as f64;
+        // E[failures] = p / (1 - p) = 0.25
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_caps_at_64() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(geometric_failures(&mut r, 1.0) <= 64);
+        }
+    }
+}

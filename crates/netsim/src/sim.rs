@@ -1,0 +1,1018 @@
+//! The simulator: event loop, node contexts, and the world state.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::NetError;
+use crate::event::{EventQueue, Scheduled};
+use crate::id::{DirLinkId, FlowId, NodeId};
+use crate::node::{NodeBehavior, NodeEvent};
+use crate::rng::geometric_failures;
+use crate::tcp::{Flow, FlowTable, LinkUsage, RoundOutcome, TcpConfig};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Network;
+use crate::trace::{Trace, TraceRecord};
+
+/// Per-message framing overhead added to control messages (Ethernet + IP +
+/// TCP headers).
+const MESSAGE_OVERHEAD_BYTES: u64 = 66;
+
+/// Loopback delay for a node messaging itself.
+const LOOPBACK_DELAY: SimDuration = SimDuration::from_micros(1);
+
+/// Aggregate counters of everything the simulator moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    /// Control-plane messages sent.
+    pub messages_sent: u64,
+    /// Bulk transfers started.
+    pub flows_started: u64,
+    /// Bulk transfers that delivered all bytes.
+    pub flows_completed: u64,
+    /// Bulk transfers that failed or were cancelled.
+    pub flows_failed: u64,
+    /// Payload bytes delivered to receivers (completed flows only).
+    pub payload_bytes_delivered: u64,
+    /// Wire bytes put on links by the TCP model (including loss and
+    /// retransmission waste), summed over flows, not hops.
+    pub wire_bytes_sent: u64,
+}
+
+pub(crate) struct World {
+    now: SimTime,
+    queue: EventQueue,
+    net: Network,
+    flows: FlowTable,
+    usage: Vec<LinkUsage>,
+    rng: StdRng,
+    online: Vec<bool>,
+    tcp: TcpConfig,
+    trace: Option<Trace>,
+    stats: SimStats,
+    /// Wire bytes sent over each directed link.
+    link_bytes: Vec<u64>,
+    /// Last scheduled delivery per (src, dst), to keep the control channel
+    /// in order like a TCP connection would.
+    msg_order: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl World {
+    fn fail_flow(&mut self, id: FlowId, notify: &[NodeId]) {
+        let Some(flow) = self.flows.remove(id) else { return };
+        self.stats.flows_failed += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceRecord::FlowFailed { at: self.now, flow: id, delivered: flow.delivered });
+        }
+        let notice_at = self.now + flow.rtt;
+        for &node in notify {
+            if self.online[node.index()] {
+                let peer = if node == flow.src { flow.dst } else { flow.src };
+                self.queue.push(
+                    notice_at,
+                    Scheduled::Node {
+                        target: node,
+                        event: NodeEvent::TransferFailed {
+                            flow: id,
+                            peer,
+                            tag: flow.tag,
+                            delivered: flow.delivered,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    /// The highest recent utilization (estimated send rate over capacity)
+    /// along a path.
+    fn path_utilization(&self, path: &[crate::id::DirLinkId]) -> f64 {
+        let now = self.now;
+        let tau = self.tcp.utilization_tau_secs;
+        let mut util: f64 = 0.0;
+        for dir in path {
+            let cap = self.net.dir_spec(*dir).capacity_bps;
+            let rate = self.usage[dir.index()].rate_bps_at(now, tau);
+            util = util.max(rate / cap);
+        }
+        util
+    }
+
+    fn step_flow(&mut self, raw: u64) {
+        let id = FlowId(raw);
+        // A stale round event for a flow that was cancelled or failed.
+        let Some(flow) = self.flows.get(id) else { return };
+
+        // Max–min fair share: the narrowest per-flow slice along the path.
+        let mut share_bps = f64::INFINITY;
+        for dir in &flow.path {
+            let cap = self.net.dir_spec(*dir).capacity_bps;
+            let load = self.flows.load(*dir).max(1);
+            share_bps = share_bps.min(cap / load as f64);
+        }
+
+        // Shaped-queue loss model: the configured loss applies in full only
+        // when the path is busy (see [`TcpConfig::loss_utilization_floor`]).
+        let utilization = self.path_utilization(&flow.path).min(1.0);
+        let floor = self.tcp.loss_utilization_floor;
+        let shaped_loss = flow.loss * (floor + (1.0 - floor) * utilization);
+
+        // Overload collapse: when the *competing* flows on a link cannot
+        // shrink their windows below `min_cwnd` without exceeding its BDP,
+        // the excess turns into timeouts, modelled as extra loss. A lone
+        // flow never overloads itself (its send budget already paces it),
+        // hence `load - 1`.
+        let rtt_secs = flow.rtt.as_secs_f64();
+        let mut pressure: f64 = 0.0;
+        for dir in &flow.path {
+            let cap = self.net.dir_spec(*dir).capacity_bps;
+            let competing = self.flows.load(*dir).saturating_sub(1) as f64;
+            let bdp_bytes = cap / 8.0 * rtt_secs;
+            pressure =
+                pressure.max(competing * self.tcp.min_cwnd * self.tcp.mss as f64 / bdp_bytes);
+        }
+        let overload_loss = (self.tcp.overload_loss_coeff
+            * (pressure - self.tcp.overload_pressure_threshold).max(0.0))
+        .min(self.tcp.overload_loss_max);
+        let effective_loss = 1.0 - (1.0 - shaped_loss) * (1.0 - overload_loss);
+
+        let tcp = self.tcp;
+        let flow = self.flows.get_mut(id).expect("flow vanished");
+        let rtt = flow.rtt;
+        let (outcome, sent_bytes) = flow.advance_round(&tcp, share_bps, effective_loss, &mut self.rng);
+        let path = flow.path.clone();
+        let now = self.now;
+        self.stats.wire_bytes_sent += sent_bytes;
+        for dir in &path {
+            self.usage[dir.index()].note(now, sent_bytes, tcp.utilization_tau_secs);
+            self.link_bytes[dir.index()] += sent_bytes;
+        }
+        let flow = self.flows.get_mut(id).expect("flow vanished");
+        match outcome {
+            RoundOutcome::InProgress => {
+                self.queue.push(self.now + rtt, Scheduled::FlowRound { flow: raw });
+            }
+            RoundOutcome::Completed => {
+                let (src, dst, tag, total, started) =
+                    (flow.src, flow.dst, flow.tag, flow.total, flow.started);
+                self.flows.remove(id);
+                self.stats.flows_completed += 1;
+                self.stats.payload_bytes_delivered += total;
+                // Last data packets reach the receiver half an RTT after the
+                // round starts; the sender sees the final ack a full RTT in.
+                let recv_at = self.now + rtt / 2;
+                let ack_at = self.now + rtt;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceRecord::FlowCompleted { at: recv_at, flow: id });
+                }
+                self.queue.push(
+                    recv_at,
+                    Scheduled::Node {
+                        target: dst,
+                        event: NodeEvent::TransferComplete { flow: id, from: src, tag, bytes: total, started },
+                    },
+                );
+                self.queue.push(
+                    ack_at,
+                    Scheduled::Node {
+                        target: src,
+                        event: NodeEvent::UploadComplete { flow: id, to: dst, tag },
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The handle through which a [`NodeBehavior`] acts on the world.
+///
+/// A context is only valid for the duration of one callback.
+pub struct Ctx<'a> {
+    pub(crate) world: &'a mut World,
+    pub(crate) me: NodeId,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("me", &self.me).field("now", &self.world.now).finish()
+    }
+}
+
+impl Ctx<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The node this context belongs to.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Total number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.world.online.len()
+    }
+
+    /// Whether a node is currently online.
+    pub fn is_online(&self, node: NodeId) -> bool {
+        node.index() < self.world.online.len() && self.world.online[node.index()]
+    }
+
+    /// The simulator's seeded random source. All randomness in a behaviour
+    /// should come from here to keep runs reproducible.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.rng
+    }
+
+    /// Sends a small control-plane message to `to`.
+    ///
+    /// Delivery is reliable (loss is modelled as retransmission delay) and
+    /// per-destination FIFO, like messages on a persistent TCP connection.
+    /// The delay is path latency plus serialisation plus a geometric
+    /// retransmission penalty drawn from the path loss rate.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NodeOffline`] when the destination has gone offline
+    /// (models a connection reset) and [`NetError::NoRoute`] /
+    /// [`NetError::UnknownNode`] for unroutable destinations.
+    pub fn send(&mut self, to: NodeId, payload: Bytes) -> Result<(), NetError> {
+        let w = &mut *self.world;
+        if to.index() >= w.online.len() {
+            return Err(NetError::UnknownNode);
+        }
+        if !w.online[to.index()] {
+            return Err(NetError::NodeOffline(to));
+        }
+        let delay = if to == self.me {
+            LOOPBACK_DELAY
+        } else {
+            let path = w.net.path(self.me, to)?;
+            let props = w.net.path_properties(&path);
+            let wire_bytes = payload.len() as u64 + MESSAGE_OVERHEAD_BYTES;
+            let tx = SimDuration::from_secs_f64(wire_bytes as f64 * 8.0 / props.min_capacity_bps);
+            // Each retransmission costs a full round trip (timeout + resend).
+            let retx = geometric_failures(&mut w.rng, props.loss);
+            props.latency + tx + (props.latency * 2) * retx
+        };
+        let mut deliver_at = w.now + delay;
+        // FIFO per (src, dst) pair, like an ordered byte stream.
+        let slot = w.msg_order.entry((self.me, to)).or_insert(SimTime::ZERO);
+        if deliver_at <= *slot {
+            deliver_at = *slot + SimDuration::from_micros(1);
+        }
+        *slot = deliver_at;
+        w.stats.messages_sent += 1;
+        if let Some(trace) = &mut w.trace {
+            trace.push(TraceRecord::MessageSent {
+                at: w.now,
+                from: self.me,
+                to,
+                len: payload.len(),
+                deliver_at,
+            });
+        }
+        w.queue.push(
+            deliver_at,
+            Scheduled::Node { target: to, event: NodeEvent::Message { from: self.me, payload } },
+        );
+        Ok(())
+    }
+
+    /// Starts a bulk TCP transfer of `bytes` payload bytes from this node to
+    /// `to`. The receiver gets [`NodeEvent::TransferComplete`] when all bytes
+    /// have arrived; this node gets [`NodeEvent::UploadComplete`].
+    ///
+    /// `tag` is an opaque application value echoed in the completion events
+    /// (the swarm uses it for segment indices).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::EmptyTransfer`] for zero-byte transfers,
+    /// [`NetError::NodeOffline`] when the destination is offline, and
+    /// routing errors for unreachable destinations.
+    pub fn start_transfer(&mut self, to: NodeId, bytes: u64, tag: u64) -> Result<FlowId, NetError> {
+        self.transfer_inner(to, bytes, tag, false)
+    }
+
+    /// Like [`Ctx::start_transfer`], but over an already-established
+    /// (kept-alive) connection: the three-way handshake is skipped and data
+    /// starts flowing after half an RTT. The congestion window still starts
+    /// fresh (slow-start restart after idle).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::start_transfer`].
+    pub fn start_transfer_warm(&mut self, to: NodeId, bytes: u64, tag: u64) -> Result<FlowId, NetError> {
+        self.transfer_inner(to, bytes, tag, true)
+    }
+
+    fn transfer_inner(
+        &mut self,
+        to: NodeId,
+        bytes: u64,
+        tag: u64,
+        warm: bool,
+    ) -> Result<FlowId, NetError> {
+        let w = &mut *self.world;
+        if bytes == 0 {
+            return Err(NetError::EmptyTransfer);
+        }
+        if to.index() >= w.online.len() {
+            return Err(NetError::UnknownNode);
+        }
+        if !w.online[to.index()] {
+            return Err(NetError::NodeOffline(to));
+        }
+        if to == self.me {
+            return Err(NetError::NoRoute { src: self.me, dst: to });
+        }
+        let path = w.net.path(self.me, to)?;
+        let props = w.net.path_properties(&path);
+        let rtt = props.latency * 2;
+        let flow = Flow {
+            id: FlowId(0), // assigned by the table
+            src: self.me,
+            dst: to,
+            path,
+            rtt,
+            loss: props.loss,
+            total: bytes,
+            delivered: 0,
+            cwnd: w.tcp.initial_cwnd,
+            ssthresh: w.tcp.initial_ssthresh,
+            tag,
+            started: w.now,
+        };
+        let id = w.flows.insert(flow);
+        w.stats.flows_started += 1;
+        if let Some(trace) = &mut w.trace {
+            trace.push(TraceRecord::FlowStarted { at: w.now, flow: id, src: self.me, dst: to, bytes });
+        }
+        // First data round: after the three-way handshake for a fresh
+        // connection, after half an RTT (send → first data back) when the
+        // connection is kept alive.
+        let setup = if warm { 0.5 } else { w.tcp.handshake_rtts };
+        let first_round = w.now + rtt.mul_f64(setup);
+        w.queue.push(first_round, Scheduled::FlowRound { flow: id.raw() });
+        Ok(id)
+    }
+
+    /// Cancels an in-flight transfer. The *other* endpoint is notified with
+    /// [`NodeEvent::TransferFailed`]; the caller is not. Cancelling an
+    /// already-finished flow is a no-op.
+    pub fn cancel_transfer(&mut self, flow: FlowId) {
+        let Some(f) = self.world.flows.get(flow) else { return };
+        let counterpart = if f.src == self.me { f.dst } else { f.src };
+        self.world.fail_flow(flow, &[counterpart]);
+    }
+
+    /// Arranges for [`NodeEvent::Timer`] with `token` to be delivered to this
+    /// node after `after`.
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) {
+        let at = self.world.now + after;
+        self.world
+            .queue
+            .push(at, Scheduled::Node { target: self.me, event: NodeEvent::Timer { token } });
+    }
+
+    /// Takes this node offline: all its flows fail (counterparts are
+    /// notified), and no further events are delivered to it. Models a peer
+    /// leaving the swarm.
+    pub fn go_offline(&mut self) {
+        let me = self.me;
+        let w = &mut *self.world;
+        if !w.online[me.index()] {
+            return;
+        }
+        w.online[me.index()] = false;
+        if let Some(trace) = &mut w.trace {
+            trace.push(TraceRecord::NodeOffline { at: w.now, node: me });
+        }
+        for id in w.flows.flows_touching(me) {
+            let Some(f) = w.flows.get(id) else { continue };
+            let counterpart = if f.src == me { f.dst } else { f.src };
+            w.fail_flow(id, &[counterpart]);
+        }
+    }
+
+    /// Recent utilization of the path from this node to `to`: the busiest
+    /// link's estimated send rate over its capacity, in `[0, ~1]`. Returns
+    /// 0 when no route exists. Lets applications make load-aware choices
+    /// (e.g. only push a duplicate upload when the uplink has spare
+    /// capacity).
+    pub fn path_utilization(&mut self, to: NodeId) -> f64 {
+        if to == self.me || to.index() >= self.world.online.len() {
+            return 0.0;
+        }
+        match self.world.net.path(self.me, to) {
+            Ok(path) => self.world.path_utilization(&path),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Bytes already delivered for an in-flight transfer, if it is still
+    /// active. Useful for progress-aware policies.
+    pub fn transfer_progress(&self, flow: FlowId) -> Option<(u64, u64)> {
+        self.world.flows.get(flow).map(|f| (f.delivered, f.total))
+    }
+
+    /// Number of transfers this node is currently sending or receiving.
+    pub fn active_transfer_count(&self) -> usize {
+        self.world.flows.flows_touching(self.me).len()
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use splicecast_netsim::{
+///     star, Ctx, LinkSpec, NodeBehavior, NodeEvent, NullBehavior, SimDuration, SimTime, Simulator,
+/// };
+///
+/// struct Pinger { to: splicecast_netsim::NodeId }
+/// struct Ponger { got: u32 }
+///
+/// impl NodeBehavior for Pinger {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+///         ctx.send(self.to, Bytes::from_static(b"ping")).unwrap();
+///     }
+///     fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+/// }
+/// impl NodeBehavior for Ponger {
+///     fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: NodeEvent) {
+///         if let NodeEvent::Message { .. } = event {
+///             self.got += 1;
+///         }
+///     }
+/// }
+///
+/// let star = star(&[LinkSpec::from_bytes_per_sec(125_000.0, SimDuration::from_millis(25), 0.0); 2]);
+/// let mut sim = Simulator::new(star.network, 42);
+/// sim.add_node(Box::new(NullBehavior)); // the hub
+/// sim.add_node(Box::new(Pinger { to: star.leaves[1] }));
+/// sim.add_node(Box::new(Ponger { got: 0 }));
+/// sim.run_until_idle(SimTime::from_secs_f64(10.0));
+/// ```
+pub struct Simulator {
+    world: World,
+    nodes: Vec<Option<Box<dyn NodeBehavior>>>,
+    started: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator over `network`, with all randomness derived from
+    /// `seed`.
+    pub fn new(network: Network, seed: u64) -> Self {
+        let node_count = network.node_count();
+        let dir_links = network.link_count() * 2;
+        Simulator {
+            world: World {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                net: network,
+                flows: FlowTable::new(dir_links),
+                usage: vec![LinkUsage::default(); dir_links],
+                rng: StdRng::seed_from_u64(seed),
+                online: vec![true; node_count],
+                tcp: TcpConfig::default(),
+                trace: None,
+                stats: SimStats::default(),
+                link_bytes: vec![0; dir_links],
+                msg_order: HashMap::new(),
+            },
+            nodes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Overrides the TCP model parameters. Must be called before `run`.
+    pub fn set_tcp_config(&mut self, cfg: TcpConfig) {
+        self.world.tcp = cfg;
+    }
+
+    /// Starts recording a [`Trace`] of notable events.
+    pub fn enable_trace(&mut self) {
+        self.world.trace = Some(Trace::new());
+    }
+
+    /// Takes the recorded trace, leaving tracing enabled with a fresh log.
+    pub fn take_trace(&mut self) -> Trace {
+        match &mut self.world.trace {
+            Some(t) => std::mem::take(t),
+            None => Trace::new(),
+        }
+    }
+
+    /// Registers the behaviour for the next node id, in network creation
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more behaviours are added than the network has nodes.
+    pub fn add_node(&mut self, behavior: Box<dyn NodeBehavior>) -> NodeId {
+        assert!(
+            self.nodes.len() < self.world.net.node_count(),
+            "more behaviors than network nodes"
+        );
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Some(behavior));
+        id
+    }
+
+    /// Schedules a capacity change of one link direction at an absolute time
+    /// (bandwidth modulation, for variable-bandwidth experiments).
+    pub fn schedule_capacity(&mut self, at: SimTime, dir: DirLinkId, capacity_bps: f64) {
+        self.world.queue.push(at, Scheduled::Capacity { dir, capacity_bps });
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.world.flows.active_count()
+    }
+
+    /// Aggregate traffic counters for the whole run so far.
+    pub fn stats(&self) -> SimStats {
+        self.world.stats
+    }
+
+    /// Wire bytes sent over one direction of a link so far.
+    pub fn link_bytes_sent(&self, dir: DirLinkId) -> u64 {
+        self.world.link_bytes.get(dir.index()).copied().unwrap_or(0)
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        assert_eq!(
+            self.nodes.len(),
+            self.world.net.node_count(),
+            "every network node needs a behavior before running"
+        );
+        self.started = true;
+        for index in 0..self.nodes.len() {
+            let target = NodeId::from_index(index);
+            let mut node = self.nodes[index].take().expect("node missing");
+            node.on_start(&mut Ctx { world: &mut self.world, me: target });
+            self.nodes[index] = Some(node);
+        }
+    }
+
+    fn dispatch(&mut self, target: NodeId, event: NodeEvent) {
+        if !self.world.online[target.index()] {
+            return;
+        }
+        let mut node = self.nodes[target.index()].take().expect("node missing");
+        node.on_event(&mut Ctx { world: &mut self.world, me: target }, event);
+        self.nodes[target.index()] = Some(node);
+    }
+
+    /// Runs the simulation until the event queue drains or the next event
+    /// lies beyond `deadline`, then performs end-of-run accounting
+    /// ([`NodeBehavior::on_sim_end`]). Returns the final simulated time.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> SimTime {
+        self.ensure_started();
+        while let Some(next) = self.world.queue.next_time() {
+            if next > deadline {
+                self.world.now = deadline;
+                break;
+            }
+            let (time, what) = self.world.queue.pop().expect("queue peeked non-empty");
+            debug_assert!(time >= self.world.now, "time ran backwards");
+            self.world.now = time;
+            match what {
+                Scheduled::Node { target, event } => self.dispatch(target, event),
+                Scheduled::FlowRound { flow } => self.world.step_flow(flow),
+                Scheduled::Capacity { dir, capacity_bps } => {
+                    self.world.net.set_capacity(dir, capacity_bps);
+                }
+            }
+        }
+        if self.world.queue.is_empty() && self.world.now < deadline {
+            // Queue drained early: the run ends at the last processed event.
+        }
+        self.finish();
+        self.world.now
+    }
+
+    fn finish(&mut self) {
+        for index in 0..self.nodes.len() {
+            let target = NodeId::from_index(index);
+            if !self.world.online[index] {
+                continue;
+            }
+            let mut node = self.nodes[index].take().expect("node missing");
+            node.on_sim_end(&mut Ctx { world: &mut self.world, me: target });
+            self.nodes[index] = Some(node);
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.world.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.world.queue.len())
+            .field("active_flows", &self.world.flows.active_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::topology::star;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared log the test behaviours write into.
+    type Log = Rc<RefCell<Vec<String>>>;
+
+    struct Echo {
+        log: Log,
+    }
+    impl NodeBehavior for Echo {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            if let NodeEvent::Message { from, payload } = event {
+                self.log.borrow_mut().push(format!(
+                    "{} echo {} bytes at {}",
+                    ctx.me(),
+                    payload.len(),
+                    ctx.now()
+                ));
+                let _ = ctx.send(from, payload);
+            }
+        }
+    }
+
+    struct Client {
+        log: Log,
+        peer: NodeId,
+    }
+    impl NodeBehavior for Client {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.peer, Bytes::from_static(b"hello")).unwrap();
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            if let NodeEvent::Message { .. } = event {
+                self.log.borrow_mut().push(format!("reply at {}", ctx.now()));
+            }
+        }
+    }
+
+    fn two_leaf_star(loss: f64) -> crate::topology::Star {
+        star(&[LinkSpec::from_bytes_per_sec(125_000.0, SimDuration::from_millis(25), loss); 2])
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let log: Log = Rc::default();
+        let s = two_leaf_star(0.0);
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Client { log: log.clone(), peer: s.leaves[1] }));
+        sim.add_node(Box::new(Echo { log: log.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(5.0));
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 2, "{entries:?}");
+        assert!(entries[0].contains("echo 5 bytes"));
+        // One-way latency 50ms + small serialisation; reply doubles it.
+        assert!(entries[1].starts_with("reply at 0.10"), "{}", entries[1]);
+    }
+
+    struct Sender {
+        to: NodeId,
+        bytes: u64,
+    }
+    impl NodeBehavior for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.start_transfer(self.to, self.bytes, 7).unwrap();
+        }
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+    }
+
+    #[derive(Default)]
+    struct Receiver {
+        done: Rc<RefCell<Option<(u64, f64)>>>,
+    }
+    impl NodeBehavior for Receiver {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            if let NodeEvent::TransferComplete { bytes, tag, .. } = event {
+                assert_eq!(tag, 7);
+                *self.done.borrow_mut() = Some((bytes, ctx.now().as_secs_f64()));
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_transfer_delivers_all_bytes() {
+        let s = two_leaf_star(0.0);
+        let done = Rc::new(RefCell::new(None));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 500_000 }));
+        sim.add_node(Box::new(Receiver { done: done.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        let (bytes, at) = done.borrow().expect("transfer should complete");
+        assert_eq!(bytes, 500_000);
+        // 500 kB at a 125 kB/s bottleneck is at least 4 seconds.
+        assert!(at >= 4.0, "completed suspiciously fast at {at}");
+        assert!(at < 20.0, "completed suspiciously slow at {at}");
+        assert_eq!(sim.active_flow_count(), 0);
+    }
+
+    #[test]
+    fn transfer_to_offline_node_errors() {
+        struct Quitter;
+        impl NodeBehavior for Quitter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.go_offline();
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+        }
+        struct LateSender {
+            to: NodeId,
+            saw_err: Rc<RefCell<bool>>,
+        }
+        impl NodeBehavior for LateSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Timer { .. } = event {
+                    let err = ctx.start_transfer(self.to, 100, 0).unwrap_err();
+                    assert!(matches!(err, NetError::NodeOffline(_)));
+                    *self.saw_err.borrow_mut() = true;
+                }
+            }
+        }
+        let s = two_leaf_star(0.0);
+        let saw = Rc::new(RefCell::new(false));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(LateSender { to: s.leaves[1], saw_err: saw.clone() }));
+        sim.add_node(Box::new(Quitter));
+        sim.run_until_idle(SimTime::from_secs_f64(5.0));
+        assert!(*saw.borrow());
+    }
+
+    #[test]
+    fn going_offline_fails_inflight_transfers() {
+        struct FlakySender {
+            to: NodeId,
+        }
+        impl NodeBehavior for FlakySender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.start_transfer(self.to, 10_000_000, 0).unwrap();
+                ctx.set_timer(SimDuration::from_secs(2), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Timer { .. } = event {
+                    ctx.go_offline();
+                }
+            }
+        }
+        #[derive(Default)]
+        struct FailWatcher {
+            failed: Rc<RefCell<Option<u64>>>,
+        }
+        impl NodeBehavior for FailWatcher {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::TransferFailed { delivered, .. } = event {
+                    *self.failed.borrow_mut() = Some(delivered);
+                }
+            }
+        }
+        let s = two_leaf_star(0.0);
+        let failed = Rc::new(RefCell::new(None));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(FlakySender { to: s.leaves[1] }));
+        sim.add_node(Box::new(FailWatcher { failed: failed.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(30.0));
+        let delivered = failed.borrow().expect("receiver should see the failure");
+        assert!(delivered > 0, "some bytes should have flowed before the failure");
+        assert!(delivered < 10_000_000);
+        assert_eq!(sim.active_flow_count(), 0);
+    }
+
+    #[test]
+    fn messages_between_a_pair_arrive_in_order() {
+        struct Burst {
+            to: NodeId,
+        }
+        impl NodeBehavior for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for i in 0..20u8 {
+                    ctx.send(self.to, Bytes::copy_from_slice(&[i])).unwrap();
+                }
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+        }
+        #[derive(Default)]
+        struct Order {
+            seen: Rc<RefCell<Vec<u8>>>,
+        }
+        impl NodeBehavior for Order {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Message { payload, .. } = event {
+                    self.seen.borrow_mut().push(payload[0]);
+                }
+            }
+        }
+        // Heavy loss to force retransmission delays.
+        let s = two_leaf_star(0.3);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(s.network, 99);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Burst { to: s.leaves[1] }));
+        sim.add_node(Box::new(Order { seen: seen.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        let seen = seen.borrow();
+        assert_eq!(*seen, (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        fn run(seed: u64) -> Trace {
+            let s = two_leaf_star(0.05);
+            let mut sim = Simulator::new(s.network, seed);
+            sim.enable_trace();
+            sim.add_node(Box::new(crate::node::NullBehavior));
+            sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 300_000 }));
+            sim.add_node(Box::new(Receiver::default()));
+            sim.run_until_idle(SimTime::from_secs_f64(120.0));
+            sim.take_trace()
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn capacity_modulation_slows_a_flow() {
+        fn completion_time(modulate: bool) -> f64 {
+            let s = two_leaf_star(0.0);
+            let done = Rc::new(RefCell::new(None));
+            let mut net = s.network;
+            let dir = net.path(s.leaves[0], s.leaves[1]).unwrap();
+            let mut sim = Simulator::new(net, 3);
+            if modulate {
+                // Throttle the second hop to 1/10 capacity after 1 second.
+                sim.schedule_capacity(SimTime::from_secs_f64(1.0), dir[1], 100_000.0);
+            }
+            sim.add_node(Box::new(crate::node::NullBehavior));
+            sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 1_000_000 }));
+            sim.add_node(Box::new(Receiver { done: done.clone() }));
+            sim.run_until_idle(SimTime::from_secs_f64(300.0));
+            let (_, at) = done.borrow().expect("transfer should complete");
+            at
+        }
+        assert!(completion_time(true) > completion_time(false) * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every network node needs a behavior")]
+    fn missing_behaviors_panic() {
+        let s = two_leaf_star(0.0);
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.run_until_idle(SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        struct TwoSends {
+            to: NodeId,
+        }
+        impl NodeBehavior for TwoSends {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.to, Bytes::from(vec![0u8; 10])).unwrap();
+                ctx.send(self.to, Bytes::from(vec![1u8; 60_000])).unwrap();
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+        }
+        #[derive(Default)]
+        struct Stamps {
+            at: Rc<RefCell<Vec<(u8, f64)>>>,
+        }
+        impl NodeBehavior for Stamps {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Message { payload, .. } = event {
+                    self.at.borrow_mut().push((payload[0], ctx.now().as_secs_f64()));
+                }
+            }
+        }
+        let s = two_leaf_star(0.0);
+        let at = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(TwoSends { to: s.leaves[1] }));
+        sim.add_node(Box::new(Stamps { at: at.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(10.0));
+        let at = at.borrow();
+        assert_eq!(at.len(), 2);
+        // 60 kB over a 125 kB/s bottleneck adds ~0.5 s of serialisation
+        // beyond the small message's latency-dominated delay.
+        assert!(at[1].1 - at[0].1 > 0.3, "{at:?}");
+    }
+
+    #[test]
+    fn path_utilization_rises_under_load() {
+        struct Probe {
+            to: NodeId,
+            seen: Rc<RefCell<Vec<f64>>>,
+        }
+        impl NodeBehavior for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.seen.borrow_mut().push(ctx.path_utilization(self.to));
+                ctx.start_transfer(self.to, 400_000, 0).unwrap();
+                ctx.set_timer(SimDuration::from_secs(2), 1);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Timer { .. } = event {
+                    self.seen.borrow_mut().push(ctx.path_utilization(self.to));
+                }
+            }
+        }
+        let s = two_leaf_star(0.0);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Probe { to: s.leaves[1], seen: seen.clone() }));
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.run_until_idle(SimTime::from_secs_f64(30.0));
+        let seen = seen.borrow();
+        assert_eq!(seen[0], 0.0, "idle link reads zero");
+        assert!(seen[1] > 0.5, "busy link utilization {seen:?}");
+    }
+
+    #[test]
+    fn stats_account_for_traffic() {
+        let s = two_leaf_star(0.05);
+        let done = Rc::new(RefCell::new(None));
+        let mut sim = Simulator::new(s.network, 4);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 300_000 }));
+        sim.add_node(Box::new(Receiver { done: done.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(120.0));
+        assert!(done.borrow().is_some());
+        let stats = sim.stats();
+        assert_eq!(stats.flows_started, 1);
+        assert_eq!(stats.flows_completed, 1);
+        assert_eq!(stats.flows_failed, 0);
+        assert_eq!(stats.payload_bytes_delivered, 300_000);
+        // Loss means retransmission waste: wire ≥ payload, but bounded.
+        assert!(stats.wire_bytes_sent >= 300_000, "{stats:?}");
+        assert!(stats.wire_bytes_sent < 600_000, "{stats:?}");
+    }
+
+    #[test]
+    fn link_bytes_match_wire_totals_per_hop() {
+        let s = two_leaf_star(0.0);
+        let done = Rc::new(RefCell::new(None));
+        let mut net = s.network;
+        let path = net.path(s.leaves[0], s.leaves[1]).unwrap();
+        let mut sim = Simulator::new(net, 4);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 200_000 }));
+        sim.add_node(Box::new(Receiver { done: done.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        let wire = sim.stats().wire_bytes_sent;
+        for dir in path {
+            assert_eq!(sim.link_bytes_sent(dir), wire);
+        }
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_rejected() {
+        struct Z {
+            to: NodeId,
+        }
+        impl NodeBehavior for Z {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                assert!(matches!(ctx.start_transfer(self.to, 0, 0), Err(NetError::EmptyTransfer)));
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+        }
+        let s = two_leaf_star(0.0);
+        let mut sim = Simulator::new(s.network, 1);
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Z { to: s.leaves[1] }));
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.run_until_idle(SimTime::from_secs_f64(1.0));
+    }
+}

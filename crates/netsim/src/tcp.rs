@@ -1,0 +1,382 @@
+//! The TCP flow model.
+//!
+//! Bulk transfers are simulated at **RTT-round granularity** rather than per
+//! packet: every round-trip time, a flow sends a window of packets, suffers
+//! Bernoulli loss on each, and updates its congestion window the way TCP
+//! Reno would (slow start doubling below `ssthresh`, additive increase
+//! above, multiplicative decrease on a lossy round). This captures the three
+//! effects the paper's results hinge on:
+//!
+//! 1. **Connection setup cost** — a new connection spends 1.5 RTT in the
+//!    three-way handshake before the first payload byte, which penalises
+//!    splicing schemes that create many small per-segment connections.
+//! 2. **Slow start** — short transfers finish before the window opens, so
+//!    small segments underutilise the path.
+//! 3. **Loss-limited throughput** — with the paper's 5 % loss the window
+//!    stays small (the Mathis `MSS/(RTT·√p)` regime), so a single flow
+//!    cannot saturate a fat link and concurrent downloads genuinely help.
+//!
+//! Capacity sharing is approximated per round: a flow's send budget is
+//! capped by the narrowest link of its path divided by the number of flows
+//! currently crossing that link (max–min fairness at round granularity).
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+
+use crate::id::{DirLinkId, FlowId, NodeId};
+use crate::rng::binomial;
+use crate::time::{SimDuration, SimTime};
+
+/// Tunables of the TCP model.
+///
+/// The defaults follow modern TCP practice (MSS 1460, IW10 per RFC 6928).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u64,
+    /// Initial congestion window, in packets.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold, in packets.
+    pub initial_ssthresh: f64,
+    /// RTT multiples consumed by connection establishment before the first
+    /// data round (1.5 models the three-way handshake).
+    pub handshake_rtts: f64,
+    /// Multiplicative-decrease factor applied to the window on a lossy
+    /// round (0.5 = classic Reno, 0.7 = CUBIC-like).
+    pub loss_decrease_factor: f64,
+    /// Congestion-avoidance growth per round is `1 + ca_growth_factor ×
+    /// cwnd` packets: 0 gives Reno's additive increase, small positive
+    /// values approximate CUBIC's faster reopening after a loss.
+    pub ca_growth_factor: f64,
+    /// Congestion window floor after a loss, in packets.
+    pub min_cwnd: f64,
+    /// Congestion window ceiling, in packets (receive-window stand-in).
+    pub max_cwnd: f64,
+    /// Fraction of a link's configured loss that applies even when the
+    /// link is idle. Shaped links (like the paper's GENI RSpec links) drop
+    /// mostly under load: the effective per-packet loss of a link is
+    /// `loss × (floor + (1 − floor) × utilization)`.
+    pub loss_utilization_floor: f64,
+    /// Time constant of the link-utilization estimator, seconds.
+    pub utilization_tau_secs: f64,
+    /// Extra loss per unit of link *overload pressure* beyond the
+    /// threshold. Pressure is `flows × min_cwnd × MSS / BDP`: when so many
+    /// flows share a link that even their minimum windows approach the
+    /// bandwidth-delay product, real TCP cannot back off any further and
+    /// collapses into retransmission timeouts. This is what makes an
+    /// oversized download pool counterproductive on a thin link (the
+    /// paper's §VI-B).
+    pub overload_loss_coeff: f64,
+    /// Pressure level where the overload ramp starts (queues build before
+    /// the hard limit).
+    pub overload_pressure_threshold: f64,
+    /// Ceiling on the overload-induced extra loss.
+    pub overload_loss_max: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            initial_cwnd: 10.0,
+            initial_ssthresh: 64.0,
+            handshake_rtts: 1.5,
+            loss_decrease_factor: 0.7,
+            ca_growth_factor: 0.05,
+            min_cwnd: 2.0,
+            max_cwnd: 512.0,
+            loss_utilization_floor: 0.25,
+            utilization_tau_secs: 1.0,
+            overload_loss_coeff: 0.9,
+            overload_pressure_threshold: 0.6,
+            overload_loss_max: 0.85,
+        }
+    }
+}
+
+/// Dynamic state of one flow.
+#[derive(Debug)]
+pub(crate) struct Flow {
+    pub id: FlowId,
+    /// Sending endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Directed links crossed, in order.
+    pub path: Vec<DirLinkId>,
+    /// Round-trip time of the path (2 × one-way latency).
+    pub rtt: SimDuration,
+    /// Per-packet loss probability along the path.
+    pub loss: f64,
+    /// Total payload bytes to move.
+    pub total: u64,
+    /// Bytes delivered so far.
+    pub delivered: u64,
+    /// Congestion window, in packets.
+    pub cwnd: f64,
+    /// Slow-start threshold, in packets.
+    pub ssthresh: f64,
+    /// Application tag echoed in completion events.
+    pub tag: u64,
+    /// When the transfer was requested.
+    pub started: SimTime,
+}
+
+/// What a round of the flow produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundOutcome {
+    /// More rounds needed.
+    InProgress,
+    /// All bytes have been delivered.
+    Completed,
+}
+
+impl Flow {
+    /// Advances one RTT round given this round's fair-share rate and the
+    /// effective per-packet loss (base path loss scaled by utilization).
+    /// Returns the outcome and the wire bytes put on the path this round.
+    pub fn advance_round(
+        &mut self,
+        cfg: &TcpConfig,
+        fair_share_bps: f64,
+        effective_loss: f64,
+        rng: &mut StdRng,
+    ) -> (RoundOutcome, u64) {
+        // Fair-share budget for one RTT, in packets (at least one: TCP
+        // always keeps a packet in flight).
+        let budget_bytes = fair_share_bps / 8.0 * self.rtt.as_secs_f64();
+        let budget_pkts = (budget_bytes / cfg.mss as f64).floor().max(1.0) as u64;
+        let window_pkts = self.cwnd.floor().max(1.0) as u64;
+        let remaining_pkts = (self.total - self.delivered).div_ceil(cfg.mss);
+        let send = budget_pkts.min(window_pkts).min(remaining_pkts);
+
+        let lost = binomial(rng, send, effective_loss);
+        let arrived = send - lost;
+        self.delivered = (self.delivered + arrived * cfg.mss).min(self.total);
+
+        if lost > 0 {
+            // One loss event per round: multiplicative decrease.
+            self.ssthresh = (self.cwnd * cfg.loss_decrease_factor).max(cfg.min_cwnd);
+            self.cwnd = self.ssthresh;
+        } else if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd * 2.0).min(self.ssthresh).min(cfg.max_cwnd);
+        } else {
+            self.cwnd = (self.cwnd + 1.0 + cfg.ca_growth_factor * self.cwnd).min(cfg.max_cwnd);
+        }
+
+        let outcome = if self.delivered >= self.total {
+            RoundOutcome::Completed
+        } else {
+            RoundOutcome::InProgress
+        };
+        (outcome, send * cfg.mss)
+    }
+}
+
+/// Per-directed-link recent send-rate estimator: an exponentially decayed
+/// impulse average, so steady sends of `r` bps read back as ≈ `r`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LinkUsage {
+    rate_bps: f64,
+    last_micros: u64,
+}
+
+impl LinkUsage {
+    /// Accounts `bytes` put on the link at `now`.
+    pub fn note(&mut self, now: SimTime, bytes: u64, tau_secs: f64) {
+        self.rate_bps = self.rate_bps_at(now, tau_secs) + bytes as f64 * 8.0 / tau_secs;
+        self.last_micros = now.as_micros();
+    }
+
+    /// The decayed rate estimate at `now`, bits per second.
+    pub fn rate_bps_at(&self, now: SimTime, tau_secs: f64) -> f64 {
+        let dt = now.as_micros().saturating_sub(self.last_micros) as f64 / 1e6;
+        self.rate_bps * (-dt / tau_secs).exp()
+    }
+}
+
+/// Book-keeping for all active flows and per-directed-link load counts.
+#[derive(Debug, Default)]
+pub(crate) struct FlowTable {
+    flows: std::collections::HashMap<u64, Flow>,
+    /// Number of active flows crossing each directed link.
+    link_load: Vec<u32>,
+    next_id: u64,
+}
+
+impl FlowTable {
+    pub fn new(dir_link_count: usize) -> Self {
+        FlowTable {
+            flows: std::collections::HashMap::new(),
+            link_load: vec![0; dir_link_count],
+            next_id: 0,
+        }
+    }
+
+    pub fn insert(&mut self, mut flow: Flow) -> FlowId {
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        flow.id = id;
+        for dir in &flow.path {
+            self.link_load[dir.index()] += 1;
+        }
+        self.flows.insert(id.0, flow);
+        id
+    }
+
+    pub fn get_mut(&mut self, id: FlowId) -> Option<&mut Flow> {
+        self.flows.get_mut(&id.0)
+    }
+
+    pub fn get(&self, id: FlowId) -> Option<&Flow> {
+        self.flows.get(&id.0)
+    }
+
+    /// Removes a flow, releasing its link load. Returns the flow if it was
+    /// still active.
+    pub fn remove(&mut self, id: FlowId) -> Option<Flow> {
+        let flow = self.flows.remove(&id.0)?;
+        for dir in &flow.path {
+            debug_assert!(self.link_load[dir.index()] > 0);
+            self.link_load[dir.index()] -= 1;
+        }
+        Some(flow)
+    }
+
+    /// Number of active flows crossing the given directed link.
+    pub fn load(&self, dir: DirLinkId) -> u32 {
+        self.link_load[dir.index()]
+    }
+
+    /// Ids of all flows that have `node` as an endpoint.
+    pub fn flows_touching(&self, node: NodeId) -> Vec<FlowId> {
+        let mut ids: Vec<FlowId> = self
+            .flows
+            .values()
+            .filter(|f| f.src == node || f.dst == node)
+            .map(|f| f.id)
+            .collect();
+        ids.sort_unstable(); // deterministic iteration order
+        ids
+    }
+
+    pub fn active_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::LinkId;
+    use rand::SeedableRng;
+
+    fn test_flow(total: u64, loss: f64) -> Flow {
+        Flow {
+            id: FlowId(0),
+            src: NodeId::from_index(0),
+            dst: NodeId::from_index(1),
+            path: vec![DirLinkId::new(LinkId(0), true)],
+            rtt: SimDuration::from_millis(100),
+            loss,
+            total,
+            delivered: 0,
+            cwnd: 10.0,
+            ssthresh: 64.0,
+            tag: 0,
+            started: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn lossless_flow_completes_and_grows_window() {
+        let cfg = TcpConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut flow = test_flow(1_000_000, 0.0);
+        let mut rounds = 0;
+        while flow.advance_round(&cfg, 1e9, flow.loss, &mut rng).0 == RoundOutcome::InProgress {
+            rounds += 1;
+            assert!(rounds < 100, "flow did not complete");
+        }
+        // Slow start doubles 10 → 64 (ssthresh), then additive increase; a
+        // 1 MB transfer at these windows takes a handful of rounds.
+        assert!(rounds <= 12, "took {rounds} rounds");
+        assert_eq!(flow.delivered, flow.total);
+    }
+
+    #[test]
+    fn budget_caps_window() {
+        let cfg = TcpConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut flow = test_flow(10_000_000, 0.0);
+        // 128 kB/s fair share, 100 ms RTT → 12.8 kB ≈ 8 packets per round.
+        let (_, sent) = flow.advance_round(&cfg, 128_000.0 * 8.0, 0.0, &mut rng);
+        assert_eq!(flow.delivered, 8 * cfg.mss);
+        assert_eq!(sent, 8 * cfg.mss);
+    }
+
+    #[test]
+    fn lossy_rounds_shrink_window() {
+        let cfg = TcpConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut flow = test_flow(100_000_000, 0.9);
+        for _ in 0..50 {
+            flow.advance_round(&cfg, 1e9, 0.9, &mut rng);
+        }
+        assert!(flow.cwnd <= 4.0, "window stayed at {}", flow.cwnd);
+        assert!(flow.cwnd >= cfg.min_cwnd);
+    }
+
+    #[test]
+    fn loss_limited_throughput_tracks_mathis() {
+        // At p=5%, RTT=100ms, Mathis predicts ≈ MSS/RTT · sqrt(3/2p) ≈ 80 kB/s.
+        let cfg = TcpConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut flow = test_flow(u64::MAX / 2, 0.05);
+        let rounds = 5_000;
+        for _ in 0..rounds {
+            flow.advance_round(&cfg, 1e12, 0.05, &mut rng);
+        }
+        let secs = rounds as f64 * flow.rtt.as_secs_f64();
+        let goodput = flow.delivered as f64 / secs;
+        assert!(
+            (40_000.0..160_000.0).contains(&goodput),
+            "goodput {goodput} B/s out of the loss-limited regime"
+        );
+    }
+
+    #[test]
+    fn flow_table_tracks_load() {
+        let mut table = FlowTable::new(4);
+        let f1 = table.insert(test_flow(100, 0.0));
+        let f2 = table.insert(test_flow(100, 0.0));
+        let dir = DirLinkId::new(LinkId(0), true);
+        assert_eq!(table.load(dir), 2);
+        assert_eq!(table.active_count(), 2);
+        table.remove(f1).unwrap();
+        assert_eq!(table.load(dir), 1);
+        assert!(table.remove(f1).is_none());
+        table.remove(f2).unwrap();
+        assert_eq!(table.load(dir), 0);
+    }
+
+    #[test]
+    fn flow_ids_are_unique_and_monotonic() {
+        let mut table = FlowTable::new(4);
+        let a = table.insert(test_flow(1, 0.0));
+        let b = table.insert(test_flow(1, 0.0));
+        table.remove(a).unwrap();
+        let c = table.insert(test_flow(1, 0.0));
+        assert!(a.raw() < b.raw() && b.raw() < c.raw());
+    }
+
+    #[test]
+    fn flows_touching_finds_endpoints() {
+        let mut table = FlowTable::new(4);
+        let f = table.insert(test_flow(1, 0.0));
+        assert_eq!(table.flows_touching(NodeId::from_index(0)), vec![f]);
+        assert_eq!(table.flows_touching(NodeId::from_index(1)), vec![f]);
+        assert!(table.flows_touching(NodeId::from_index(2)).is_empty());
+    }
+}

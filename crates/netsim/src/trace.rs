@@ -1,0 +1,187 @@
+//! Optional event tracing for debugging and determinism tests.
+
+use crate::id::{FlowId, NodeId};
+use crate::time::SimTime;
+
+/// One record in the simulation trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceRecord {
+    /// A control message was sent.
+    MessageSent {
+        /// Time of the send call.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload length in bytes.
+        len: usize,
+        /// Scheduled delivery time.
+        deliver_at: SimTime,
+    },
+    /// A bulk transfer was started.
+    FlowStarted {
+        /// Time of the start call.
+        at: SimTime,
+        /// The new flow.
+        flow: FlowId,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A bulk transfer delivered all its bytes.
+    FlowCompleted {
+        /// Completion time (receiver side).
+        at: SimTime,
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A bulk transfer was aborted.
+    FlowFailed {
+        /// Failure time.
+        at: SimTime,
+        /// The flow.
+        flow: FlowId,
+        /// Bytes delivered before the failure.
+        delivered: u64,
+    },
+    /// A node went offline.
+    NodeOffline {
+        /// When it left.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+/// An append-only log of trace records.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// The recorded events, in simulation order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Aggregate counts over a [`Trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `MessageSent` records.
+    pub messages: usize,
+    /// `FlowStarted` records.
+    pub flows_started: usize,
+    /// `FlowCompleted` records.
+    pub flows_completed: usize,
+    /// `FlowFailed` records.
+    pub flows_failed: usize,
+    /// `NodeOffline` records.
+    pub nodes_offline: usize,
+    /// Payload bytes across started flows.
+    pub flow_bytes_started: u64,
+}
+
+impl Trace {
+    /// Counts the records by kind.
+    pub fn summary(&self) -> TraceSummary {
+        let mut summary = TraceSummary::default();
+        for record in &self.records {
+            match record {
+                TraceRecord::MessageSent { .. } => summary.messages += 1,
+                TraceRecord::FlowStarted { bytes, .. } => {
+                    summary.flows_started += 1;
+                    summary.flow_bytes_started += bytes;
+                }
+                TraceRecord::FlowCompleted { .. } => summary.flows_completed += 1,
+                TraceRecord::FlowFailed { .. } => summary.flows_failed += 1,
+                TraceRecord::NodeOffline { .. } => summary.nodes_offline += 1,
+            }
+        }
+        summary
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceRecord;
+    type IntoIter = std::vec::IntoIter<TraceRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_by_kind() {
+        let mut t = Trace::new();
+        t.push(TraceRecord::MessageSent {
+            at: SimTime::ZERO,
+            from: NodeId::from_index(0),
+            to: NodeId::from_index(1),
+            len: 10,
+            deliver_at: SimTime::from_micros(5),
+        });
+        t.push(TraceRecord::FlowStarted {
+            at: SimTime::ZERO,
+            flow: FlowId(0),
+            src: NodeId::from_index(0),
+            dst: NodeId::from_index(1),
+            bytes: 1_000,
+        });
+        t.push(TraceRecord::FlowStarted {
+            at: SimTime::ZERO,
+            flow: FlowId(1),
+            src: NodeId::from_index(1),
+            dst: NodeId::from_index(0),
+            bytes: 500,
+        });
+        t.push(TraceRecord::FlowCompleted { at: SimTime::from_micros(9), flow: FlowId(0) });
+        t.push(TraceRecord::FlowFailed { at: SimTime::from_micros(9), flow: FlowId(1), delivered: 20 });
+        t.push(TraceRecord::NodeOffline { at: SimTime::from_micros(10), node: NodeId::from_index(1) });
+        let s = t.summary();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.flows_started, 2);
+        assert_eq!(s.flows_completed, 1);
+        assert_eq!(s.flows_failed, 1);
+        assert_eq!(s.nodes_offline, 1);
+        assert_eq!(s.flow_bytes_started, 1_500);
+    }
+
+    #[test]
+    fn trace_accumulates_in_order() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(TraceRecord::NodeOffline { at: SimTime::from_micros(1), node: NodeId::from_index(0) });
+        t.push(TraceRecord::FlowCompleted { at: SimTime::from_micros(2), flow: FlowId(0) });
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t.records()[0], TraceRecord::NodeOffline { .. }));
+    }
+}

@@ -1,0 +1,205 @@
+//! The segment buffer: which parts of the timeline are downloaded.
+
+use splicecast_media::{MediaTicks, SegmentList};
+
+/// Tracks which segments of a spliced video have been fully downloaded and
+/// answers timeline questions: "can playback proceed at pts X?" and "how
+/// much is buffered ahead of X?" (the paper's `T`).
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_media::{DurationSplicer, MediaTicks, Splicer, Video};
+/// use splicecast_player::SegmentBuffer;
+///
+/// let video = Video::builder().duration_secs(12.0).seed(1).build();
+/// let segments = DurationSplicer::new(4.0).splice(&video);
+/// let mut buffer = SegmentBuffer::new(&segments);
+/// buffer.insert(0);
+/// buffer.insert(1);
+/// let t = buffer.buffered_from(MediaTicks::from_secs_f64(1.0));
+/// assert!((t.as_secs_f64() - 7.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentBuffer {
+    starts: Vec<MediaTicks>,
+    ends: Vec<MediaTicks>,
+    have: Vec<bool>,
+    held: usize,
+}
+
+impl SegmentBuffer {
+    /// Creates an empty buffer for the given splice.
+    pub fn new(segments: &SegmentList) -> Self {
+        let starts = segments.iter().map(|s| s.start_pts).collect::<Vec<_>>();
+        let ends = segments.iter().map(|s| s.end_pts()).collect::<Vec<_>>();
+        let have = vec![false; segments.len()];
+        SegmentBuffer { starts, ends, have, held: 0 }
+    }
+
+    /// Number of segments in the splice.
+    pub fn segment_count(&self) -> usize {
+        self.have.len()
+    }
+
+    /// Number of segments held.
+    pub fn held_count(&self) -> usize {
+        self.held
+    }
+
+    /// Whether every segment is held.
+    pub fn is_complete(&self) -> bool {
+        self.held == self.have.len()
+    }
+
+    /// Whether segment `index` is held.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn has(&self, index: usize) -> bool {
+        self.have[index]
+    }
+
+    /// Marks segment `index` as downloaded. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn insert(&mut self, index: usize) -> bool {
+        if self.have[index] {
+            false
+        } else {
+            self.have[index] = true;
+            self.held += 1;
+            true
+        }
+    }
+
+    /// End of the video timeline.
+    pub fn media_end(&self) -> MediaTicks {
+        self.ends.last().copied().unwrap_or(MediaTicks::ZERO)
+    }
+
+    /// The segment whose interval contains `pts`, if any.
+    pub fn segment_at(&self, pts: MediaTicks) -> Option<usize> {
+        let idx = self.ends.partition_point(|&end| end <= pts);
+        (idx < self.starts.len() && self.starts[idx] <= pts).then_some(idx)
+    }
+
+    /// The first missing segment at or after `index`, if any.
+    pub fn next_missing(&self, index: usize) -> Option<usize> {
+        (index..self.have.len()).find(|&i| !self.have[i])
+    }
+
+    /// The timeline point up to which playback can run without interruption
+    /// starting from `position`: the end of the contiguous run of held
+    /// segments covering `position`. Returns `position` itself when the
+    /// segment under it is missing.
+    pub fn playable_until(&self, position: MediaTicks) -> MediaTicks {
+        let Some(mut idx) = self.segment_at(position) else {
+            // At or beyond the end of the timeline.
+            return self.media_end().max(position);
+        };
+        if !self.have[idx] {
+            return position;
+        }
+        while idx + 1 < self.have.len() && self.have[idx + 1] {
+            idx += 1;
+        }
+        self.ends[idx]
+    }
+
+    /// Buffered playback time ahead of `position` — the paper's `T`.
+    pub fn buffered_from(&self, position: MediaTicks) -> MediaTicks {
+        self.playable_until(position).saturating_sub(position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splicecast_media::{DurationSplicer, Splicer, Video};
+
+    fn buffer() -> SegmentBuffer {
+        // 20 s video in 4 s segments → 5 segments.
+        let v = Video::builder().duration_secs(20.0).seed(2).build();
+        SegmentBuffer::new(&DurationSplicer::new(4.0).splice(&v))
+    }
+
+    fn secs(s: f64) -> MediaTicks {
+        MediaTicks::from_secs_f64(s)
+    }
+
+    #[test]
+    fn insert_tracks_held_count() {
+        let mut b = buffer();
+        assert_eq!(b.segment_count(), 5);
+        assert_eq!(b.held_count(), 0);
+        assert!(b.insert(2));
+        assert!(!b.insert(2), "double insert is not new");
+        assert_eq!(b.held_count(), 1);
+        assert!(b.has(2));
+        assert!(!b.is_complete());
+        for i in [0, 1, 3, 4] {
+            b.insert(i);
+        }
+        assert!(b.is_complete());
+    }
+
+    #[test]
+    fn playable_until_stops_at_first_gap() {
+        let mut b = buffer();
+        b.insert(0);
+        b.insert(1);
+        b.insert(3); // gap at 2
+        assert!((b.playable_until(secs(0.0)).as_secs_f64() - 8.0).abs() < 1e-6);
+        assert!((b.buffered_from(secs(3.0)).as_secs_f64() - 5.0).abs() < 1e-6);
+        // Standing inside the missing segment: nothing playable.
+        assert_eq!(b.buffered_from(secs(9.0)), MediaTicks::ZERO);
+        // Standing inside segment 3 plays to 16 s only.
+        assert!((b.playable_until(secs(13.0)).as_secs_f64() - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn position_at_segment_boundary_needs_the_next_segment() {
+        let mut b = buffer();
+        b.insert(0);
+        // At exactly 4 s the play head is in segment 1, which is missing.
+        assert_eq!(b.buffered_from(secs(4.0)), MediaTicks::ZERO);
+        b.insert(1);
+        assert!((b.buffered_from(secs(4.0)).as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn end_of_timeline_is_always_playable() {
+        let b = buffer();
+        let end = b.media_end();
+        assert_eq!(b.segment_at(end), None);
+        assert_eq!(b.buffered_from(end), MediaTicks::ZERO);
+        assert_eq!(b.playable_until(end), end);
+    }
+
+    #[test]
+    fn next_missing_scans_forward() {
+        let mut b = buffer();
+        b.insert(0);
+        b.insert(2);
+        assert_eq!(b.next_missing(0), Some(1));
+        assert_eq!(b.next_missing(2), Some(3));
+        for i in 0..5 {
+            b.insert(i);
+        }
+        assert_eq!(b.next_missing(0), None);
+    }
+
+    #[test]
+    fn segment_at_maps_timeline_points() {
+        let b = buffer();
+        assert_eq!(b.segment_at(secs(0.0)), Some(0));
+        assert_eq!(b.segment_at(secs(3.999)), Some(0));
+        assert_eq!(b.segment_at(secs(4.0)), Some(1));
+        assert_eq!(b.segment_at(secs(19.9)), Some(4));
+        assert_eq!(b.segment_at(secs(20.0)), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the playback model.
+
+use proptest::prelude::*;
+
+use splicecast_media::{DurationSplicer, MediaTicks, Splicer, Video};
+use splicecast_player::{Playback, PlaybackState, SegmentBuffer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buffer_matches_a_reference_model(
+        secs in 4.0f64..40.0,
+        target in 1.0f64..8.0,
+        seed in any::<u64>(),
+        inserts in prop::collection::vec(any::<u16>(), 0..64),
+        probe in 0.0f64..1.0,
+    ) {
+        let video = Video::builder().duration_secs(secs).seed(seed).build();
+        let list = DurationSplicer::new(target).splice(&video);
+        let mut buffer = SegmentBuffer::new(&list);
+        let mut model = vec![false; list.len()];
+        for raw in inserts {
+            let idx = raw as usize % list.len();
+            let newly = buffer.insert(idx);
+            prop_assert_eq!(newly, !model[idx]);
+            model[idx] = true;
+        }
+        prop_assert_eq!(buffer.held_count(), model.iter().filter(|&&h| h).count());
+        prop_assert_eq!(buffer.is_complete(), model.iter().all(|&h| h));
+
+        // playable_until agrees with a linear walk over the model.
+        let pts = MediaTicks::from_ticks((probe * video.duration().ticks() as f64) as u64);
+        let reference = {
+            match list.iter().position(|s| s.start_pts <= pts && pts < s.end_pts()) {
+                None => buffer.media_end().max(pts),
+                Some(mut i) => {
+                    if !model[i] {
+                        pts
+                    } else {
+                        while i + 1 < model.len() && model[i + 1] {
+                            i += 1;
+                        }
+                        list[i].end_pts()
+                    }
+                }
+            }
+        };
+        prop_assert_eq!(buffer.playable_until(pts), reference);
+        prop_assert_eq!(buffer.buffered_from(pts), reference.saturating_sub(pts));
+    }
+
+    #[test]
+    fn playback_time_is_conserved(
+        secs in 4.0f64..30.0,
+        target in 1.0f64..6.0,
+        content_seed in any::<u64>(),
+        delays in prop::collection::vec(0.0f64..8.0, 1..48),
+        threshold in 0.0f64..4.0,
+    ) {
+        let video = Video::builder().duration_secs(secs).seed(content_seed).build();
+        let list = DurationSplicer::new(target).splice(&video);
+        let mut playback = Playback::new(&list);
+        playback.set_resume_threshold(threshold);
+
+        // Segments arrive in order with random inter-arrival delays.
+        let mut now = 0.0;
+        for i in 0..list.len() {
+            now += delays[i % delays.len()];
+            playback.on_segment(i, now);
+            // Interleave some advance calls at odd times.
+            playback.advance(now + 0.1);
+        }
+        let end = now + secs + threshold + 1.0;
+        playback.finish(end);
+        prop_assert_eq!(playback.state(), PlaybackState::Finished);
+
+        let metrics = playback.metrics();
+        let startup = metrics.startup_secs.expect("started");
+        let finish = metrics.finished_secs.expect("finished");
+        // Conservation: wall time = startup + media + stalls.
+        let expected = startup + video.duration().as_secs_f64() + metrics.total_stall_secs;
+        prop_assert!((finish - expected).abs() < 1e-3, "finish {finish} expected {expected}");
+        // Stalls never overlap and never precede startup.
+        let mut last = startup;
+        for stall in playback.stalls() {
+            prop_assert!(stall.start_secs >= last - 1e-9);
+            prop_assert!(stall.end_secs >= stall.start_secs);
+            last = stall.end_secs;
+        }
+        // With in-order arrival, the number of stalls is bounded by the
+        // number of segments.
+        prop_assert!(metrics.stall_count <= list.len());
+    }
+
+    #[test]
+    fn resume_threshold_never_increases_stall_count(
+        secs in 8.0f64..24.0,
+        delays in prop::collection::vec(0.5f64..6.0, 4..24),
+    ) {
+        let video = Video::builder().duration_secs(secs).seed(3).build();
+        let list = DurationSplicer::new(2.0).splice(&video);
+        let run = |threshold: f64| {
+            let mut playback = Playback::new(&list);
+            playback.set_resume_threshold(threshold);
+            let mut now = 0.0;
+            for i in 0..list.len() {
+                now += delays[i % delays.len()];
+                playback.on_segment(i, now);
+            }
+            playback.finish(now + secs + threshold + 1.0);
+            playback.metrics().stall_count
+        };
+        prop_assert!(run(4.0) <= run(0.0), "a re-buffering threshold merges stalls");
+    }
+}

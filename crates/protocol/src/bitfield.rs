@@ -1,0 +1,216 @@
+//! Piece-availability bitsets exchanged between peers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ProtocolError;
+
+/// A fixed-width bitset tracking which segments a peer holds.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_protocol::Bitfield;
+///
+/// let mut held = Bitfield::new(10);
+/// held.set(3);
+/// held.set(7);
+/// assert_eq!(held.count_ones(), 2);
+/// assert!(held.get(3) && !held.get(4));
+/// assert_eq!(held.iter_set().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bitfield {
+    len: u32,
+    bits: Vec<u8>,
+}
+
+impl Bitfield {
+    /// Creates an all-zero bitfield of `len` bits.
+    pub fn new(len: u32) -> Self {
+        Bitfield { len, bits: vec![0; (len as usize).div_ceil(8)] }
+    }
+
+    /// Reconstructs a bitfield from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MalformedBitfield`] when the byte length
+    /// does not match `len` bits or a spare bit is set.
+    pub fn from_wire(len: u32, bytes: Vec<u8>) -> Result<Self, ProtocolError> {
+        if bytes.len() != (len as usize).div_ceil(8) {
+            return Err(ProtocolError::MalformedBitfield);
+        }
+        let spare_bits = bytes.len() * 8 - len as usize;
+        if spare_bits > 0 {
+            let last = *bytes.last().expect("non-empty when spare bits exist");
+            if last & ((1u8 << spare_bits) - 1) != 0 {
+                return Err(ProtocolError::MalformedBitfield);
+            }
+        }
+        Ok(Bitfield { len, bits: bytes })
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when the bitfield has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw bytes, most significant bit first (BitTorrent convention).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Whether bit `index` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn get(&self, index: u32) -> bool {
+        assert!(index < self.len, "bit {index} out of range {}", self.len);
+        self.bits[(index / 8) as usize] & (0x80 >> (index % 8)) != 0
+    }
+
+    /// Sets bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn set(&mut self, index: u32) {
+        assert!(index < self.len, "bit {index} out of range {}", self.len);
+        self.bits[(index / 8) as usize] |= 0x80 >> (index % 8);
+    }
+
+    /// Clears bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn clear(&mut self, index: u32) {
+        assert!(index < self.len, "bit {index} out of range {}", self.len);
+        self.bits[(index / 8) as usize] &= !(0x80 >> (index % 8));
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.bits.iter().map(|b| b.count_ones()).sum()
+    }
+
+    /// True when every bit is set.
+    pub fn is_complete(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// A bitfield of `len` bits, all set.
+    pub fn full(len: u32) -> Self {
+        let mut bf = Bitfield::new(len);
+        for i in 0..len {
+            bf.set(i);
+        }
+        bf
+    }
+
+    /// Iterates over the indices of set bits, ascending.
+    pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Indices set in `self` but not in `other` — what we could offer them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn missing_from(&self, other: &Bitfield) -> Vec<u32> {
+        assert_eq!(self.len, other.len, "bitfield lengths differ");
+        self.iter_set().filter(|&i| !other.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bf = Bitfield::new(20);
+        assert_eq!(bf.count_ones(), 0);
+        bf.set(0);
+        bf.set(19);
+        bf.set(8);
+        assert!(bf.get(0) && bf.get(19) && bf.get(8));
+        assert!(!bf.get(1));
+        bf.clear(8);
+        assert!(!bf.get(8));
+        assert_eq!(bf.count_ones(), 2);
+    }
+
+    #[test]
+    fn completeness() {
+        let mut bf = Bitfield::new(3);
+        assert!(!bf.is_complete());
+        bf.set(0);
+        bf.set(1);
+        bf.set(2);
+        assert!(bf.is_complete());
+        assert_eq!(bf, Bitfield::full(3));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut bf = Bitfield::new(11);
+        bf.set(1);
+        bf.set(10);
+        let restored = Bitfield::from_wire(11, bf.as_bytes().to_vec()).unwrap();
+        assert_eq!(restored, bf);
+    }
+
+    #[test]
+    fn wire_rejects_bad_lengths_and_spare_bits() {
+        assert_eq!(
+            Bitfield::from_wire(9, vec![0xFF]).unwrap_err(),
+            ProtocolError::MalformedBitfield
+        );
+        // 9 bits needs 2 bytes, with the low 7 bits of byte 1 clear.
+        assert!(Bitfield::from_wire(9, vec![0xFF, 0x80]).is_ok());
+        assert_eq!(
+            Bitfield::from_wire(9, vec![0xFF, 0xC0]).unwrap_err(),
+            ProtocolError::MalformedBitfield
+        );
+    }
+
+    #[test]
+    fn missing_from_diffs() {
+        let mut seeder = Bitfield::full(5);
+        seeder.clear(4);
+        let mut leecher = Bitfield::new(5);
+        leecher.set(0);
+        assert_eq!(seeder.missing_from(&leecher), vec![1, 2, 3]);
+        assert_eq!(leecher.missing_from(&seeder), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_bitfield() {
+        let bf = Bitfield::new(0);
+        assert!(bf.is_empty());
+        assert!(bf.is_complete());
+        assert_eq!(bf.iter_set().count(), 0);
+        assert!(Bitfield::from_wire(0, vec![]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let bf = Bitfield::new(4);
+        let _ = bf.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_diff_panics() {
+        let _ = Bitfield::new(4).missing_from(&Bitfield::new(5));
+    }
+}

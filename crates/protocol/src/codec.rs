@@ -1,0 +1,415 @@
+//! Binary length-prefixed encoding of [`Message`]s.
+//!
+//! Framing follows BitTorrent: a big-endian `u32` length prefix, then a
+//! type byte and body. The zero-length frame is a keep-alive.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::bitfield::Bitfield;
+use crate::error::ProtocolError;
+use crate::message::{Message, PROTOCOL_MAGIC};
+
+/// Upper bound on a frame body; larger declared lengths are rejected
+/// rather than buffered (a malformed peer must not make us allocate 4 GB).
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Appends the wire form of `msg` to `dst`.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::BytesMut;
+/// use splicecast_protocol::{encode, Message};
+///
+/// let mut buf = BytesMut::new();
+/// encode(&Message::Have { index: 7 }, &mut buf);
+/// assert_eq!(&buf[..], &[0, 0, 0, 5, 4, 0, 0, 0, 7]);
+/// ```
+pub fn encode(msg: &Message, dst: &mut BytesMut) {
+    let Some(kind) = msg.wire_type() else {
+        dst.put_u32(0); // keep-alive
+        return;
+    };
+    let body_len = body_len(msg);
+    dst.reserve(4 + 1 + body_len);
+    dst.put_u32(1 + body_len as u32);
+    dst.put_u8(kind);
+    match msg {
+        Message::KeepAlive => unreachable!("handled above"),
+        Message::Choke
+        | Message::Unchoke
+        | Message::Interested
+        | Message::NotInterested
+        | Message::ManifestRequest
+        | Message::PeerListRequest
+        | Message::Goodbye => {}
+        Message::Have { index } | Message::Request { index } | Message::Cancel { index } => {
+            dst.put_u32(*index);
+        }
+        Message::RequestRendition { rendition, index } => {
+            dst.put_u8(*rendition);
+            dst.put_u32(*index);
+        }
+        Message::PeerList { peers } => {
+            dst.put_u32(peers.len() as u32);
+            for p in peers {
+                dst.put_u32(*p);
+            }
+        }
+        Message::SegmentHeader { index, bytes } => {
+            dst.put_u32(*index);
+            dst.put_u64(*bytes);
+        }
+        Message::Bitfield(bf) => {
+            dst.put_u32(bf.len());
+            dst.put_slice(bf.as_bytes());
+        }
+        Message::ManifestData { payload } => {
+            dst.put_slice(payload);
+        }
+        Message::Handshake { peer_id, info_hash, version } => {
+            dst.put_slice(&PROTOCOL_MAGIC);
+            dst.put_u8(*version);
+            dst.put_u64(*peer_id);
+            dst.put_slice(info_hash);
+        }
+    }
+}
+
+/// Encodes `msg` into a standalone buffer.
+pub fn encode_to_bytes(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode(msg, &mut buf);
+    buf.freeze()
+}
+
+fn body_len(msg: &Message) -> usize {
+    match msg {
+        Message::KeepAlive => 0,
+        Message::Choke
+        | Message::Unchoke
+        | Message::Interested
+        | Message::NotInterested
+        | Message::ManifestRequest
+        | Message::PeerListRequest
+        | Message::Goodbye => 0,
+        Message::Have { .. } | Message::Request { .. } | Message::Cancel { .. } => 4,
+        Message::RequestRendition { .. } => 5,
+        Message::PeerList { peers } => 4 + 4 * peers.len(),
+        Message::SegmentHeader { .. } => 12,
+        Message::Bitfield(bf) => 4 + bf.as_bytes().len(),
+        Message::ManifestData { payload } => payload.len(),
+        Message::Handshake { .. } => 8 + 1 + 8 + 20,
+    }
+}
+
+/// Decodes exactly one message from `data`.
+///
+/// # Errors
+///
+/// Fails on truncated input, trailing bytes, or any malformed frame.
+pub fn decode_single(data: &[u8]) -> Result<Message, ProtocolError> {
+    let mut decoder = Decoder::new();
+    decoder.feed(data);
+    let msg = decoder
+        .poll()?
+        .ok_or(ProtocolError::BadBody { kind: 0xFF, len: data.len() })?;
+    if decoder.buffered() != 0 {
+        return Err(ProtocolError::BadBody { kind: 0xFE, len: decoder.buffered() });
+    }
+    Ok(msg)
+}
+
+/// A streaming decoder: feed arbitrary chunks, poll complete messages.
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_protocol::{encode_to_bytes, Decoder, Message};
+///
+/// let wire = encode_to_bytes(&Message::Request { index: 2 });
+/// let mut dec = Decoder::new();
+/// dec.feed(&wire[..3]); // partial frame
+/// assert!(dec.poll().unwrap().is_none());
+/// dec.feed(&wire[3..]);
+/// assert_eq!(dec.poll().unwrap(), Some(Message::Request { index: 2 }));
+/// ```
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: BytesMut,
+}
+
+impl Decoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Appends received bytes to the internal buffer.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next complete message.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on malformed frames. After an error the
+    /// decoder state is unspecified; drop the connection.
+    pub fn poll(&mut self) -> Result<Option<Message>, ProtocolError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(ProtocolError::FrameTooLarge { len });
+        }
+        if self.buf.len() < 4 + len as usize {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        if len == 0 {
+            return Ok(Some(Message::KeepAlive));
+        }
+        let mut body = self.buf.split_to(len as usize).freeze();
+        let kind = body.get_u8();
+        decode_body(kind, body).map(Some)
+    }
+}
+
+fn decode_body(kind: u8, mut body: Bytes) -> Result<Message, ProtocolError> {
+    let fixed = |body: &Bytes, n: usize| -> Result<(), ProtocolError> {
+        if body.len() != n {
+            Err(ProtocolError::BadBody { kind, len: body.len() })
+        } else {
+            Ok(())
+        }
+    };
+    let msg = match kind {
+        0 => {
+            fixed(&body, 0)?;
+            Message::Choke
+        }
+        1 => {
+            fixed(&body, 0)?;
+            Message::Unchoke
+        }
+        2 => {
+            fixed(&body, 0)?;
+            Message::Interested
+        }
+        3 => {
+            fixed(&body, 0)?;
+            Message::NotInterested
+        }
+        4 => {
+            fixed(&body, 4)?;
+            Message::Have { index: body.get_u32() }
+        }
+        5 => {
+            if body.len() < 4 {
+                return Err(ProtocolError::BadBody { kind, len: body.len() });
+            }
+            let bits = body.get_u32();
+            let bf = Bitfield::from_wire(bits, body.to_vec())?;
+            Message::Bitfield(bf)
+        }
+        6 => {
+            fixed(&body, 4)?;
+            Message::Request { index: body.get_u32() }
+        }
+        7 => {
+            fixed(&body, 12)?;
+            Message::SegmentHeader { index: body.get_u32(), bytes: body.get_u64() }
+        }
+        8 => {
+            fixed(&body, 4)?;
+            Message::Cancel { index: body.get_u32() }
+        }
+        9 => {
+            fixed(&body, 0)?;
+            Message::ManifestRequest
+        }
+        10 => Message::ManifestData { payload: body },
+        11 => {
+            fixed(&body, 0)?;
+            Message::Goodbye
+        }
+        12 => {
+            fixed(&body, 5)?;
+            let rendition = body.get_u8();
+            Message::RequestRendition { rendition, index: body.get_u32() }
+        }
+        13 => {
+            fixed(&body, 0)?;
+            Message::PeerListRequest
+        }
+        14 => {
+            if body.len() < 4 {
+                return Err(ProtocolError::BadBody { kind, len: body.len() });
+            }
+            let count = body.get_u32() as usize;
+            if body.len() != count * 4 {
+                return Err(ProtocolError::BadBody { kind, len: body.len() });
+            }
+            let peers = (0..count).map(|_| body.get_u32()).collect();
+            Message::PeerList { peers }
+        }
+        20 => {
+            fixed(&body, 37)?;
+            let mut magic = [0u8; 8];
+            body.copy_to_slice(&mut magic);
+            if magic != PROTOCOL_MAGIC {
+                return Err(ProtocolError::BadMagic);
+            }
+            let version = body.get_u8();
+            let peer_id = body.get_u64();
+            let mut info_hash = [0u8; 20];
+            body.copy_to_slice(&mut info_hash);
+            Message::Handshake { peer_id, info_hash, version }
+        }
+        other => return Err(ProtocolError::UnknownType(other)),
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        let mut bf = Bitfield::new(13);
+        bf.set(0);
+        bf.set(12);
+        vec![
+            Message::KeepAlive,
+            Message::Handshake { peer_id: 0xDEAD_BEEF, info_hash: [7; 20], version: 1 },
+            Message::Choke,
+            Message::Unchoke,
+            Message::Interested,
+            Message::NotInterested,
+            Message::Have { index: 42 },
+            Message::Bitfield(bf),
+            Message::Request { index: u32::MAX },
+            Message::RequestRendition { rendition: 3, index: 17 },
+            Message::PeerListRequest,
+            Message::PeerList { peers: vec![1, 5, 900] },
+            Message::PeerList { peers: vec![] },
+            Message::Cancel { index: 0 },
+            Message::SegmentHeader { index: 9, bytes: 123_456_789 },
+            Message::ManifestRequest,
+            Message::ManifestData { payload: Bytes::from_static(b"#EXTM3U\n") },
+            Message::Goodbye,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_message() {
+        for msg in all_messages() {
+            let wire = encode_to_bytes(&msg);
+            let back = decode_single(&wire).unwrap_or_else(|e| panic!("{}: {e}", msg.name()));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_handles_byte_at_a_time() {
+        let mut wire = BytesMut::new();
+        let msgs = all_messages();
+        for m in &msgs {
+            encode(m, &mut wire);
+        }
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for &b in wire.iter() {
+            dec.feed(&[b]);
+            while let Some(m) = dec.poll().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_without_buffering() {
+        let mut dec = Decoder::new();
+        dec.feed(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        assert_eq!(dec.poll().unwrap_err(), ProtocolError::FrameTooLarge { len: MAX_FRAME_LEN + 1 });
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let mut dec = Decoder::new();
+        dec.feed(&[0, 0, 0, 1, 99]);
+        assert_eq!(dec.poll().unwrap_err(), ProtocolError::UnknownType(99));
+    }
+
+    #[test]
+    fn wrong_body_length_is_rejected() {
+        // A `Have` with a 2-byte body.
+        let mut dec = Decoder::new();
+        dec.feed(&[0, 0, 0, 3, 4, 0, 0]);
+        assert_eq!(dec.poll().unwrap_err(), ProtocolError::BadBody { kind: 4, len: 2 });
+    }
+
+    #[test]
+    fn bad_handshake_magic_is_rejected() {
+        let mut wire = encode_to_bytes(&Message::Handshake {
+            peer_id: 1,
+            info_hash: [0; 20],
+            version: 1,
+        })
+        .to_vec();
+        wire[5] = b'X'; // corrupt the magic
+        assert_eq!(decode_single(&wire).unwrap_err(), ProtocolError::BadMagic);
+    }
+
+    #[test]
+    fn malformed_bitfield_is_rejected() {
+        // Declares 3 bits but carries 2 bytes.
+        let mut frame = BytesMut::new();
+        frame.put_u32(1 + 4 + 2);
+        frame.put_u8(5);
+        frame.put_u32(3);
+        frame.put_slice(&[0xFF, 0xFF]);
+        assert_eq!(decode_single(&frame).unwrap_err(), ProtocolError::MalformedBitfield);
+    }
+
+    #[test]
+    fn decode_single_rejects_trailing_bytes() {
+        let mut wire = encode_to_bytes(&Message::Choke).to_vec();
+        wire.push(0);
+        assert!(decode_single(&wire).is_err());
+    }
+
+    #[test]
+    fn decode_single_rejects_truncation() {
+        let wire = encode_to_bytes(&Message::Have { index: 1 });
+        assert!(decode_single(&wire[..wire.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_prefixes() {
+        // Deterministic pseudo-fuzz: every prefix of a noisy buffer.
+        let noise: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for end in 0..noise.len() {
+            let mut dec = Decoder::new();
+            dec.feed(&noise[..end]);
+            // Poll until it errors or stalls; must never panic.
+            for _ in 0..16 {
+                match dec.poll() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for the wire protocol.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while decoding protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The message type byte is not one we know.
+    UnknownType(u8),
+    /// The declared frame length exceeds the protocol maximum.
+    FrameTooLarge {
+        /// Declared length.
+        len: u32,
+    },
+    /// A message body was shorter or longer than its type requires.
+    BadBody {
+        /// The message type byte.
+        kind: u8,
+        /// Bytes present in the body.
+        len: usize,
+    },
+    /// A bitfield's declared bit count disagrees with its byte length, or a
+    /// spare bit beyond the declared count is set.
+    MalformedBitfield,
+    /// A handshake carried an unknown protocol identifier.
+    BadMagic,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            ProtocolError::FrameTooLarge { len } => write!(f, "frame of {len} bytes exceeds limit"),
+            ProtocolError::BadBody { kind, len } => {
+                write!(f, "message type {kind} cannot have a {len}-byte body")
+            }
+            ProtocolError::MalformedBitfield => write!(f, "malformed bitfield"),
+            ProtocolError::BadMagic => write!(f, "handshake carried an unknown protocol id"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ProtocolError::UnknownType(99).to_string(), "unknown message type 99");
+        assert_eq!(
+            ProtocolError::FrameTooLarge { len: 1 << 30 }.to_string(),
+            format!("frame of {} bytes exceeds limit", 1u32 << 30)
+        );
+        assert_eq!(ProtocolError::MalformedBitfield.to_string(), "malformed bitfield");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

@@ -1,0 +1,35 @@
+//! # splicecast-protocol
+//!
+//! The **BitTorrent-like wire protocol** the paper's P2P streaming
+//! application speaks ("we implemented our own BitTorrent like messaging
+//! protocol", §V), adapted for segment streaming:
+//!
+//! - [`Message`]: handshake, choke/interest signalling, [`Bitfield`]
+//!   availability maps, `Have` announcements, whole-segment `Request`s, a
+//!   `SegmentHeader` announcing each bulk transfer, and manifest exchange.
+//! - [`encode`] / [`Decoder`]: a length-prefixed binary codec with streaming
+//!   (partial-buffer) decode, strict validation, and a frame-size cap.
+//!
+//! ## Example
+//!
+//! ```
+//! use splicecast_protocol::{encode_to_bytes, decode_single, Bitfield, Message};
+//!
+//! let mut held = Bitfield::new(30);
+//! held.set(4);
+//! let wire = encode_to_bytes(&Message::Bitfield(held.clone()));
+//! assert_eq!(decode_single(&wire).unwrap(), Message::Bitfield(held));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitfield;
+mod codec;
+mod error;
+mod message;
+
+pub use bitfield::Bitfield;
+pub use codec::{decode_single, encode, encode_to_bytes, Decoder, MAX_FRAME_LEN};
+pub use error::ProtocolError;
+pub use message::{Message, PROTOCOL_MAGIC, PROTOCOL_VERSION};

@@ -1,0 +1,176 @@
+//! The message vocabulary of the swarm protocol.
+//!
+//! Modelled on the BitTorrent peer wire protocol, adapted for streaming:
+//! requests name whole segments (the transfer unit of HLS-style streaming),
+//! the manifest replaces the torrent metainfo, and bulk segment bytes are
+//! announced by a [`Message::SegmentHeader`] and then travel as a TCP
+//! transfer rather than inline `piece` messages.
+
+use bytes::Bytes;
+
+/// Identifies the protocol in handshakes.
+pub const PROTOCOL_MAGIC: [u8; 8] = *b"SPLCAST1";
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// A peer-wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Message {
+    /// Connection liveness probe; carries nothing.
+    KeepAlive,
+    /// Opens a session between two peers.
+    Handshake {
+        /// The sender's stable identity.
+        peer_id: u64,
+        /// Identifies the video being swarmed (hash of the manifest).
+        info_hash: [u8; 20],
+        /// Protocol version of the sender.
+        version: u8,
+    },
+    /// The sender will not service requests for now.
+    Choke,
+    /// The sender will service requests again.
+    Unchoke,
+    /// The sender wants segments the receiver holds.
+    Interested,
+    /// The sender no longer wants anything from the receiver.
+    NotInterested,
+    /// The sender has finished downloading a segment.
+    Have {
+        /// Segment index.
+        index: u32,
+    },
+    /// Full availability map of the sender (sent after handshake).
+    Bitfield(crate::Bitfield),
+    /// Ask the receiver to upload one segment.
+    Request {
+        /// Segment index.
+        index: u32,
+    },
+    /// Ask the receiver to upload one segment of a specific rendition of a
+    /// multi-bitrate ladder (the adaptive-bitrate baseline).
+    RequestRendition {
+        /// Ladder rung, ascending by bitrate.
+        rendition: u8,
+        /// Segment index.
+        index: u32,
+    },
+    /// Withdraw an earlier request.
+    Cancel {
+        /// Segment index.
+        index: u32,
+    },
+    /// Announces an imminent bulk transfer of a segment's bytes.
+    SegmentHeader {
+        /// Segment index.
+        index: u32,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// Ask the seeder for the video manifest.
+    ManifestRequest,
+    /// The manifest playlist, as `m3u8` text.
+    ManifestData {
+        /// UTF-8 playlist body.
+        payload: Bytes,
+    },
+    /// Polite departure notice before going offline.
+    Goodbye,
+    /// Ask the tracker (the seeder doubles as one) for peers in the swarm.
+    PeerListRequest,
+    /// The tracker's answer: node addresses of known swarm members.
+    PeerList {
+        /// Opaque per-network node addresses.
+        peers: Vec<u32>,
+    },
+}
+
+impl Message {
+    /// The wire type byte for this message. [`Message::KeepAlive`] has no
+    /// type byte (it is the zero-length frame) and returns `None`.
+    pub fn wire_type(&self) -> Option<u8> {
+        Some(match self {
+            Message::KeepAlive => return None,
+            Message::Choke => 0,
+            Message::Unchoke => 1,
+            Message::Interested => 2,
+            Message::NotInterested => 3,
+            Message::Have { .. } => 4,
+            Message::Bitfield(_) => 5,
+            Message::Request { .. } => 6,
+            Message::SegmentHeader { .. } => 7,
+            Message::Cancel { .. } => 8,
+            Message::ManifestRequest => 9,
+            Message::ManifestData { .. } => 10,
+            Message::Goodbye => 11,
+            Message::RequestRendition { .. } => 12,
+            Message::PeerListRequest => 13,
+            Message::PeerList { .. } => 14,
+            Message::Handshake { .. } => 20,
+        })
+    }
+
+    /// A short name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::KeepAlive => "keep-alive",
+            Message::Handshake { .. } => "handshake",
+            Message::Choke => "choke",
+            Message::Unchoke => "unchoke",
+            Message::Interested => "interested",
+            Message::NotInterested => "not-interested",
+            Message::Have { .. } => "have",
+            Message::Bitfield(_) => "bitfield",
+            Message::Request { .. } => "request",
+            Message::RequestRendition { .. } => "request-rendition",
+            Message::Cancel { .. } => "cancel",
+            Message::SegmentHeader { .. } => "segment-header",
+            Message::ManifestRequest => "manifest-request",
+            Message::ManifestData { .. } => "manifest-data",
+            Message::Goodbye => "goodbye",
+            Message::PeerListRequest => "peer-list-request",
+            Message::PeerList { .. } => "peer-list",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_types_are_distinct() {
+        let msgs = [
+            Message::Choke,
+            Message::Unchoke,
+            Message::Interested,
+            Message::NotInterested,
+            Message::Have { index: 0 },
+            Message::Bitfield(crate::Bitfield::new(1)),
+            Message::Request { index: 0 },
+            Message::SegmentHeader { index: 0, bytes: 0 },
+            Message::Cancel { index: 0 },
+            Message::ManifestRequest,
+            Message::ManifestData { payload: Bytes::new() },
+            Message::Goodbye,
+            Message::RequestRendition { rendition: 0, index: 0 },
+            Message::PeerListRequest,
+            Message::PeerList { peers: vec![] },
+            Message::Handshake { peer_id: 0, info_hash: [0; 20], version: 1 },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for m in &msgs {
+            let t = m.wire_type().expect("typed message");
+            assert!(seen.insert(t), "duplicate wire type {t} for {}", m.name());
+        }
+        assert_eq!(Message::KeepAlive.wire_type(), None);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Message::KeepAlive.name(), "keep-alive");
+        assert_eq!(Message::Request { index: 3 }.name(), "request");
+    }
+}

@@ -1,0 +1,648 @@
+//! The adaptive-bitrate baseline (§I).
+//!
+//! The paper motivates duration-adaptive splicing against the industry
+//! practice it describes for Netflix/Hulu: "their clients determine a
+//! bit-rate based on the available bandwidth... it will degrade the video
+//! quality when the bandwidth becomes low". This module implements that
+//! baseline faithfully so the two approaches can be compared on the same
+//! substrate: CDN-served clients that fetch segments sequentially and pick
+//! a rendition of a [`Ladder`] per segment.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use rand::{Rng, SeedableRng};
+use splicecast_media::{Ladder, Manifest};
+use splicecast_netsim::{
+    star, Ctx, FlowId, LinkSpec, NodeBehavior, NodeEvent, NodeId, NullBehavior, SimDuration,
+    SimTime, Simulator,
+};
+use splicecast_player::{Playback, PlaybackState, QoeMetrics, StallEvent};
+use splicecast_protocol::{decode_single, encode_to_bytes, Message};
+
+use crate::peer::{UploadManager, UploadRequest};
+use crate::policy::{BandwidthEstimator, EstimatorKind};
+
+const TOKEN_BOOT: u64 = 1;
+const TOKEN_PUMP: u64 = 2;
+
+/// How a client picks the next segment's rendition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AbrAlgorithm {
+    /// Always fetch the given rung (clamped to the ladder) — the
+    /// non-adaptive control arm, e.g. "always 1 Mbps".
+    FixedRendition(usize),
+    /// Throughput rule: the highest rendition whose bitrate is at most
+    /// `safety ×` the estimated throughput.
+    RateBased {
+        /// Fraction of the estimated throughput to spend (e.g. 0.8).
+        safety: f64,
+    },
+    /// Buffer-based rate adaptation in the spirit of the paper's reference
+    /// \[7\] (Huang et al.): below `low_secs` of buffer pick the lowest rung,
+    /// above `high_secs` the highest, linear in between.
+    BufferBased {
+        /// Buffer level mapped to the lowest rendition, seconds.
+        low_secs: f64,
+        /// Buffer level mapped to the highest rendition, seconds.
+        high_secs: f64,
+    },
+}
+
+impl AbrAlgorithm {
+    /// Picks a rung for the next segment.
+    pub fn choose(
+        &self,
+        ladder: &[u64],
+        buffered_secs: f64,
+        estimated_bytes_per_sec: f64,
+    ) -> usize {
+        let top = ladder.len() - 1;
+        match *self {
+            AbrAlgorithm::FixedRendition(r) => r.min(top),
+            AbrAlgorithm::RateBased { safety } => {
+                let budget_bps = estimated_bytes_per_sec * 8.0 * safety;
+                ladder.iter().rposition(|&b| (b as f64) <= budget_bps).unwrap_or(0)
+            }
+            AbrAlgorithm::BufferBased { low_secs, high_secs } => {
+                if buffered_secs <= low_secs {
+                    0
+                } else if buffered_secs >= high_secs {
+                    top
+                } else {
+                    let frac = (buffered_secs - low_secs) / (high_secs - low_secs);
+                    ((frac * top as f64).floor() as usize).min(top)
+                }
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            AbrAlgorithm::FixedRendition(r) => format!("fixed-{r}"),
+            AbrAlgorithm::RateBased { .. } => "rate-based".to_owned(),
+            AbrAlgorithm::BufferBased { .. } => "buffer-based".to_owned(),
+        }
+    }
+}
+
+/// Configuration of an ABR (CDN-served) streaming run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbrConfig {
+    /// Number of clients.
+    pub n_clients: usize,
+    /// Client access-link capacity, bytes per second.
+    pub client_bandwidth_bytes_per_sec: f64,
+    /// Origin (CDN) access-link capacity, bytes per second.
+    pub origin_bandwidth_bytes_per_sec: f64,
+    /// One-way client↔origin latency, seconds.
+    pub one_way_latency_secs: f64,
+    /// End-to-end packet loss.
+    pub end_to_end_loss: f64,
+    /// Concurrent uploads the origin serves.
+    pub origin_upload_slots: usize,
+    /// The rendition-selection algorithm.
+    pub algorithm: AbrAlgorithm,
+    /// Clients join uniformly within this window, seconds.
+    pub join_stagger_secs: f64,
+    /// Player re-buffering threshold, seconds.
+    pub resume_buffer_secs: f64,
+    /// Hard cap on simulated time, seconds.
+    pub max_sim_secs: f64,
+}
+
+impl Default for AbrConfig {
+    fn default() -> Self {
+        AbrConfig {
+            n_clients: 19,
+            client_bandwidth_bytes_per_sec: 256_000.0,
+            origin_bandwidth_bytes_per_sec: 8_000_000.0,
+            one_way_latency_secs: 0.05,
+            end_to_end_loss: 0.05,
+            origin_upload_slots: 64,
+            algorithm: AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 },
+            join_stagger_secs: 1.0,
+            resume_buffer_secs: 0.25,
+            max_sim_secs: 1_800.0,
+        }
+    }
+}
+
+impl AbrConfig {
+    fn validate(&self) {
+        assert!(self.n_clients >= 1, "need at least one client");
+        assert!(self.client_bandwidth_bytes_per_sec > 0.0, "client bandwidth must be positive");
+        assert!(self.origin_bandwidth_bytes_per_sec > 0.0, "origin bandwidth must be positive");
+        assert!((0.0..1.0).contains(&self.end_to_end_loss), "loss must be in [0,1)");
+        assert!(self.origin_upload_slots > 0, "origin needs upload slots");
+        assert!(self.max_sim_secs > 0.0, "sim cap must be positive");
+    }
+}
+
+/// Final accounting for one ABR client.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AbrReport {
+    /// Client index.
+    pub client: usize,
+    /// Startup / stall / completion summary.
+    pub qoe: QoeMetrics,
+    /// The individual stall events.
+    pub stalls: Vec<StallEvent>,
+    /// Duration-weighted mean bitrate of the segments actually played,
+    /// bits per second — the "video quality" the paper says bitrate
+    /// adaptation sacrifices.
+    pub mean_bitrate_bps: f64,
+    /// Number of rendition switches.
+    pub switches: usize,
+    /// How many segments were fetched at each rung.
+    pub rung_counts: Vec<usize>,
+}
+
+/// Results of one ABR run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AbrMetrics {
+    /// Per-client reports, ordered by client index.
+    pub reports: Vec<AbrReport>,
+    /// Simulated end time, seconds.
+    pub sim_end_secs: f64,
+}
+
+impl AbrMetrics {
+    /// Mean stalls per client.
+    pub fn mean_stalls(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.qoe.stall_count as f64))
+    }
+
+    /// Mean total stall duration per client, seconds.
+    pub fn mean_stall_secs(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.qoe.total_stall_secs))
+    }
+
+    /// Mean startup time, seconds.
+    pub fn mean_startup_secs(&self) -> f64 {
+        mean(self.reports.iter().filter_map(|r| r.qoe.startup_secs))
+    }
+
+    /// Mean delivered bitrate across clients, bits per second.
+    pub fn mean_bitrate_bps(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.mean_bitrate_bps))
+    }
+
+    /// Fraction of clients that finished the video.
+    pub fn completion_rate(&self) -> f64 {
+        mean(self.reports.iter().map(|r| if r.qoe.finished_secs.is_some() { 1.0 } else { 0.0 }))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Per-(rendition, segment) byte table shared by origin and clients.
+type ByteTable = Rc<Vec<Vec<u64>>>;
+
+fn byte_table(ladder: &Ladder) -> Vec<Vec<u64>> {
+    (0..ladder.len())
+        .map(|r| (0..ladder.segment_count()).map(|s| ladder.segment_bytes(r, s)).collect())
+        .collect()
+}
+
+fn tag_of(rendition: usize, index: u32) -> u64 {
+    ((rendition as u64) << 32) | u64::from(index)
+}
+
+fn untag(tag: u64) -> (usize, u32) {
+    ((tag >> 32) as usize, tag as u32)
+}
+
+/// The CDN origin: holds every rendition, serves rendition requests over
+/// bounded slots.
+#[derive(Debug)]
+struct OriginNode {
+    bytes: ByteTable,
+    manifest_wire: Bytes,
+    slots: UploadManager,
+    active: std::collections::HashMap<FlowId, ()>,
+}
+
+impl OriginNode {
+    fn new(ladder: &Ladder, bytes: ByteTable, slots: usize) -> Self {
+        let manifest = Manifest::from_segments("abr", ladder.segments(0));
+        OriginNode {
+            bytes,
+            manifest_wire: Bytes::from(manifest.to_m3u8().into_bytes()),
+            slots: UploadManager::new(slots),
+            active: std::collections::HashMap::new(),
+        }
+    }
+
+}
+
+impl NodeBehavior for OriginNode {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+        match event {
+            NodeEvent::Message { from, payload } => {
+                let Ok(message) = decode_single(&payload) else { return };
+                match message {
+                    Message::ManifestRequest => {
+                        let reply = Message::ManifestData { payload: self.manifest_wire.clone() };
+                        let _ = ctx.send(from, encode_to_bytes(&reply));
+                    }
+                    Message::RequestRendition { rendition, index } => {
+                        self.start_upload(ctx, from, rendition as usize, index);
+                    }
+                    _ => {}
+                }
+            }
+            NodeEvent::UploadComplete { flow, .. } | NodeEvent::TransferFailed { flow, .. } => {
+                if self.active.remove(&flow).is_some() {
+                    if let Some(next) = self.slots.release(|_| true) {
+                        let (rendition, index) = untag_request(&next);
+                        self.begin_transfer(ctx, next.peer, rendition, index);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn tag_request(peer: NodeId, rendition: usize, index: u32) -> UploadRequest {
+    // UploadRequest.segment is 32 bits; pack the rendition into the top
+    // byte (ladders are tiny, segment counts < 2^24).
+    UploadRequest { peer, segment: ((rendition as u32) << 24) | index }
+}
+
+fn untag_request(request: &UploadRequest) -> (usize, u32) {
+    ((request.segment >> 24) as usize, request.segment & 0x00FF_FFFF)
+}
+
+impl OriginNode {
+    fn start_upload(&mut self, ctx: &mut Ctx<'_>, to: NodeId, rendition: usize, index: u32) {
+        if rendition >= self.bytes.len() || index as usize >= self.bytes[rendition].len() {
+            return; // malformed request
+        }
+        let request = tag_request(to, rendition, index);
+        if self.slots.offer(request, |_| true) {
+            self.begin_transfer(ctx, to, rendition, index);
+        } else {
+            let _ = ctx.send(to, encode_to_bytes(&Message::Choke));
+        }
+    }
+
+    fn begin_transfer(&mut self, ctx: &mut Ctx<'_>, to: NodeId, rendition: usize, index: u32) {
+        let bytes = self.bytes[rendition][index as usize];
+        let header = Message::SegmentHeader { index, bytes };
+        let _ = ctx.send(to, encode_to_bytes(&header));
+        match ctx.start_transfer_warm(to, bytes, tag_of(rendition, index)) {
+            Ok(flow) => {
+                self.active.insert(flow, ());
+            }
+            Err(_) => {
+                if let Some(next) = self.slots.release(|_| true) {
+                    let (r, i) = untag_request(&next);
+                    self.begin_transfer(ctx, next.peer, r, i);
+                }
+            }
+        }
+    }
+}
+
+/// A sequential HLS-style client: fetch, measure, adapt, repeat.
+#[derive(Debug)]
+struct AbrClientNode {
+    index: usize,
+    origin: NodeId,
+    bitrates: Vec<u64>,
+    durations: Vec<f64>,
+    algorithm: AbrAlgorithm,
+    estimator: BandwidthEstimator,
+    playback: Playback,
+    join_delay: SimDuration,
+    pump: SimDuration,
+    streaming: bool,
+    in_flight: Option<(usize, u32)>,
+    requested_at: SimTime,
+    rung_counts: Vec<usize>,
+    last_rung: Option<usize>,
+    switches: usize,
+    reported: bool,
+    sink: Rc<RefCell<Vec<AbrReport>>>,
+}
+
+impl AbrClientNode {
+    fn next_segment(&self) -> Option<u32> {
+        (0..self.durations.len() as u32).find(|&i| !self.playback.buffer().has(i as usize))
+    }
+
+    fn request_next(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.streaming || self.in_flight.is_some() {
+            return;
+        }
+        let Some(index) = self.next_segment() else { return };
+        let now = ctx.now().as_secs_f64();
+        let buffered = self.playback.buffered_ahead(now).as_secs_f64();
+        let rung =
+            self.algorithm.choose(&self.bitrates, buffered, self.estimator.bytes_per_sec());
+        let message = Message::RequestRendition { rendition: rung as u8, index };
+        if ctx.send(self.origin, encode_to_bytes(&message)).is_ok() {
+            self.in_flight = Some((rung, index));
+            self.requested_at = ctx.now();
+        }
+    }
+
+    fn write_report(&mut self, ctx: &mut Ctx<'_>) {
+        if self.reported {
+            return;
+        }
+        self.reported = true;
+        self.playback.finish(ctx.now().as_secs_f64());
+        // Duration-weighted mean bitrate over fetched segments.
+        let mut weighted = 0.0;
+        let mut covered = 0.0;
+        for (seg, &dur) in self.durations.iter().enumerate() {
+            if self.playback.buffer().has(seg) {
+                covered += dur;
+            }
+        }
+        // rung_counts tracks how many segments came at each rung; segments
+        // share (approximately) equal durations, so weight by count.
+        let fetched: usize = self.rung_counts.iter().sum();
+        if fetched > 0 && covered > 0.0 {
+            let per = covered / fetched as f64;
+            for (rung, &count) in self.rung_counts.iter().enumerate() {
+                weighted += self.bitrates[rung] as f64 * count as f64 * per;
+            }
+            weighted /= covered;
+        }
+        self.sink.borrow_mut().push(AbrReport {
+            client: self.index,
+            qoe: self.playback.metrics(),
+            stalls: self.playback.stalls().to_vec(),
+            mean_bitrate_bps: weighted,
+            switches: self.switches,
+            rung_counts: self.rung_counts.clone(),
+        });
+    }
+}
+
+impl NodeBehavior for AbrClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.join_delay, TOKEN_BOOT);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+        match event {
+            NodeEvent::Timer { token: TOKEN_BOOT } => {
+                let _ = ctx.send(self.origin, encode_to_bytes(&Message::ManifestRequest));
+                ctx.set_timer(self.pump, TOKEN_PUMP);
+            }
+            NodeEvent::Timer { token: TOKEN_PUMP } => {
+                self.playback.advance(ctx.now().as_secs_f64());
+                // Re-request if a request was lost in a choke/drop race.
+                if self.in_flight.is_some()
+                    && ctx.now().saturating_since(self.requested_at)
+                        > SimDuration::from_secs(30)
+                {
+                    self.in_flight = None;
+                }
+                self.request_next(ctx);
+                if self.playback.state() != PlaybackState::Finished {
+                    ctx.set_timer(self.pump, TOKEN_PUMP);
+                }
+            }
+            NodeEvent::Timer { .. } => {}
+            NodeEvent::Message { payload, .. } => {
+                let Ok(message) = decode_single(&payload) else { return };
+                if let Message::ManifestData { .. } = message {
+                    if !self.streaming {
+                        self.streaming = true;
+                        self.request_next(ctx);
+                    }
+                }
+            }
+            NodeEvent::TransferComplete { tag, bytes, started, .. } => {
+                let (rung, index) = untag(tag);
+                let now = ctx.now();
+                self.estimator.observe(bytes, now.saturating_since(started).as_secs_f64());
+                if self.in_flight == Some((rung, index)) {
+                    self.in_flight = None;
+                }
+                if rung < self.rung_counts.len() {
+                    self.rung_counts[rung] += 1;
+                    if let Some(last) = self.last_rung {
+                        if last != rung {
+                            self.switches += 1;
+                        }
+                    }
+                    self.last_rung = Some(rung);
+                }
+                self.playback.on_segment(index as usize, now.as_secs_f64());
+                self.request_next(ctx);
+            }
+            NodeEvent::TransferFailed { tag, .. } => {
+                let (rung, index) = untag(tag);
+                if self.in_flight == Some((rung, index)) {
+                    self.in_flight = None;
+                    self.request_next(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_sim_end(&mut self, ctx: &mut Ctx<'_>) {
+        self.write_report(ctx);
+    }
+}
+
+/// Runs a CDN-served adaptive-bitrate session for every client and
+/// collects per-client quality/stall metrics. Deterministic per
+/// `(ladder, config, seed)`.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or an inconsistent ladder.
+///
+/// # Examples
+///
+/// ```no_run
+/// use splicecast_media::Ladder;
+/// use splicecast_swarm::{run_abr, AbrConfig};
+///
+/// let ladder = Ladder::builder().duration_secs(60.0).seed(1).build();
+/// let metrics = run_abr(&ladder, &AbrConfig::default(), 42);
+/// println!("delivered {:.2} Mbps with {:.1} stalls",
+///          metrics.mean_bitrate_bps() / 1e6, metrics.mean_stalls());
+/// ```
+pub fn run_abr(ladder: &Ladder, config: &AbrConfig, seed: u64) -> AbrMetrics {
+    config.validate();
+    ladder.validate().expect("consistent ladder");
+
+    let per_link_loss = 1.0 - (1.0 - config.end_to_end_loss).sqrt();
+    let link_latency = SimDuration::from_secs_f64(config.one_way_latency_secs / 2.0);
+    let mut leaf_specs = vec![LinkSpec::from_bytes_per_sec(
+        config.origin_bandwidth_bytes_per_sec,
+        link_latency,
+        per_link_loss,
+    )];
+    leaf_specs.extend(std::iter::repeat_n(
+        LinkSpec::from_bytes_per_sec(
+            config.client_bandwidth_bytes_per_sec,
+            link_latency,
+            per_link_loss,
+        ),
+        config.n_clients,
+    ));
+    let star = star(&leaf_specs);
+    let origin_id = star.leaves[0];
+
+    let bytes: ByteTable = Rc::new(byte_table(ladder));
+    let bitrates: Vec<u64> = (0..ladder.len()).map(|r| ladder.bitrate_bps(r)).collect();
+    let durations: Vec<f64> = (0..ladder.segment_count()).map(|s| ladder.segment_secs(s)).collect();
+
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xAB12_AB12_AB12_AB12);
+    let sink = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulator::new(star.network, seed);
+    sim.add_node(Box::new(NullBehavior)); // hub
+    sim.add_node(Box::new(OriginNode::new(ladder, bytes.clone(), config.origin_upload_slots)));
+    for index in 0..config.n_clients {
+        let mut playback = Playback::new(ladder.segments(0));
+        playback.set_resume_threshold(config.resume_buffer_secs);
+        sim.add_node(Box::new(AbrClientNode {
+            index,
+            origin: origin_id,
+            bitrates: bitrates.clone(),
+            durations: durations.clone(),
+            algorithm: config.algorithm,
+            estimator: BandwidthEstimator::new(
+                EstimatorKind::Ewma { alpha: 0.4 },
+                config.client_bandwidth_bytes_per_sec,
+            ),
+            playback,
+            join_delay: SimDuration::from_secs_f64(
+                setup_rng.gen_range(0.0..=config.join_stagger_secs),
+            ),
+            pump: SimDuration::from_millis(500),
+            streaming: false,
+            in_flight: None,
+            requested_at: SimTime::ZERO,
+            rung_counts: vec![0; ladder.len()],
+            last_rung: None,
+            switches: 0,
+            reported: false,
+            sink: sink.clone(),
+        }));
+    }
+    let end = sim.run_until_idle(SimTime::from_secs_f64(config.max_sim_secs));
+    let mut reports = sink.take();
+    reports.sort_by_key(|r| r.client);
+    AbrMetrics { reports, sim_end_secs: end.as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ladder() -> Ladder {
+        Ladder::builder()
+            .duration_secs(24.0)
+            .bitrates(&[250_000, 500_000, 1_000_000])
+            .segment_secs(4.0)
+            .seed(3)
+            .build()
+    }
+
+    fn small_config(algorithm: AbrAlgorithm) -> AbrConfig {
+        AbrConfig {
+            n_clients: 4,
+            client_bandwidth_bytes_per_sec: 200_000.0,
+            algorithm,
+            max_sim_secs: 600.0,
+            ..AbrConfig::default()
+        }
+    }
+
+    #[test]
+    fn algorithms_choose_sane_rungs() {
+        let ladder = [250_000u64, 500_000, 1_000_000];
+        let fixed = AbrAlgorithm::FixedRendition(9);
+        assert_eq!(fixed.choose(&ladder, 0.0, 0.0), 2, "clamped to the top");
+        let rate = AbrAlgorithm::RateBased { safety: 0.8 };
+        assert_eq!(rate.choose(&ladder, 0.0, 1_000_000.0 / 8.0 * 0.5), 0); // 0.4 Mbps budget
+        assert_eq!(rate.choose(&ladder, 0.0, 200_000.0), 2); // 1.28 Mbps budget
+        let buffer = AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 12.0 };
+        assert_eq!(buffer.choose(&ladder, 0.0, 1e9), 0);
+        assert_eq!(buffer.choose(&ladder, 20.0, 0.0), 2);
+        assert_eq!(buffer.choose(&ladder, 8.0, 0.0), 1);
+        assert_eq!(AbrAlgorithm::RateBased { safety: 0.8 }.name(), "rate-based");
+    }
+
+    #[test]
+    fn fixed_top_rendition_delivers_full_quality() {
+        let metrics =
+            run_abr(&small_ladder(), &small_config(AbrAlgorithm::FixedRendition(2)), 7);
+        assert_eq!(metrics.reports.len(), 4);
+        assert_eq!(metrics.completion_rate(), 1.0);
+        assert!((metrics.mean_bitrate_bps() - 1_000_000.0).abs() < 1.0);
+        for report in &metrics.reports {
+            assert_eq!(report.switches, 0);
+            assert_eq!(report.rung_counts, vec![0, 0, 6]);
+        }
+    }
+
+    #[test]
+    fn buffer_based_abr_trades_quality_for_fewer_stalls() {
+        // At 160 kB/s (1.28 Mbps) the top 1 Mbps rendition is marginal;
+        // ABR should stall less than fixed-top while delivering less
+        // quality than the full 1 Mbps.
+        let config_of = |algorithm| AbrConfig {
+            client_bandwidth_bytes_per_sec: 160_000.0,
+            ..small_config(algorithm)
+        };
+        let abr = run_abr(
+            &small_ladder(),
+            &config_of(AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 }),
+            11,
+        );
+        let fixed = run_abr(&small_ladder(), &config_of(AbrAlgorithm::FixedRendition(2)), 11);
+        assert!(abr.mean_bitrate_bps() < fixed.mean_bitrate_bps(), "quality was sacrificed");
+        assert!(
+            abr.mean_stall_secs() <= fixed.mean_stall_secs(),
+            "abr stall time {} should not exceed fixed-top {}",
+            abr.mean_stall_secs(),
+            fixed.mean_stall_secs()
+        );
+        assert_eq!(abr.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn abr_runs_are_deterministic() {
+        let ladder = small_ladder();
+        let config = small_config(AbrAlgorithm::RateBased { safety: 0.8 });
+        assert_eq!(run_abr(&ladder, &config, 5), run_abr(&ladder, &config, 5));
+        assert_ne!(run_abr(&ladder, &config, 5), run_abr(&ladder, &config, 6));
+    }
+
+    #[test]
+    fn request_tags_round_trip() {
+        for (r, i) in [(0usize, 0u32), (3, 77), (255, 0x00FF_FFFF)] {
+            let req = tag_request(NodeId::from_index(1), r, i);
+            assert_eq!(untag_request(&req), (r, i));
+        }
+        assert_eq!(untag(tag_of(2, 9)), (2, 9));
+    }
+}

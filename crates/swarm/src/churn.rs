@@ -1,0 +1,97 @@
+//! Peer churn: the arrival/departure dynamics of §III's motivation
+//! ("peers can leave the swarm anytime").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configures which peers leave and when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Fraction of leechers that will depart before finishing.
+    pub volatile_fraction: f64,
+    /// Mean lifetime of a volatile peer after joining, seconds
+    /// (exponentially distributed).
+    pub mean_lifetime_secs: f64,
+}
+
+impl ChurnConfig {
+    /// Creates a churn config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volatile_fraction` is outside `[0, 1]` or the lifetime is
+    /// not positive.
+    pub fn new(volatile_fraction: f64, mean_lifetime_secs: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&volatile_fraction),
+            "volatile fraction must be in [0,1], got {volatile_fraction}"
+        );
+        assert!(mean_lifetime_secs > 0.0, "mean lifetime must be positive");
+        ChurnConfig { volatile_fraction, mean_lifetime_secs }
+    }
+
+    /// Samples a departure delay (seconds after joining) for each of
+    /// `n_peers` leechers; `None` means the peer stays.
+    pub fn sample_departures(&self, n_peers: usize, rng: &mut StdRng) -> Vec<Option<f64>> {
+        (0..n_peers)
+            .map(|_| {
+                if rng.gen::<f64>() < self.volatile_fraction {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    Some(-u.ln() * self.mean_lifetime_secs)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_fraction_means_no_departures() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = ChurnConfig::new(0.0, 10.0).sample_departures(50, &mut rng);
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn full_fraction_means_all_depart() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = ChurnConfig::new(1.0, 10.0).sample_departures(50, &mut rng);
+        assert!(d.iter().all(Option::is_some));
+        assert!(d.iter().flatten().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn mean_lifetime_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = ChurnConfig::new(1.0, 30.0).sample_departures(4_000, &mut rng);
+        let mean: f64 = d.iter().flatten().sum::<f64>() / 4_000.0;
+        assert!((mean - 30.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let cfg = ChurnConfig::new(0.5, 20.0);
+        let a = cfg.sample_departures(10, &mut StdRng::seed_from_u64(3));
+        let b = cfg.sample_departures(10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn bad_fraction_panics() {
+        let _ = ChurnConfig::new(1.5, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_lifetime_panics() {
+        let _ = ChurnConfig::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross traffic: competing flows on the viewers' access links.
+//!
+//! The paper's §VIII asks for exactly this experiment: "we also should
+//! experiment how the splicing works in case of competing flows and high
+//! congestion environment". A [`CrossTrafficNode`] is a bulk-download
+//! server off to the side of the star that keeps a configurable number of
+//! long-lived transfers running *toward every viewer*, so the stream has
+//! to share each access link with unrelated traffic.
+
+use serde::{Deserialize, Serialize};
+
+use splicecast_netsim::{Ctx, NodeBehavior, NodeEvent, NodeId, SimDuration};
+
+/// Configuration of the background load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossTrafficConfig {
+    /// Concurrent competing downloads per viewer.
+    pub flows_per_peer: usize,
+    /// Size of each background transfer; a finished transfer is restarted
+    /// immediately while the load window is open.
+    pub transfer_bytes: u64,
+    /// How long the background load keeps restarting, seconds (bounded so
+    /// runs terminate).
+    pub duration_secs: f64,
+}
+
+impl Default for CrossTrafficConfig {
+    fn default() -> Self {
+        CrossTrafficConfig { flows_per_peer: 1, transfer_bytes: 2_000_000, duration_secs: 300.0 }
+    }
+}
+
+impl CrossTrafficConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero flows/bytes or a non-positive duration.
+    pub fn validate(&self) {
+        assert!(self.flows_per_peer > 0, "cross traffic needs at least one flow per peer");
+        assert!(self.transfer_bytes > 0, "cross-traffic transfers need bytes");
+        assert!(self.duration_secs > 0.0, "cross-traffic duration must be positive");
+    }
+}
+
+const TOKEN_STOP: u64 = 1;
+
+/// The background bulk server.
+#[derive(Debug)]
+pub struct CrossTrafficNode {
+    targets: Vec<NodeId>,
+    config: CrossTrafficConfig,
+    active: bool,
+}
+
+impl CrossTrafficNode {
+    /// Creates a server that loads every node in `targets`.
+    pub fn new(targets: Vec<NodeId>, config: CrossTrafficConfig) -> Self {
+        config.validate();
+        CrossTrafficNode { targets, config, active: true }
+    }
+}
+
+impl NodeBehavior for CrossTrafficNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for &target in &self.targets {
+            for _ in 0..self.config.flows_per_peer {
+                let _ = ctx.start_transfer(target, self.config.transfer_bytes, target.index() as u64);
+            }
+        }
+        ctx.set_timer(SimDuration::from_secs_f64(self.config.duration_secs), TOKEN_STOP);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+        match event {
+            NodeEvent::Timer { token: TOKEN_STOP } => self.active = false,
+            NodeEvent::UploadComplete { to, .. } => {
+                if self.active && ctx.is_online(to) {
+                    let _ = ctx.start_transfer(to, self.config.transfer_bytes, to.index() as u64);
+                }
+            }
+            // A failed upload means the viewer churned out: stop loading it.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CrossTrafficConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn zero_flows_panics() {
+        CrossTrafficConfig { flows_per_peer: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_panics() {
+        CrossTrafficConfig { duration_secs: 0.0, ..Default::default() }.validate();
+    }
+}

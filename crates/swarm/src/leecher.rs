@@ -1,0 +1,550 @@
+//! The leecher: joins the swarm, downloads segments under a pooling
+//! policy, plays the video, and serves other peers.
+
+use std::collections::BTreeMap;
+
+use splicecast_media::{Manifest, SegmentList};
+use splicecast_netsim::{Ctx, NodeBehavior, NodeEvent, NodeId, SimDuration, SimTime};
+use splicecast_player::{Playback, PlaybackState};
+use splicecast_protocol::{decode_single, encode_to_bytes, Bitfield, Message, PROTOCOL_VERSION};
+
+use crate::metrics::{MetricsSink, PeerReport};
+use crate::peer::PeerView;
+use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
+use crate::scheduler::{next_wanted, pick_source, SourceCandidate};
+use crate::upload::UploadSide;
+
+const TOKEN_BOOT: u64 = 1;
+const TOKEN_PUMP: u64 = 2;
+const TOKEN_DEPART: u64 = 3;
+
+/// Everything a leecher needs to operate.
+pub struct LeecherConfig {
+    /// Leecher index (for reports), 0-based.
+    pub index: usize,
+    /// The seeder's node id.
+    pub seeder: NodeId,
+    /// The CDN node, in hybrid mode.
+    pub cdn: Option<NodeId>,
+    /// The other leechers.
+    pub others: Vec<NodeId>,
+    /// The splice being streamed.
+    pub segments: SegmentList,
+    /// Pool-size policy (§III).
+    pub policy: Box<dyn DownloadPolicy>,
+    /// Bandwidth estimator feeding the policy's `B`.
+    pub estimator: BandwidthEstimator,
+    /// Concurrent uploads served to other peers.
+    pub upload_slots: usize,
+    /// Delay before this peer joins the swarm.
+    pub join_delay: SimDuration,
+    /// If set, the peer departs this long after joining (churn).
+    pub depart_after: Option<SimDuration>,
+    /// Cadence of the maintenance timer.
+    pub pump_interval: SimDuration,
+    /// How long a request may sit unserved before re-requesting.
+    pub request_timeout: SimDuration,
+    /// Media that must be buffered before resuming from a stall, seconds.
+    pub resume_buffer_secs: f64,
+    /// How the policy's `W` is estimated.
+    pub w_estimate: crate::policy::WEstimate,
+    /// When false, segments are fetched from the CDN only (§IV's
+    /// CDN-served scenario); peer-to-peer exchange is disabled.
+    pub p2p: bool,
+    /// How this leecher learns about other peers.
+    pub discovery: crate::swarm::DiscoveryMode,
+    /// Where the final [`PeerReport`] is written.
+    pub sink: MetricsSink,
+}
+
+impl std::fmt::Debug for LeecherConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeecherConfig")
+            .field("index", &self.index)
+            .field("policy", &self.policy)
+            .field("p2p", &self.p2p)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    source: NodeId,
+    requested_at: SimTime,
+    /// Whether the source has started serving (we saw its SegmentHeader).
+    serving: bool,
+}
+
+/// The leecher node behaviour.
+#[derive(Debug)]
+pub struct LeecherNode {
+    cfg: LeecherConfig,
+    playback: Playback,
+    holdings: Bitfield,
+    views: BTreeMap<NodeId, PeerView>,
+    in_flight: BTreeMap<u32, InFlight>,
+    uploads: UploadSide,
+    /// Set once the manifest has arrived; downloads start then.
+    streaming: bool,
+    pumping: bool,
+    pumps: u64,
+    report: PeerReport,
+    reported: bool,
+}
+
+impl LeecherNode {
+    /// Creates a leecher. It stays idle until `join_delay` elapses.
+    pub fn new(cfg: LeecherConfig) -> Self {
+        let segment_count = cfg.segments.len() as u32;
+        let mut playback = Playback::new(&cfg.segments);
+        playback.set_resume_threshold(cfg.resume_buffer_secs);
+        let mut views = BTreeMap::new();
+        views.insert(cfg.seeder, PeerView::new(segment_count));
+        if let Some(cdn) = cfg.cdn {
+            views.insert(cdn, PeerView::new(segment_count));
+        }
+        if cfg.discovery == crate::swarm::DiscoveryMode::Full {
+            for &other in &cfg.others {
+                views.insert(other, PeerView::new(segment_count));
+            }
+        }
+        let uploads = UploadSide::new(cfg.upload_slots);
+        let report = PeerReport { peer: cfg.index, ..PeerReport::default() };
+        LeecherNode {
+            playback,
+            holdings: Bitfield::new(segment_count),
+            views,
+            in_flight: BTreeMap::new(),
+            uploads,
+            streaming: false,
+            pumping: false,
+            pumps: 0,
+            report,
+            reported: false,
+            cfg,
+        }
+    }
+
+    /// This leecher's final report (also written to the sink at sim end).
+    pub fn report(&self) -> &PeerReport {
+        &self.report
+    }
+
+    fn is_origin(&self, node: NodeId) -> bool {
+        node == self.cfg.seeder || self.cfg.cdn == Some(node)
+    }
+
+    fn say(&mut self, ctx: &mut Ctx<'_>, to: NodeId, message: &Message) -> bool {
+        match ctx.send(to, encode_to_bytes(message)) {
+            Ok(()) => true,
+            Err(_) => {
+                // Unreachable peer (churned out): forget it entirely.
+                self.views.remove(&to);
+                self.uploads.forget_peer(to);
+                false
+            }
+        }
+    }
+
+    fn greet(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
+        if self.views.get(&peer).is_some_and(|v| v.greeted) {
+            return;
+        }
+        let hs = Message::Handshake {
+            peer_id: self.cfg.index as u64 + 1,
+            info_hash: crate::seeder::info_hash_of(""),
+            version: PROTOCOL_VERSION,
+        };
+        if self.say(ctx, peer, &hs) {
+            if let Some(view) = self.views.get_mut(&peer) {
+                view.greeted = true;
+            }
+        }
+    }
+
+    fn boot(&mut self, ctx: &mut Ctx<'_>) {
+        // Handshake the origins and (in P2P mode) every known peer, then
+        // ask the seeder for the manifest — and, under tracker discovery,
+        // for the member list.
+        self.greet(ctx, self.cfg.seeder);
+        if let Some(cdn) = self.cfg.cdn {
+            self.greet(ctx, cdn);
+        }
+        if self.cfg.p2p {
+            match self.cfg.discovery {
+                crate::swarm::DiscoveryMode::Full => {
+                    for other in self.cfg.others.clone() {
+                        self.greet(ctx, other);
+                    }
+                }
+                crate::swarm::DiscoveryMode::Tracker => {
+                    self.say(ctx, self.cfg.seeder, &Message::PeerListRequest);
+                }
+            }
+        }
+        self.say(ctx, self.cfg.seeder, &Message::ManifestRequest);
+        if let Some(depart) = self.cfg.depart_after {
+            ctx.set_timer(depart, TOKEN_DEPART);
+        }
+        self.pumping = true;
+        ctx.set_timer(self.cfg.pump_interval, TOKEN_PUMP);
+    }
+
+    /// The heart of §III: keep the download pool filled to the policy's
+    /// size. The pool is a sliding window over the sequential segment
+    /// order: whenever a download completes (or the policy's `k` grows
+    /// because `T` grew), the next wanted segments are requested. An
+    /// oversized pool is counterproductive on a thin link: the next-needed
+    /// segment gets `1/k` of the bandwidth while `k` parallel connections
+    /// overload the access link (§VI-B).
+    fn schedule(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.streaming {
+            return;
+        }
+        let now = ctx.now().as_secs_f64();
+        loop {
+            let Some(want) = next_wanted(
+                self.holdings.len(),
+                |i| self.holdings.get(i),
+                |i| self.in_flight.contains_key(&i),
+            ) else {
+                return; // everything held or requested
+            };
+            let w = match self.cfg.w_estimate {
+                crate::policy::WEstimate::MeanSegment => {
+                    self.cfg.segments.mean_segment_bytes().round() as u64
+                }
+                crate::policy::WEstimate::NextSegment => self.cfg.segments[want as usize].bytes,
+            };
+            let input = PolicyInput {
+                bandwidth_bytes_per_sec: self.cfg.estimator.bytes_per_sec(),
+                buffered_secs: self.playback.buffered_ahead(now).as_secs_f64(),
+                next_segment_bytes: w,
+            };
+            if self.in_flight.len() >= self.cfg.policy.pool_size(&input) {
+                return;
+            }
+            let Some(source) = self.pick_source_for(ctx, want) else { return };
+            self.request_from(ctx, source, want);
+        }
+    }
+
+    fn pick_source_for(&mut self, ctx: &mut Ctx<'_>, index: u32) -> Option<NodeId> {
+        let cdn_busy = self
+            .cfg
+            .cdn
+            .map(|cdn| self.in_flight.values().filter(|f| f.source == cdn).count() >= 1)
+            .unwrap_or(true);
+        let mut candidates = Vec::new();
+        for (&peer, view) in &self.views {
+            if !view.handshaken || !ctx.is_online(peer) {
+                continue;
+            }
+            if self.cfg.cdn == Some(peer) {
+                // §IV: downloads from the CDN happen one segment at a time.
+                if !cdn_busy {
+                    candidates.push(SourceCandidate { peer, outstanding: view.outstanding });
+                }
+                continue;
+            }
+            if !self.cfg.p2p {
+                continue; // CDN-only mode: neither seeder nor peers serve data
+            }
+            if view.holdings.get(index) {
+                candidates.push(SourceCandidate { peer, outstanding: view.outstanding });
+            }
+        }
+        // Prefer fellow leechers whenever one holds the segment: the origin
+        // is the last resort, so its uplink stays free to push *fresh*
+        // segments into the swarm (classic BitTorrent etiquette, and what
+        // keeps a bandwidth-tight swarm feasible).
+        let peers_only: Vec<SourceCandidate> =
+            candidates.iter().copied().filter(|c| !self.is_origin(c.peer)).collect();
+        let mut pool = if peers_only.is_empty() { candidates } else { peers_only };
+        pool.sort_by_key(|c| c.peer); // deterministic iteration order
+        pick_source(&pool, ctx.rng())
+    }
+
+    fn request_from(&mut self, ctx: &mut Ctx<'_>, source: NodeId, index: u32) {
+        if self.say(ctx, source, &Message::Request { index }) {
+            self.in_flight
+                .insert(index, InFlight { source, requested_at: ctx.now(), serving: false });
+            if let Some(view) = self.views.get_mut(&source) {
+                view.outstanding += 1;
+            }
+        }
+    }
+
+    fn drop_in_flight(&mut self, index: u32) -> Option<InFlight> {
+        let entry = self.in_flight.remove(&index)?;
+        if let Some(view) = self.views.get_mut(&entry.source) {
+            view.outstanding = view.outstanding.saturating_sub(1);
+        }
+        Some(entry)
+    }
+
+    /// Re-requests entries that sat unserved past the timeout, or whose
+    /// source went offline. Re-requesting moves to a *different* source
+    /// when one exists (and cancels at the old one); otherwise the timer is
+    /// simply extended — the old source is still the only provider.
+    fn check_timeouts(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let stale: Vec<(u32, InFlight)> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| {
+                !ctx.is_online(f.source)
+                    || (!f.serving && now.saturating_since(f.requested_at) >= self.cfg.request_timeout)
+            })
+            .map(|(&i, &f)| (i, f))
+            .collect();
+        for (index, entry) in stale {
+            if !ctx.is_online(entry.source) {
+                self.views.remove(&entry.source);
+                self.drop_in_flight(index);
+                continue;
+            }
+            let alternative = self.pick_source_for(ctx, index).filter(|&s| s != entry.source);
+            match alternative {
+                Some(_) => {
+                    self.say(ctx, entry.source, &Message::Cancel { index });
+                    self.drop_in_flight(index);
+                }
+                None => {
+                    if let Some(f) = self.in_flight.get_mut(&index) {
+                        f.requested_at = now; // wait another round
+                    }
+                }
+            }
+        }
+    }
+
+    fn update_interest(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
+        let Some(view) = self.views.get(&peer) else { return };
+        if view.interested_sent || self.is_origin(peer) {
+            return;
+        }
+        let wants_something = view.holdings.iter_set().any(|i| !self.holdings.get(i));
+        if wants_something {
+            if self.say(ctx, peer, &Message::Interested) {
+                if let Some(view) = self.views.get_mut(&peer) {
+                    view.interested_sent = true;
+                }
+            }
+        }
+    }
+
+    fn on_segment_complete(&mut self, ctx: &mut Ctx<'_>, from: NodeId, index: u32, bytes: u64, started: SimTime) {
+        if index >= self.holdings.len() {
+            // Not a segment of ours: bulk data from outside the swarm
+            // (e.g. another application sharing the access link).
+            return;
+        }
+        let now = ctx.now();
+        self.report.bytes_downloaded += bytes;
+        self.cfg
+            .estimator
+            .observe(bytes, now.saturating_since(started).as_secs_f64());
+        self.drop_in_flight(index);
+        if self.holdings.get(index) {
+            return; // duplicate delivery from a raced re-request
+        }
+        self.holdings.set(index);
+        if from == self.cfg.seeder {
+            self.report.segments_from_seeder += 1;
+        } else if self.cfg.cdn == Some(from) {
+            self.report.segments_from_cdn += 1;
+        } else {
+            self.report.segments_from_peers += 1;
+        }
+        self.playback.on_segment(index as usize, now.as_secs_f64());
+        if self.cfg.p2p {
+            let peers: Vec<NodeId> = self
+                .views
+                .keys()
+                .copied()
+                .filter(|&p| !self.is_origin(p))
+                .collect();
+            for peer in peers {
+                self.say(ctx, peer, &Message::Have { index });
+            }
+        }
+        self.schedule(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+        let Ok(message) = decode_single(payload) else { return };
+        match message {
+            Message::Handshake { .. } => {
+                self.greet(ctx, from);
+                if let Some(view) = self.views.get_mut(&from) {
+                    view.handshaken = true;
+                }
+                let bitfield = Message::Bitfield(self.holdings.clone());
+                self.say(ctx, from, &bitfield);
+                self.schedule(ctx);
+            }
+            Message::Bitfield(bf) => {
+                if let Some(view) = self.views.get_mut(&from) {
+                    if bf.len() == view.holdings.len() {
+                        view.holdings = bf;
+                    }
+                }
+                self.update_interest(ctx, from);
+                self.schedule(ctx);
+            }
+            Message::Have { index } => {
+                if let Some(view) = self.views.get_mut(&from) {
+                    if index < view.holdings.len() {
+                        view.holdings.set(index);
+                    }
+                }
+                self.update_interest(ctx, from);
+                self.schedule(ctx);
+            }
+            Message::ManifestData { payload } => {
+                if self.streaming {
+                    return;
+                }
+                let text = std::str::from_utf8(&payload).unwrap_or("");
+                match Manifest::parse_m3u8(text) {
+                    Ok(manifest) if manifest.len() == self.cfg.segments.len() => {
+                        self.streaming = true;
+                        self.schedule(ctx);
+                    }
+                    _ => {
+                        // Corrupt manifest: ask again.
+                        self.say(ctx, self.cfg.seeder, &Message::ManifestRequest);
+                    }
+                }
+            }
+            Message::SegmentHeader { index, .. } => {
+                if let Some(entry) = self.in_flight.get_mut(&index) {
+                    if entry.source == from {
+                        entry.serving = true;
+                    }
+                }
+            }
+            Message::Request { index } => {
+                let have = index < self.holdings.len() && self.holdings.get(index);
+                let segments = self.cfg.segments.clone();
+                self.uploads.on_request(ctx, from, index, &segments, have);
+            }
+            Message::Cancel { index } => self.uploads.on_cancel(from, index),
+            Message::Goodbye => {
+                self.views.remove(&from);
+                self.uploads.forget_peer(from);
+            }
+            Message::PeerList { peers } => {
+                if !self.cfg.p2p {
+                    return;
+                }
+                let me = ctx.me();
+                for raw in peers {
+                    let peer = NodeId::from_index(raw as usize);
+                    if peer == me || self.is_origin(peer) || self.views.contains_key(&peer) {
+                        continue;
+                    }
+                    if !ctx.is_online(peer) {
+                        continue;
+                    }
+                    self.views.insert(peer, PeerView::new(self.holdings.len()));
+                    self.greet(ctx, peer);
+                }
+            }
+            // Choke/Unchoke/Interested/NotInterested/KeepAlive: purely
+            // informational in this client.
+            _ => {}
+        }
+    }
+
+    fn write_report(&mut self, ctx: &mut Ctx<'_>, departed: bool) {
+        if self.reported {
+            return;
+        }
+        self.reported = true;
+        self.playback.finish(ctx.now().as_secs_f64());
+        self.report.qoe = self.playback.metrics();
+        self.report.stalls = self.playback.stalls().to_vec();
+        self.report.bytes_uploaded = self.uploads.bytes_uploaded;
+        self.report.finished = self.playback.state() == PlaybackState::Finished;
+        self.report.departed = departed;
+        self.cfg.sink.borrow_mut().push(self.report.clone());
+    }
+}
+
+impl NodeBehavior for LeecherNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.cfg.join_delay, TOKEN_BOOT);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+        match event {
+            NodeEvent::Message { from, payload } => self.on_message(ctx, from, &payload),
+            NodeEvent::Timer { token: TOKEN_BOOT } => self.boot(ctx),
+            NodeEvent::Timer { token: TOKEN_PUMP } => {
+                self.playback.advance(ctx.now().as_secs_f64());
+                self.check_timeouts(ctx);
+                self.schedule(ctx);
+                // Under tracker discovery, re-announce periodically so
+                // late joiners become visible.
+                self.pumps += 1;
+                if self.cfg.p2p
+                    && self.cfg.discovery == crate::swarm::DiscoveryMode::Tracker
+                    && self.pumps % 10 == 0
+                    && !self.holdings.is_complete()
+                {
+                    self.say(ctx, self.cfg.seeder, &Message::PeerListRequest);
+                }
+                if self.playback.state() != PlaybackState::Finished {
+                    ctx.set_timer(self.cfg.pump_interval, TOKEN_PUMP);
+                } else {
+                    self.pumping = false;
+                }
+            }
+            NodeEvent::Timer { token: TOKEN_DEPART } => {
+                self.write_report(ctx, true);
+                let peers: Vec<NodeId> = self.views.keys().copied().collect();
+                for peer in peers {
+                    self.say(ctx, peer, &Message::Goodbye);
+                }
+                ctx.go_offline();
+            }
+            NodeEvent::Timer { .. } => {}
+            NodeEvent::TransferComplete { from, tag, bytes, started, .. } => {
+                self.on_segment_complete(ctx, from, tag as u32, bytes, started);
+            }
+            NodeEvent::UploadComplete { flow, .. } => {
+                let segments = self.cfg.segments.clone();
+                self.uploads.on_upload_complete(ctx, flow, &segments);
+            }
+            NodeEvent::TransferFailed { flow, peer, tag, .. } => {
+                let segments = self.cfg.segments.clone();
+                if self.uploads.on_transfer_failed(ctx, flow, &segments) {
+                    return;
+                }
+                // A download died (the source churned out mid-transfer).
+                let index = tag as u32;
+                if self.in_flight.get(&index).is_some_and(|f| f.source == peer) {
+                    self.drop_in_flight(index);
+                    if !ctx.is_online(peer) {
+                        self.views.remove(&peer);
+                    }
+                    if self.in_flight.is_empty() {
+                        self.schedule(ctx);
+                    } else if !self.holdings.get(index) {
+                        // Refill the hole in the current batch directly.
+                        if let Some(source) = self.pick_source_for(ctx, index) {
+                            self.request_from(ctx, source, index);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_sim_end(&mut self, ctx: &mut Ctx<'_>) {
+        self.write_report(ctx, false);
+    }
+}

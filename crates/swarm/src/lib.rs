@@ -1,0 +1,62 @@
+//! # splicecast-swarm
+//!
+//! The **P2P video-streaming application** of *"Video Splicing Techniques
+//! for P2P Video Streaming"* (ICDCS 2015): a seeder and a set of leechers
+//! exchanging spliced MPEG-4 segments over a BitTorrent-like protocol on a
+//! simulated star network.
+//!
+//! - [`SeederNode`] / [`LeecherNode`]: the node behaviours (manifest
+//!   exchange, handshakes, bitfields, requests, bulk transfers, playback);
+//! - [`AdaptivePooling`] / [`FixedPool`]: the §III download policies, with
+//!   [`optimal_pool_size`] implementing Eq. 1 directly;
+//! - [`ChurnConfig`]: peers leaving mid-stream; [`CdnConfig`]: the §IV
+//!   hybrid-CDN mode with the [`max_cdn_segment_bytes`] sizing bound;
+//! - [`DiscoveryMode`]: full-knowledge or tracker-based peer discovery
+//!   (the seeder doubles as the tracker);
+//! - [`run_abr`]: the §I adaptive-bitrate baseline (CDN-served ladder
+//!   clients) the paper motivates against;
+//! - [`run_swarm`]: build, run, and measure one swarm deterministically.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use splicecast_media::{GopSplicer, Splicer, Video};
+//! use splicecast_swarm::{run_swarm, SwarmConfig};
+//!
+//! let video = Video::builder().seed(1).build(); // the paper's 2-min clip
+//! let segments = GopSplicer.splice(&video);
+//! let metrics = run_swarm(&segments, &SwarmConfig::default(), 42);
+//! println!("stalls per viewer: {:.1}", metrics.mean_stalls());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod abr;
+mod cdn;
+mod churn;
+mod cross;
+mod leecher;
+mod metrics;
+mod peer;
+mod policy;
+mod scheduler;
+mod seeder;
+mod swarm;
+mod upload;
+
+pub use abr::{run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, AbrReport};
+pub use cdn::{max_cdn_segment_bytes, CdnConfig};
+pub use churn::ChurnConfig;
+pub use cross::{CrossTrafficConfig, CrossTrafficNode};
+pub use leecher::{LeecherConfig, LeecherNode};
+pub use metrics::{MetricsSink, PeerReport, SwarmMetrics};
+pub use peer::{PeerView, UploadManager, UploadRequest};
+pub use policy::{
+    optimal_pool_size, AdaptivePooling, BandwidthEstimator, DownloadPolicy, EstimatorKind,
+    FixedPool, PolicyConfig, PolicyInput, WEstimate,
+};
+pub use scheduler::{next_wanted, pick_source, SourceCandidate};
+pub use seeder::{info_hash_of, SeederNode};
+pub use swarm::{run_swarm, DiscoveryMode, SwarmConfig};
+pub use upload::UploadSide;

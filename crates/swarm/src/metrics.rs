@@ -1,0 +1,192 @@
+//! Swarm-level metric collection.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+use splicecast_player::{QoeMetrics, StallEvent};
+
+/// Final accounting for one leecher.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeerReport {
+    /// Leecher index (0-based, excluding the seeder).
+    pub peer: usize,
+    /// Startup / stall / completion summary.
+    pub qoe: QoeMetrics,
+    /// The individual stall events.
+    pub stalls: Vec<StallEvent>,
+    /// Payload bytes received over completed transfers.
+    pub bytes_downloaded: u64,
+    /// Payload bytes sent over completed uploads.
+    pub bytes_uploaded: u64,
+    /// Segments obtained from the seeder.
+    pub segments_from_seeder: usize,
+    /// Segments obtained from other leechers.
+    pub segments_from_peers: usize,
+    /// Segments obtained from the CDN (hybrid mode).
+    pub segments_from_cdn: usize,
+    /// Whether the peer finished watching the whole video.
+    pub finished: bool,
+    /// Whether the peer churned out before finishing.
+    pub departed: bool,
+}
+
+/// Shared sink the leechers report into. Single-threaded by design: one
+/// simulation runs on one thread (experiment sweeps parallelise across
+/// whole simulations).
+pub type MetricsSink = Rc<RefCell<Vec<PeerReport>>>;
+
+/// Results of one swarm run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwarmMetrics {
+    /// Per-leecher reports, ordered by peer index.
+    pub reports: Vec<PeerReport>,
+    /// Simulated time at which the run ended, in seconds.
+    pub sim_end_secs: f64,
+    /// Network-level traffic counters for the whole run.
+    pub net: splicecast_netsim::SimStats,
+}
+
+impl SwarmMetrics {
+    /// Reports of peers that stayed for the whole run (the paper measures
+    /// viewers, not churners).
+    pub fn watching(&self) -> impl Iterator<Item = &PeerReport> {
+        self.reports.iter().filter(|r| !r.departed)
+    }
+
+    /// Mean number of stalls per watching peer.
+    pub fn mean_stalls(&self) -> f64 {
+        mean(self.watching().map(|r| r.qoe.stall_count as f64))
+    }
+
+    /// Mean total stall duration per watching peer, seconds.
+    pub fn mean_stall_secs(&self) -> f64 {
+        mean(self.watching().map(|r| r.qoe.total_stall_secs))
+    }
+
+    /// Mean startup time over watching peers that started, seconds.
+    pub fn mean_startup_secs(&self) -> f64 {
+        mean(self.watching().filter_map(|r| r.qoe.startup_secs))
+    }
+
+    /// Worst startup time, seconds.
+    pub fn max_startup_secs(&self) -> f64 {
+        self.watching().filter_map(|r| r.qoe.startup_secs).fold(0.0, f64::max)
+    }
+
+    /// Fraction of watching peers that finished the video.
+    pub fn completion_rate(&self) -> f64 {
+        mean(self.watching().map(|r| if r.finished { 1.0 } else { 0.0 }))
+    }
+
+    /// Total bytes downloaded across all peers.
+    pub fn total_bytes_downloaded(&self) -> u64 {
+        self.reports.iter().map(|r| r.bytes_downloaded).sum()
+    }
+
+    /// Wire bytes per payload byte delivered — protocol-plus-loss expense
+    /// of moving the stream (1.0 would be a perfect lossless unicast).
+    pub fn wire_expansion(&self) -> f64 {
+        if self.net.payload_bytes_delivered == 0 {
+            0.0
+        } else {
+            self.net.wire_bytes_sent as f64 / self.net.payload_bytes_delivered as f64
+        }
+    }
+
+    /// Fraction of segment deliveries that came from other leechers rather
+    /// than the seeder or CDN (peer offload).
+    pub fn peer_offload_ratio(&self) -> f64 {
+        let from_peers: usize = self.reports.iter().map(|r| r.segments_from_peers).sum();
+        let total: usize = self
+            .reports
+            .iter()
+            .map(|r| r.segments_from_peers + r.segments_from_seeder + r.segments_from_cdn)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            from_peers as f64 / total as f64
+        }
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(peer: usize, stalls: usize, stall_secs: f64, departed: bool) -> PeerReport {
+        PeerReport {
+            peer,
+            qoe: QoeMetrics {
+                startup_secs: Some(peer as f64),
+                stall_count: stalls,
+                total_stall_secs: stall_secs,
+                finished_secs: (!departed).then_some(100.0),
+            },
+            finished: !departed,
+            departed,
+            segments_from_peers: 3,
+            segments_from_seeder: 1,
+            ..PeerReport::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_exclude_departed_peers() {
+        let m = SwarmMetrics {
+            reports: vec![report(0, 2, 4.0, false), report(1, 4, 8.0, false), report(2, 100, 100.0, true)],
+            sim_end_secs: 200.0,
+            net: Default::default(),
+        };
+        assert_eq!(m.watching().count(), 2);
+        assert!((m.mean_stalls() - 3.0).abs() < 1e-9);
+        assert!((m.mean_stall_secs() - 6.0).abs() < 1e-9);
+        assert!((m.mean_startup_secs() - 0.5).abs() < 1e-9);
+        assert_eq!(m.max_startup_secs(), 1.0);
+        assert_eq!(m.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn offload_counts_all_reports() {
+        let m = SwarmMetrics {
+            reports: vec![report(0, 0, 0.0, false), report(1, 0, 0.0, false)],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+        };
+        assert!((m.peer_offload_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = SwarmMetrics::default();
+        assert_eq!(m.mean_stalls(), 0.0);
+        assert_eq!(m.mean_startup_secs(), 0.0);
+        assert_eq!(m.peer_offload_ratio(), 0.0);
+        assert_eq!(m.completion_rate(), 0.0);
+        assert_eq!(m.total_bytes_downloaded(), 0);
+        assert_eq!(m.wire_expansion(), 0.0);
+    }
+
+    #[test]
+    fn wire_expansion_ratio() {
+        let mut m = SwarmMetrics::default();
+        m.net.payload_bytes_delivered = 1_000;
+        m.net.wire_bytes_sent = 1_250;
+        assert!((m.wire_expansion() - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-peer bookkeeping shared by seeders and leechers.
+
+use std::collections::VecDeque;
+
+use splicecast_netsim::NodeId;
+use splicecast_protocol::Bitfield;
+
+/// What this node knows about one remote peer.
+#[derive(Debug, Clone)]
+pub struct PeerView {
+    /// Last availability map the peer sent, updated by `Have`s.
+    pub holdings: Bitfield,
+    /// Whether we have sent them our handshake.
+    pub greeted: bool,
+    /// Whether they have sent us their handshake.
+    pub handshaken: bool,
+    /// Whether we have told them we are interested.
+    pub interested_sent: bool,
+    /// Requests we have sent them that have not completed or failed.
+    pub outstanding: u32,
+}
+
+impl PeerView {
+    /// A fresh view with nothing known.
+    pub fn new(segment_count: u32) -> Self {
+        PeerView {
+            holdings: Bitfield::new(segment_count),
+            greeted: false,
+            handshaken: false,
+            interested_sent: false,
+            outstanding: 0,
+        }
+    }
+}
+
+/// An accepted upload: who asked for which segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadRequest {
+    /// The requesting peer.
+    pub peer: NodeId,
+    /// The requested segment.
+    pub segment: u32,
+}
+
+/// Manages a node's upload side: a bounded number of concurrent uploads
+/// plus a FIFO queue of waiting requests, like the per-peer service slots
+/// of a BitTorrent client.
+#[derive(Debug)]
+pub struct UploadManager {
+    max_active: usize,
+    active: usize,
+    queue: VecDeque<UploadRequest>,
+}
+
+impl UploadManager {
+    /// Creates a manager with the given concurrency limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_active` is zero.
+    pub fn new(max_active: usize) -> Self {
+        assert!(max_active > 0, "upload slots must be positive");
+        UploadManager { max_active, active: 0, queue: VecDeque::new() }
+    }
+
+    /// Number of uploads currently running.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Number of requests waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers a request. Returns `true` when it can start right away (a
+    /// slot was claimed and `can_serve` allowed it); otherwise it is
+    /// queued. `can_serve` lets the caller veto requests that must wait
+    /// even though a slot is free — e.g. super-seeding style deduplication
+    /// (don't push the same segment to two peers at once).
+    pub fn offer<F>(&mut self, request: UploadRequest, can_serve: F) -> bool
+    where
+        F: Fn(&UploadRequest) -> bool,
+    {
+        if self.active < self.max_active && can_serve(&request) {
+            self.active += 1;
+            true
+        } else {
+            self.queue.push_back(request);
+            false
+        }
+    }
+
+    /// Releases a slot after an upload ends (complete or failed) and pops
+    /// the first queued request `can_serve` allows, which immediately
+    /// occupies the slot. Skipped requests keep their queue order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no upload is active.
+    pub fn release<F>(&mut self, can_serve: F) -> Option<UploadRequest>
+    where
+        F: Fn(&UploadRequest) -> bool,
+    {
+        self.release_preferring(can_serve, |_| false)
+    }
+
+    /// Like [`UploadManager::release`], but with a two-level preference:
+    /// the first queued request matching `primary` wins; if none matches,
+    /// the first matching `fallback` is taken instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no upload is active.
+    pub fn release_preferring<F, G>(&mut self, primary: F, fallback: G) -> Option<UploadRequest>
+    where
+        F: Fn(&UploadRequest) -> bool,
+        G: Fn(&UploadRequest) -> bool,
+    {
+        assert!(self.active > 0, "release without an active upload");
+        self.active -= 1;
+        let idx = self
+            .queue
+            .iter()
+            .position(&primary)
+            .or_else(|| self.queue.iter().position(&fallback))?;
+        let next = self.queue.remove(idx).expect("index in range");
+        self.active += 1;
+        Some(next)
+    }
+
+    /// A copy of the queued requests, in order (for load-aware policies).
+    pub fn queue_snapshot(&self) -> Vec<UploadRequest> {
+        self.queue.iter().copied().collect()
+    }
+
+    /// Drops queued requests matching the predicate (used for `Cancel` and
+    /// for peers that went offline).
+    pub fn drop_queued<F: Fn(&UploadRequest) -> bool>(&mut self, drop_if: F) {
+        self.queue.retain(|r| !drop_if(r));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(peer: usize, seg: u32) -> UploadRequest {
+        UploadRequest { peer: NodeId::from_index(peer), segment: seg }
+    }
+
+    fn any(_: &UploadRequest) -> bool {
+        true
+    }
+
+    #[test]
+    fn slots_then_queue() {
+        let mut m = UploadManager::new(2);
+        assert!(m.offer(req(1, 0), any));
+        assert!(m.offer(req(2, 1), any));
+        assert!(!m.offer(req(3, 2), any));
+        assert_eq!(m.active(), 2);
+        assert_eq!(m.queued(), 1);
+    }
+
+    #[test]
+    fn release_pops_fifo() {
+        let mut m = UploadManager::new(1);
+        assert!(m.offer(req(1, 0), any));
+        assert!(!m.offer(req(2, 1), any));
+        assert!(!m.offer(req(3, 2), any));
+        assert_eq!(m.release(any), Some(req(2, 1)));
+        assert_eq!(m.active(), 1, "popped request re-occupies the slot");
+        assert_eq!(m.release(any), Some(req(3, 2)));
+        assert_eq!(m.release(any), None);
+        assert_eq!(m.active(), 0);
+    }
+
+    #[test]
+    fn offer_veto_queues_despite_free_slot() {
+        let mut m = UploadManager::new(4);
+        assert!(!m.offer(req(1, 7), |_| false));
+        assert_eq!(m.active(), 0);
+        assert_eq!(m.queued(), 1);
+    }
+
+    #[test]
+    fn release_skips_vetoed_requests_in_order() {
+        let mut m = UploadManager::new(1);
+        assert!(m.offer(req(1, 0), any));
+        m.offer(req(2, 5), any);
+        m.offer(req(3, 6), any);
+        // Veto segment 5: release should pop segment 6 and keep 5 queued.
+        assert_eq!(m.release(|r| r.segment != 5), Some(req(3, 6)));
+        assert_eq!(m.queued(), 1);
+        assert_eq!(m.release(any), Some(req(2, 5)));
+    }
+
+    #[test]
+    fn release_with_all_vetoed_frees_the_slot() {
+        let mut m = UploadManager::new(1);
+        assert!(m.offer(req(1, 0), any));
+        m.offer(req(2, 5), any);
+        assert_eq!(m.release(|_| false), None);
+        assert_eq!(m.active(), 0);
+        assert_eq!(m.queued(), 1);
+    }
+
+    #[test]
+    fn drop_queued_filters() {
+        let mut m = UploadManager::new(1);
+        m.offer(req(1, 0), any);
+        m.offer(req(2, 1), any);
+        m.offer(req(2, 2), any);
+        m.offer(req(3, 3), any);
+        m.drop_queued(|r| r.peer == NodeId::from_index(2));
+        assert_eq!(m.queued(), 1);
+        assert_eq!(m.release(any), Some(req(3, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "release without an active upload")]
+    fn release_when_idle_panics() {
+        UploadManager::new(1).release(any);
+    }
+
+    #[test]
+    fn peer_view_defaults() {
+        let v = PeerView::new(10);
+        assert!(!v.handshaken);
+        assert!(!v.interested_sent);
+        assert_eq!(v.outstanding, 0);
+        assert_eq!(v.holdings.count_ones(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Download policies: how many segments to fetch simultaneously.
+//!
+//! This is the paper's §III. A peer that has `T` seconds of playback
+//! buffered, sees `B` bytes/s of per-peer bandwidth, and downloads
+//! `W`-byte segments should keep at most
+//!
+//! ```text
+//! k = max( ⌊B·T / W⌋, 1 )            (Eq. 1)
+//! ```
+//!
+//! downloads in flight: all `k` must land within `T` seconds or the play-out
+//! runs dry, and `B·T` bytes is all the pipe can move in that window.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to a download policy decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyInput {
+    /// Estimated per-peer available bandwidth, bytes per second (the `B`).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Seconds of playback buffered ahead of the play head (the `T`).
+    pub buffered_secs: f64,
+    /// Size of the next segment to fetch, bytes (the `W`).
+    pub next_segment_bytes: u64,
+}
+
+/// A rule deciding the download-pool size.
+pub trait DownloadPolicy: fmt::Debug {
+    /// Maximum number of simultaneous segment downloads right now.
+    fn pool_size(&self, input: &PolicyInput) -> usize;
+
+    /// Short name for reports.
+    fn name(&self) -> String;
+}
+
+/// The paper's adaptive pooling (Eq. 1).
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_swarm::{AdaptivePooling, DownloadPolicy, PolicyInput};
+///
+/// let policy = AdaptivePooling::new();
+/// let k = policy.pool_size(&PolicyInput {
+///     bandwidth_bytes_per_sec: 128_000.0,
+///     buffered_secs: 8.0,
+///     next_segment_bytes: 256_000,
+/// });
+/// assert_eq!(k, 4); // ⌊128k · 8 / 256k⌋
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptivePooling {
+    /// Optional ceiling on the pool (0 = unlimited). The paper places no
+    /// cap; a cap is useful when testing pathological inputs.
+    pub max_pool: usize,
+}
+
+impl AdaptivePooling {
+    /// The paper's uncapped policy.
+    pub fn new() -> Self {
+        AdaptivePooling { max_pool: 0 }
+    }
+}
+
+/// Evaluates Eq. 1 directly.
+///
+/// At the start of streaming, after a stall, or with a drained buffer
+/// (`buffered_secs <= 0`) the result is 1; likewise whenever
+/// `B·T < W`.
+pub fn optimal_pool_size(
+    bandwidth_bytes_per_sec: f64,
+    buffered_secs: f64,
+    next_segment_bytes: u64,
+) -> usize {
+    if !(bandwidth_bytes_per_sec > 0.0) || !(buffered_secs > 0.0) || next_segment_bytes == 0 {
+        return 1;
+    }
+    let k = (bandwidth_bytes_per_sec * buffered_secs / next_segment_bytes as f64).floor();
+    if k < 1.0 {
+        1
+    } else if k >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        k as usize
+    }
+}
+
+impl DownloadPolicy for AdaptivePooling {
+    fn pool_size(&self, input: &PolicyInput) -> usize {
+        let k = optimal_pool_size(
+            input.bandwidth_bytes_per_sec,
+            input.buffered_secs,
+            input.next_segment_bytes,
+        );
+        if self.max_pool > 0 {
+            k.min(self.max_pool)
+        } else {
+            k
+        }
+    }
+
+    fn name(&self) -> String {
+        "adaptive".to_owned()
+    }
+}
+
+/// The baseline: always keep a fixed number of downloads in flight
+/// (the paper's "fixed size pooling", §VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedPool(pub usize);
+
+impl DownloadPolicy for FixedPool {
+    fn pool_size(&self, _input: &PolicyInput) -> usize {
+        self.0.max(1)
+    }
+
+    fn name(&self) -> String {
+        format!("pool-{}", self.0)
+    }
+}
+
+/// How the policy's `W` (segment size) is obtained.
+///
+/// Eq. 1 assumes "the size of each segment is W bytes" — i.e. uniform
+/// segments. With GOP-based splicing sizes vary wildly, and a client
+/// implementing the paper's formula plugs in the only scalar it has: the
+/// mean. [`WEstimate::NextSegment`] is the smarter variant that reads the
+/// actual size of the next wanted segment from the manifest (an ablation
+/// of the paper's design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WEstimate {
+    /// `W` = total transfer bytes / segment count (the paper's model).
+    MeanSegment,
+    /// `W` = the next wanted segment's actual size.
+    NextSegment,
+}
+
+/// Serializable policy selector for experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyConfig {
+    /// Eq. 1 adaptive pooling.
+    Adaptive,
+    /// Fixed pool of the given size.
+    Fixed(usize),
+}
+
+impl PolicyConfig {
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn DownloadPolicy> {
+        match self {
+            PolicyConfig::Adaptive => Box::new(AdaptivePooling::new()),
+            PolicyConfig::Fixed(k) => Box::new(FixedPool(*k)),
+        }
+    }
+}
+
+/// How the `B` of Eq. 1 is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// Use the configured bandwidth directly (the paper "simulated the
+    /// bandwidth on GENI" and plugged the known value in).
+    Oracle,
+    /// Exponentially-weighted moving average of observed per-transfer
+    /// goodput, seeded with the configured hint — what a real client does.
+    Ewma {
+        /// Weight of each new observation, in `(0, 1]`.
+        alpha: f64,
+    },
+}
+
+/// Estimates per-peer available bandwidth from completed transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthEstimator {
+    kind: EstimatorKind,
+    current_bytes_per_sec: f64,
+}
+
+impl BandwidthEstimator {
+    /// Creates an estimator seeded with `hint_bytes_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hint is not positive or an EWMA alpha is out of range.
+    pub fn new(kind: EstimatorKind, hint_bytes_per_sec: f64) -> Self {
+        assert!(hint_bytes_per_sec > 0.0, "bandwidth hint must be positive");
+        if let EstimatorKind::Ewma { alpha } = kind {
+            assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1]");
+        }
+        BandwidthEstimator { kind, current_bytes_per_sec: hint_bytes_per_sec }
+    }
+
+    /// Feeds one completed transfer (`bytes` over `secs`).
+    pub fn observe(&mut self, bytes: u64, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        if let EstimatorKind::Ewma { alpha } = self.kind {
+            let sample = bytes as f64 / secs;
+            self.current_bytes_per_sec =
+                alpha * sample + (1.0 - alpha) * self.current_bytes_per_sec;
+        }
+    }
+
+    /// The current estimate in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.current_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(b: f64, t: f64, w: u64) -> PolicyInput {
+        PolicyInput { bandwidth_bytes_per_sec: b, buffered_secs: t, next_segment_bytes: w }
+    }
+
+    #[test]
+    fn eq1_matches_the_paper_edge_cases() {
+        // T = 0 (start of streaming / just stalled) → always 1.
+        assert_eq!(optimal_pool_size(128_000.0, 0.0, 256_000), 1);
+        // B·T < W → 1.
+        assert_eq!(optimal_pool_size(128_000.0, 1.0, 256_000), 1);
+        // Otherwise ⌊B·T/W⌋.
+        assert_eq!(optimal_pool_size(128_000.0, 16.0, 256_000), 8);
+        assert_eq!(optimal_pool_size(128_000.0, 15.99, 256_000), 7);
+    }
+
+    #[test]
+    fn eq1_degenerate_inputs_fall_back_to_one() {
+        assert_eq!(optimal_pool_size(0.0, 10.0, 1), 1);
+        assert_eq!(optimal_pool_size(-5.0, 10.0, 1), 1);
+        assert_eq!(optimal_pool_size(f64::NAN, 10.0, 1), 1);
+        assert_eq!(optimal_pool_size(100.0, f64::NAN, 1), 1);
+        assert_eq!(optimal_pool_size(100.0, 10.0, 0), 1);
+    }
+
+    #[test]
+    fn eq1_is_monotone_in_b_and_t_and_antitone_in_w() {
+        let base = optimal_pool_size(100_000.0, 10.0, 100_000);
+        assert!(optimal_pool_size(200_000.0, 10.0, 100_000) >= base);
+        assert!(optimal_pool_size(100_000.0, 20.0, 100_000) >= base);
+        assert!(optimal_pool_size(100_000.0, 10.0, 200_000) <= base);
+    }
+
+    #[test]
+    fn adaptive_cap_applies() {
+        let capped = AdaptivePooling { max_pool: 3 };
+        assert_eq!(capped.pool_size(&input(1e9, 100.0, 1)), 3);
+        let uncapped = AdaptivePooling::new();
+        assert!(uncapped.pool_size(&input(1e6, 100.0, 1000)) > 3);
+        assert_eq!(uncapped.name(), "adaptive");
+    }
+
+    #[test]
+    fn fixed_pool_ignores_inputs() {
+        let p = FixedPool(4);
+        assert_eq!(p.pool_size(&input(1.0, 0.0, 1)), 4);
+        assert_eq!(p.pool_size(&input(1e9, 1e9, 1)), 4);
+        assert_eq!(p.name(), "pool-4");
+        assert_eq!(FixedPool(0).pool_size(&input(1.0, 1.0, 1)), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn policy_config_builds() {
+        assert_eq!(PolicyConfig::Adaptive.build().name(), "adaptive");
+        assert_eq!(PolicyConfig::Fixed(8).build().name(), "pool-8");
+    }
+
+    #[test]
+    fn oracle_estimator_never_moves() {
+        let mut e = BandwidthEstimator::new(EstimatorKind::Oracle, 128_000.0);
+        e.observe(1, 100.0);
+        assert_eq!(e.bytes_per_sec(), 128_000.0);
+    }
+
+    #[test]
+    fn ewma_estimator_tracks_observations() {
+        let mut e = BandwidthEstimator::new(EstimatorKind::Ewma { alpha: 0.5 }, 100.0);
+        e.observe(300, 1.0); // sample 300 → 200
+        assert!((e.bytes_per_sec() - 200.0).abs() < 1e-9);
+        e.observe(200, 1.0); // sample 200 → 200
+        assert!((e.bytes_per_sec() - 200.0).abs() < 1e-9);
+        e.observe(0, 0.0); // ignored
+        assert!((e.bytes_per_sec() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "hint must be positive")]
+    fn zero_hint_panics() {
+        let _ = BandwidthEstimator::new(EstimatorKind::Oracle, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_panics() {
+        let _ = BandwidthEstimator::new(EstimatorKind::Ewma { alpha: 0.0 }, 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Pure scheduling decisions: which segment next, from which source.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use splicecast_netsim::NodeId;
+
+/// Picks the next segment to request: streaming is sequential, so it is the
+/// lowest-indexed segment that is neither held nor already in flight.
+pub fn next_wanted<H, F>(segment_count: u32, held: H, in_flight: F) -> Option<u32>
+where
+    H: Fn(u32) -> bool,
+    F: Fn(u32) -> bool,
+{
+    (0..segment_count).find(|&i| !held(i) && !in_flight(i))
+}
+
+/// A candidate upload source with its current load (requests we already
+/// have outstanding to it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceCandidate {
+    /// The peer that holds the segment.
+    pub peer: NodeId,
+    /// Our outstanding requests to that peer.
+    pub outstanding: u32,
+}
+
+/// Picks the least-loaded candidate, breaking ties uniformly at random.
+/// Spreading by load is what lets the swarm shift traffic off the seeder as
+/// replicas appear.
+pub fn pick_source(candidates: &[SourceCandidate], rng: &mut StdRng) -> Option<NodeId> {
+    let min = candidates.iter().map(|c| c.outstanding).min()?;
+    let tied: Vec<NodeId> =
+        candidates.iter().filter(|c| c.outstanding == min).map(|c| c.peer).collect();
+    let pick = if tied.len() == 1 { 0 } else { rng.gen_range(0..tied.len()) };
+    Some(tied[pick])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn next_wanted_is_sequential() {
+        let held = [true, true, false, false, true];
+        let in_flight = [false, false, true, false, false];
+        let next = next_wanted(5, |i| held[i as usize], |i| in_flight[i as usize]);
+        assert_eq!(next, Some(3));
+    }
+
+    #[test]
+    fn next_wanted_exhausted() {
+        assert_eq!(next_wanted(3, |_| true, |_| false), None);
+        assert_eq!(next_wanted(3, |_| false, |_| true), None);
+        assert_eq!(next_wanted(0, |_| false, |_| false), None);
+    }
+
+    #[test]
+    fn pick_source_prefers_least_loaded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let candidates = [
+            SourceCandidate { peer: node(1), outstanding: 3 },
+            SourceCandidate { peer: node(2), outstanding: 0 },
+            SourceCandidate { peer: node(3), outstanding: 1 },
+        ];
+        for _ in 0..10 {
+            assert_eq!(pick_source(&candidates, &mut rng), Some(node(2)));
+        }
+    }
+
+    #[test]
+    fn pick_source_breaks_ties_randomly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let candidates = [
+            SourceCandidate { peer: node(1), outstanding: 0 },
+            SourceCandidate { peer: node(2), outstanding: 0 },
+        ];
+        let picks: std::collections::HashSet<NodeId> =
+            (0..64).map(|_| pick_source(&candidates, &mut rng).unwrap()).collect();
+        assert_eq!(picks.len(), 2, "both tied candidates should be picked eventually");
+    }
+
+    #[test]
+    fn pick_source_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pick_source(&[], &mut rng), None);
+    }
+}

@@ -1,0 +1,430 @@
+//! Wiring a swarm: builds the star network, the seeder, the leechers, and
+//! runs the simulation to completion.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use splicecast_media::SegmentList;
+use splicecast_netsim::{star, LinkSpec, NullBehavior, SimDuration, SimTime, Simulator};
+
+use crate::cdn::CdnConfig;
+use crate::churn::ChurnConfig;
+use crate::leecher::{LeecherConfig, LeecherNode};
+use crate::metrics::SwarmMetrics;
+use crate::policy::{BandwidthEstimator, EstimatorKind, PolicyConfig};
+use crate::seeder::SeederNode;
+
+/// How leechers learn the addresses of their peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiscoveryMode {
+    /// Every leecher knows the full membership up front (a configured
+    /// experiment, like the paper's RSpec-provisioned hosts).
+    Full,
+    /// Leechers know only the seeder and learn peers from its tracker
+    /// endpoint (`PeerListRequest`/`PeerList`).
+    Tracker,
+}
+
+/// Configuration of one swarm run. The defaults are the paper's GENI
+/// setup: 20 nodes (one seeder + 19 peers) in a star, 50 ms latency and
+/// 5 % loss between peers, 500 ms latency to the seeder, 128 kB/s links.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwarmConfig {
+    /// Number of leechers (viewers).
+    pub n_leechers: usize,
+    /// Access-link capacity of each leecher, bytes per second.
+    pub peer_bandwidth_bytes_per_sec: f64,
+    /// Access-link capacity of the seeder, bytes per second.
+    pub seeder_bandwidth_bytes_per_sec: f64,
+    /// One-way latency between two peers, seconds (paper: 50 ms).
+    pub peer_one_way_latency_secs: f64,
+    /// One-way latency between a peer and the seeder, seconds. The paper
+    /// uses 50 ms for the main experiments and calls out 500 ms only for
+    /// the startup-time measurement (Fig. 4).
+    pub seeder_one_way_latency_secs: f64,
+    /// End-to-end packet loss between two peers (paper: 5 %).
+    pub end_to_end_loss: f64,
+    /// Concurrent uploads each leecher serves.
+    pub peer_upload_slots: usize,
+    /// Concurrent uploads the seeder serves.
+    pub seeder_upload_slots: usize,
+    /// The download-pool policy (§III).
+    pub policy: PolicyConfig,
+    /// How the policy's `B` is estimated.
+    pub estimator: EstimatorKind,
+    /// Peer churn, if any.
+    pub churn: Option<ChurnConfig>,
+    /// Hybrid-CDN mode, if any.
+    pub cdn: Option<CdnConfig>,
+    /// Competing background flows on the viewers' access links, if any
+    /// (the §VIII congestion experiment).
+    pub cross_traffic: Option<crate::cross::CrossTrafficConfig>,
+    /// When false, segments come only from the CDN (requires `cdn`).
+    pub p2p: bool,
+    /// Peers join uniformly at random within this window, seconds.
+    pub join_stagger_secs: f64,
+    /// Maintenance-timer cadence, seconds.
+    pub pump_interval_secs: f64,
+    /// Unserved-request timeout, seconds.
+    pub request_timeout_secs: f64,
+    /// Media that must be buffered before resuming from a stall, seconds
+    /// (the player's re-buffering threshold).
+    pub resume_buffer_secs: f64,
+    /// How the pooling policy's `W` is estimated (Eq. 1 assumes uniform
+    /// segments; the paper's client knows only the mean).
+    pub w_estimate: crate::policy::WEstimate,
+    /// How leechers learn about each other.
+    pub discovery: DiscoveryMode,
+    /// Scheduled changes of every *peer* access link's capacity:
+    /// `(at_secs, bytes_per_sec)` pairs, applied to both directions. Models
+    /// the variable-bandwidth environment of the paper's future work
+    /// (§VIII). The seeder and CDN links are unaffected.
+    pub bandwidth_schedule: Vec<(f64, f64)>,
+    /// Hard cap on simulated time, seconds.
+    pub max_sim_secs: f64,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            n_leechers: 19,
+            peer_bandwidth_bytes_per_sec: 128_000.0,
+            seeder_bandwidth_bytes_per_sec: 128_000.0,
+            peer_one_way_latency_secs: 0.050,
+            seeder_one_way_latency_secs: 0.050,
+            end_to_end_loss: 0.05,
+            peer_upload_slots: 4,
+            seeder_upload_slots: 4,
+            policy: PolicyConfig::Adaptive,
+            estimator: EstimatorKind::Oracle,
+            churn: None,
+            cdn: None,
+            cross_traffic: None,
+            p2p: true,
+            join_stagger_secs: 1.0,
+            pump_interval_secs: 0.5,
+            request_timeout_secs: 6.0,
+            resume_buffer_secs: 0.25,
+            w_estimate: crate::policy::WEstimate::MeanSegment,
+            discovery: DiscoveryMode::Full,
+            bandwidth_schedule: Vec::new(),
+            max_sim_secs: 1_800.0,
+        }
+    }
+}
+
+impl SwarmConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent settings (no peers, non-positive rates,
+    /// CDN-only mode without a CDN, a seeder closer than half the
+    /// peer-to-peer latency, ...).
+    pub fn validate(&self) {
+        assert!(self.n_leechers >= 1, "a swarm needs at least one leecher");
+        assert!(self.peer_bandwidth_bytes_per_sec > 0.0, "peer bandwidth must be positive");
+        assert!(self.seeder_bandwidth_bytes_per_sec > 0.0, "seeder bandwidth must be positive");
+        assert!((0.0..1.0).contains(&self.end_to_end_loss), "loss must be in [0,1)");
+        assert!(
+            self.seeder_one_way_latency_secs >= self.peer_one_way_latency_secs / 2.0,
+            "seeder latency cannot be below half the peer-to-peer latency in a star"
+        );
+        assert!(self.p2p || self.cdn.is_some(), "CDN-only mode requires a CDN");
+        if let Some(cdn) = &self.cdn {
+            cdn.validate();
+        }
+        if let Some(cross) = &self.cross_traffic {
+            cross.validate();
+        }
+        assert!(self.pump_interval_secs > 0.0, "pump interval must be positive");
+        assert!(self.request_timeout_secs > 0.0, "request timeout must be positive");
+        assert!(self.max_sim_secs > 0.0, "sim cap must be positive");
+    }
+
+    /// Per-access-link loss so that the end-to-end (two-link) loss matches
+    /// the configured value: `1 - sqrt(1 - loss)`.
+    pub fn per_link_loss(&self) -> f64 {
+        1.0 - (1.0 - self.end_to_end_loss).sqrt()
+    }
+}
+
+/// Runs one swarm to completion and returns the collected metrics.
+///
+/// Fully deterministic for a given `(segments, config, seed)` triple.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `segments` is empty.
+///
+/// # Examples
+///
+/// ```no_run
+/// use splicecast_media::{DurationSplicer, Splicer, Video};
+/// use splicecast_swarm::{run_swarm, SwarmConfig};
+///
+/// let video = Video::builder().duration_secs(30.0).seed(1).build();
+/// let segments = DurationSplicer::new(4.0).splice(&video);
+/// let config = SwarmConfig { n_leechers: 5, ..SwarmConfig::default() };
+/// let metrics = run_swarm(&segments, &config, 42);
+/// println!("mean stalls: {}", metrics.mean_stalls());
+/// ```
+pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> SwarmMetrics {
+    config.validate();
+    assert!(!segments.is_empty(), "cannot stream an empty segment list");
+
+    let per_link_loss = config.per_link_loss();
+    let peer_link_latency = SimDuration::from_secs_f64(config.peer_one_way_latency_secs / 2.0);
+    let seeder_link_latency = SimDuration::from_secs_f64(
+        config.seeder_one_way_latency_secs - config.peer_one_way_latency_secs / 2.0,
+    );
+
+    // Leaf order: seeder, then leechers, then the CDN (if any).
+    let mut leaf_specs = vec![LinkSpec::from_bytes_per_sec(
+        config.seeder_bandwidth_bytes_per_sec,
+        seeder_link_latency,
+        per_link_loss,
+    )];
+    leaf_specs.extend(std::iter::repeat_n(
+        LinkSpec::from_bytes_per_sec(
+            config.peer_bandwidth_bytes_per_sec,
+            peer_link_latency,
+            per_link_loss,
+        ),
+        config.n_leechers,
+    ));
+    if let Some(cdn) = &config.cdn {
+        let cdn_link_latency = SimDuration::from_secs_f64(
+            (cdn.one_way_latency_secs - config.peer_one_way_latency_secs / 2.0).max(0.0),
+        );
+        leaf_specs.push(LinkSpec::from_bytes_per_sec(
+            cdn.bandwidth_bytes_per_sec,
+            cdn_link_latency,
+            per_link_loss,
+        ));
+    }
+    if config.cross_traffic.is_some() {
+        // The background server has a fat pipe: the congestion it causes
+        // must land on the viewers' access links, not its own.
+        leaf_specs.push(LinkSpec::from_bytes_per_sec(
+            16_000_000.0,
+            peer_link_latency,
+            per_link_loss,
+        ));
+    }
+    let star = star(&leaf_specs);
+    let peer_links = star.links[1..=config.n_leechers].to_vec();
+    let seeder_id = star.leaves[0];
+    let leecher_ids: Vec<_> = star.leaves[1..=config.n_leechers].to_vec();
+    let cdn_id = config.cdn.map(|_| star.leaves[config.n_leechers + 1]);
+
+    // Setup randomness (join jitter, churn) is derived from the same seed
+    // but a distinct stream from the simulator's own RNG.
+    let mut setup_rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED_5EED_5EED);
+    let join_delays: Vec<f64> =
+        (0..config.n_leechers).map(|_| setup_rng.gen_range(0.0..=config.join_stagger_secs)).collect();
+    let departures: Vec<Option<f64>> = match &config.churn {
+        Some(churn) => churn.sample_departures(config.n_leechers, &mut setup_rng),
+        None => vec![None; config.n_leechers],
+    };
+
+    let sink = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulator::new(star.network, seed);
+    sim.add_node(Box::new(NullBehavior)); // the hub
+    sim.add_node(Box::new(SeederNode::new(segments.clone(), 0, config.seeder_upload_slots)));
+    for index in 0..config.n_leechers {
+        let mut others = leecher_ids.clone();
+        others.remove(index);
+        let leecher = LeecherNode::new(LeecherConfig {
+            index,
+            seeder: seeder_id,
+            cdn: cdn_id,
+            others,
+            segments: segments.clone(),
+            policy: config.policy.build(),
+            estimator: BandwidthEstimator::new(
+                config.estimator,
+                config.peer_bandwidth_bytes_per_sec,
+            ),
+            upload_slots: config.peer_upload_slots,
+            join_delay: SimDuration::from_secs_f64(join_delays[index]),
+            depart_after: departures[index].map(SimDuration::from_secs_f64),
+            pump_interval: SimDuration::from_secs_f64(config.pump_interval_secs),
+            request_timeout: SimDuration::from_secs_f64(config.request_timeout_secs),
+            resume_buffer_secs: config.resume_buffer_secs,
+            w_estimate: config.w_estimate,
+            p2p: config.p2p,
+            discovery: config.discovery,
+            sink: sink.clone(),
+        });
+        sim.add_node(Box::new(leecher));
+    }
+    if cdn_id.is_some() {
+        let cdn_cfg = config.cdn.as_ref().expect("cdn config");
+        // The CDN is an origin with a fat pipe: reuse the seeder behaviour.
+        sim.add_node(Box::new(SeederNode::new(segments.clone(), u64::MAX, cdn_cfg.upload_slots)));
+    }
+    if let Some(cross) = config.cross_traffic {
+        sim.add_node(Box::new(crate::cross::CrossTrafficNode::new(leecher_ids.clone(), cross)));
+    }
+
+    for &(at_secs, bytes_per_sec) in &config.bandwidth_schedule {
+        assert!(bytes_per_sec > 0.0, "scheduled bandwidth must be positive");
+        for &link in &peer_links {
+            sim.schedule_capacity(
+                SimTime::from_secs_f64(at_secs),
+                splicecast_netsim::DirLinkId::new_forward(link),
+                bytes_per_sec * 8.0,
+            );
+            sim.schedule_capacity(
+                SimTime::from_secs_f64(at_secs),
+                splicecast_netsim::DirLinkId::new_backward(link),
+                bytes_per_sec * 8.0,
+            );
+        }
+    }
+
+    let end = sim.run_until_idle(SimTime::from_secs_f64(config.max_sim_secs));
+
+    let net = sim.stats();
+    let mut reports = sink.take();
+    reports.sort_by_key(|r| r.peer);
+    SwarmMetrics { reports, sim_end_secs: end.as_secs_f64(), net }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splicecast_media::{DurationSplicer, Splicer, Video};
+
+    fn tiny_segments() -> SegmentList {
+        let video = Video::builder().duration_secs(16.0).seed(5).build();
+        DurationSplicer::new(4.0).splice(&video)
+    }
+
+    fn tiny_config() -> SwarmConfig {
+        SwarmConfig {
+            n_leechers: 3,
+            peer_bandwidth_bytes_per_sec: 500_000.0,
+            seeder_bandwidth_bytes_per_sec: 500_000.0,
+            end_to_end_loss: 0.01,
+            max_sim_secs: 300.0,
+            ..SwarmConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_swarm_streams_to_completion() {
+        let metrics = run_swarm(&tiny_segments(), &tiny_config(), 7);
+        assert_eq!(metrics.reports.len(), 3);
+        for report in &metrics.reports {
+            assert!(report.finished, "peer {} did not finish: {:?}", report.peer, report.qoe);
+            assert!(report.qoe.startup_secs.is_some());
+            assert!(report.bytes_downloaded > 0);
+        }
+        assert_eq!(metrics.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let segments = tiny_segments();
+        let config = tiny_config();
+        let a = run_swarm(&segments, &config, 11);
+        let b = run_swarm(&segments, &config, 11);
+        assert_eq!(a, b);
+        let c = run_swarm(&segments, &config, 12);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn peers_offload_the_seeder() {
+        // Plenty of peers and segments: most deliveries should be P2P.
+        let video = Video::builder().duration_secs(40.0).seed(6).build();
+        let segments = DurationSplicer::new(4.0).splice(&video);
+        let config = SwarmConfig { n_leechers: 6, ..tiny_config() };
+        let metrics = run_swarm(&segments, &config, 3);
+        assert!(
+            metrics.peer_offload_ratio() > 0.2,
+            "offload ratio {} suspiciously low",
+            metrics.peer_offload_ratio()
+        );
+    }
+
+    #[test]
+    fn per_link_loss_compounds_back() {
+        let config = SwarmConfig { end_to_end_loss: 0.05, ..SwarmConfig::default() };
+        let p = config.per_link_loss();
+        assert!(((1.0 - (1.0 - p) * (1.0 - p)) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "CDN-only mode requires a CDN")]
+    fn cdn_only_without_cdn_panics() {
+        let config = SwarmConfig { p2p: false, cdn: None, ..SwarmConfig::default() };
+        run_swarm(&tiny_segments(), &config, 1);
+    }
+
+    #[test]
+    fn cdn_only_mode_streams() {
+        let config = SwarmConfig {
+            p2p: false,
+            cdn: Some(CdnConfig::default()),
+            ..tiny_config()
+        };
+        let metrics = run_swarm(&tiny_segments(), &config, 9);
+        for report in &metrics.reports {
+            assert!(report.finished, "peer {} unfinished", report.peer);
+            assert_eq!(report.segments_from_seeder, 0);
+            assert_eq!(report.segments_from_peers, 0);
+            assert!(report.segments_from_cdn > 0);
+        }
+    }
+
+    #[test]
+    fn tracker_discovery_still_offloads_the_seeder() {
+        let video = Video::builder().duration_secs(40.0).seed(6).build();
+        let segments = DurationSplicer::new(4.0).splice(&video);
+        let config = SwarmConfig {
+            n_leechers: 6,
+            discovery: DiscoveryMode::Tracker,
+            ..tiny_config()
+        };
+        let metrics = run_swarm(&segments, &config, 3);
+        assert_eq!(metrics.completion_rate(), 1.0);
+        assert!(
+            metrics.peer_offload_ratio() > 0.2,
+            "tracker-discovered peers should exchange segments, offload {}",
+            metrics.peer_offload_ratio()
+        );
+    }
+
+    #[test]
+    fn tracker_and_full_discovery_agree_qualitatively() {
+        let segments = tiny_segments();
+        let full = run_swarm(&segments, &tiny_config(), 8);
+        let tracked = run_swarm(
+            &segments,
+            &SwarmConfig { discovery: DiscoveryMode::Tracker, ..tiny_config() },
+            8,
+        );
+        assert_eq!(full.completion_rate(), 1.0);
+        assert_eq!(tracked.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn churned_peers_are_flagged_and_stayers_finish() {
+        let config = SwarmConfig {
+            churn: Some(ChurnConfig::new(0.99, 10.0)),
+            n_leechers: 4,
+            ..tiny_config()
+        };
+        let metrics = run_swarm(&tiny_segments(), &config, 21);
+        assert_eq!(metrics.reports.len(), 4);
+        let departed = metrics.reports.iter().filter(|r| r.departed).count();
+        assert!(departed >= 1, "seeded churn should remove at least one peer");
+    }
+}

@@ -1,0 +1,175 @@
+//! The upload side shared by seeders, leechers, and CDN nodes.
+
+use std::collections::HashMap;
+
+use splicecast_media::SegmentList;
+use splicecast_netsim::{Ctx, FlowId, NodeId};
+use splicecast_protocol::{encode_to_bytes, Message};
+
+use crate::peer::{UploadManager, UploadRequest};
+
+/// A duplicate upload (second concurrent copy of the same segment) is
+/// admitted only when the busiest link toward the requester is running
+/// below this utilization.
+const DUP_UTILIZATION_MAX: f64 = 0.6;
+
+/// Serves segment requests over bounded upload slots.
+///
+/// On `Request`, a free slot means immediate service (`Unchoke` +
+/// `SegmentHeader` + bulk transfer); otherwise the request queues and the
+/// requester is told `Choke`. Slots are released on upload completion or
+/// failure, immediately serving the next queued request.
+#[derive(Debug)]
+pub struct UploadSide {
+    mgr: UploadManager,
+    active_flows: HashMap<FlowId, UploadRequest>,
+    /// Peers we have served before — the connection to them is kept alive,
+    /// so further segments skip the TCP handshake.
+    warm_peers: std::collections::HashSet<NodeId>,
+    /// Payload bytes of completed uploads.
+    pub bytes_uploaded: u64,
+}
+
+impl UploadSide {
+    /// Creates an upload side with the given slot count.
+    pub fn new(slots: usize) -> Self {
+        UploadSide {
+            mgr: UploadManager::new(slots),
+            active_flows: HashMap::new(),
+            warm_peers: std::collections::HashSet::new(),
+            bytes_uploaded: 0,
+        }
+    }
+
+    /// Uploads currently in flight.
+    pub fn active(&self) -> usize {
+        self.mgr.active()
+    }
+
+    /// Requests waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.mgr.queued()
+    }
+
+    /// True when no active upload is already pushing `segment`.
+    fn segment_idle(&self, segment: u32) -> bool {
+        !self.active_flows.values().any(|r| r.segment == segment)
+    }
+
+    /// Handles an incoming `Request`. `have` guards against requests for
+    /// segments this node does not hold (ignored — the requester's timeout
+    /// path recovers).
+    ///
+    /// Requests for a segment that is *already being uploaded* queue even
+    /// when slots are free (super-seeding style deduplication): pushing
+    /// two copies of the same bytes halves the rate of both, while the
+    /// second requester will shortly have a fresh replica to fetch from.
+    pub fn on_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        index: u32,
+        segments: &SegmentList,
+        have: bool,
+    ) {
+        if !have || index as usize >= segments.len() {
+            return;
+        }
+        let request = UploadRequest { peer: from, segment: index };
+        // Duplicates are also admitted while the path to the requester has
+        // spare capacity — at a fat link, pushing a second copy costs
+        // nothing and halves the swarm's replication latency.
+        let admissible =
+            self.segment_idle(index) || ctx.path_utilization(from) < DUP_UTILIZATION_MAX;
+        if self.mgr.offer(request, |_| admissible) {
+            self.serve(ctx, request, segments);
+        } else {
+            let _ = ctx.send(from, encode_to_bytes(&Message::Choke));
+        }
+    }
+
+    /// Handles a `Cancel`: drops matching queued requests (an in-flight
+    /// upload is left to finish, as in BitTorrent).
+    pub fn on_cancel(&mut self, from: NodeId, index: u32) {
+        self.mgr.drop_queued(|r| r.peer == from && r.segment == index);
+    }
+
+    /// Handles `UploadComplete`. Returns `true` when the flow was one of
+    /// ours (an upload), after releasing the slot and serving the queue.
+    pub fn on_upload_complete(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, segments: &SegmentList) -> bool {
+        let Some(request) = self.active_flows.remove(&flow) else { return false };
+        self.bytes_uploaded += segments[request.segment as usize].bytes;
+        self.release_and_continue(ctx, segments);
+        true
+    }
+
+    /// Handles `TransferFailed` for the upload side. Returns `true` when
+    /// the failed flow was one of our uploads.
+    pub fn on_transfer_failed(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, segments: &SegmentList) -> bool {
+        if self.active_flows.remove(&flow).is_none() {
+            return false;
+        }
+        self.release_and_continue(ctx, segments);
+        true
+    }
+
+    /// Drops everything involving a departed peer (queued requests only;
+    /// in-flight flows fail on their own through the simulator).
+    pub fn forget_peer(&mut self, peer: NodeId) {
+        self.mgr.drop_queued(|r| r.peer == peer);
+        self.warm_peers.remove(&peer);
+    }
+
+    fn pop_serviceable(&mut self, ctx: &mut Ctx<'_>) -> Option<UploadRequest> {
+        let active: std::collections::HashSet<u32> =
+            self.active_flows.values().map(|r| r.segment).collect();
+        // Prefer requests for segments nobody is currently receiving (they
+        // grow the number of replicas); serve duplicates only to requesters
+        // whose path still has spare capacity.
+        let spare: std::collections::HashSet<_> = self
+            .mgr
+            .queue_snapshot()
+            .iter()
+            .map(|r| r.peer)
+            .filter(|&p| ctx.path_utilization(p) < DUP_UTILIZATION_MAX)
+            .collect();
+        self.mgr.release_preferring(
+            |r| !active.contains(&r.segment),
+            |r| spare.contains(&r.peer),
+        )
+    }
+
+    fn release_and_continue(&mut self, ctx: &mut Ctx<'_>, segments: &SegmentList) {
+        if let Some(next) = self.pop_serviceable(ctx) {
+            self.serve(ctx, next, segments);
+        }
+    }
+
+    fn serve(&mut self, ctx: &mut Ctx<'_>, request: UploadRequest, segments: &SegmentList) {
+        // The requester may have gone offline while queued: skip down the
+        // queue until a serviceable request or an empty queue.
+        let mut current = Some(request);
+        while let Some(req) = current {
+            let bytes = segments[req.segment as usize].bytes;
+            let header = Message::SegmentHeader { index: req.segment, bytes };
+            let reachable = ctx.send(req.peer, encode_to_bytes(&Message::Unchoke)).is_ok()
+                && ctx.send(req.peer, encode_to_bytes(&header)).is_ok();
+            if reachable {
+                let started = if self.warm_peers.contains(&req.peer) {
+                    ctx.start_transfer_warm(req.peer, bytes, u64::from(req.segment))
+                } else {
+                    ctx.start_transfer(req.peer, bytes, u64::from(req.segment))
+                };
+                match started {
+                    Ok(flow) => {
+                        self.warm_peers.insert(req.peer);
+                        self.active_flows.insert(flow, req);
+                        return;
+                    }
+                    Err(_) => { /* fall through to release */ }
+                }
+            }
+            current = self.pop_serviceable(ctx);
+        }
+    }
+}
