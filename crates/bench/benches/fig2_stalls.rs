@@ -5,11 +5,16 @@
 //! than 4 s at low bandwidth and converges to it as bandwidth grows; 8 s
 //! stalls more than 4 s; everything falls as bandwidth rises.
 
-use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, FIG_BANDWIDTHS, SEEDS};
+use splicecast_bench::{
+    apply_scale, banner, paper_config, splicing_variants, FIG_BANDWIDTHS, SEEDS,
+};
 use splicecast_core::{sweep, SweepPoint, Table};
 
 fn main() {
-    banner("Figure 2", "total number of stalls for different bandwidths");
+    banner(
+        "Figure 2",
+        "total number of stalls for different bandwidths",
+    );
 
     let variants = splicing_variants();
     let mut points = Vec::new();

@@ -4,7 +4,9 @@
 //! Paper shape: GOP-based splicing has the longest total stall duration at
 //! every bandwidth; duration shrinks as bandwidth grows.
 
-use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, FIG_BANDWIDTHS, SEEDS};
+use splicecast_bench::{
+    apply_scale, banner, paper_config, splicing_variants, FIG_BANDWIDTHS, SEEDS,
+};
 use splicecast_core::{sweep, SweepPoint, Table};
 
 fn main() {
@@ -23,12 +25,17 @@ fn main() {
     let results = sweep(&points, &SEEDS);
 
     let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
-    let mut table =
-        Table::new("Total stall duration, seconds (mean per viewer)", "bandwidth", &series);
+    let mut table = Table::new(
+        "Total stall duration, seconds (mean per viewer)",
+        "bandwidth",
+        &series,
+    );
     let mut iter = results.iter();
     for (label, _) in FIG_BANDWIDTHS {
-        let row: Vec<f64> =
-            variants.iter().map(|_| iter.next().expect("sweep result").1.stall_secs.mean).collect();
+        let row: Vec<f64> = variants
+            .iter()
+            .map(|_| iter.next().expect("sweep result").1.stall_secs.mean)
+            .collect();
         table.push_row(label, &row);
     }
     println!("{table}");

@@ -22,13 +22,20 @@ fn main() {
         for (name, splicing) in &variants {
             let mut config = apply_scale(paper_config(bandwidth).with_splicing(*splicing));
             config.swarm.seeder_one_way_latency_secs = 0.5; // the paper's fig-4 setup
-            points.push(SweepPoint { label: format!("{name}@{bandwidth}"), config });
+            points.push(SweepPoint {
+                label: format!("{name}@{bandwidth}"),
+                config,
+            });
         }
     }
     let results = sweep(&points, &SEEDS);
 
     let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
-    let mut table = Table::new("Startup time, seconds (mean per viewer)", "bandwidth", &series);
+    let mut table = Table::new(
+        "Startup time, seconds (mean per viewer)",
+        "bandwidth",
+        &series,
+    );
     let mut iter = results.iter();
     for (label, _) in FIG4_BANDWIDTHS {
         let row: Vec<f64> = variants

@@ -12,7 +12,10 @@ use splicecast_bench::{apply_scale, banner, paper_config, FIG_BANDWIDTHS, SEEDS}
 use splicecast_core::{sweep, PolicyConfig, SweepPoint, Table};
 
 fn main() {
-    banner("Figure 5", "total number of stalls for different pool sizes");
+    banner(
+        "Figure 5",
+        "total number of stalls for different pool sizes",
+    );
 
     let policies = [
         ("adaptive", PolicyConfig::Adaptive),
@@ -32,10 +35,17 @@ fn main() {
     let results = sweep(&points, &SEEDS);
 
     let series: Vec<&str> = policies.iter().map(|(n, _)| *n).collect();
-    let mut stalls =
-        Table::new("Total number of stalls (rounded mean per viewer)", "bandwidth", &series);
+    let mut stalls = Table::new(
+        "Total number of stalls (rounded mean per viewer)",
+        "bandwidth",
+        &series,
+    );
     stalls.precision(0);
-    let mut startup = Table::new("Startup time, seconds (supplementary)", "bandwidth", &series);
+    let mut startup = Table::new(
+        "Startup time, seconds (supplementary)",
+        "bandwidth",
+        &series,
+    );
     let mut delay = Table::new(
         "Total delay = startup + stall duration, seconds (supplementary)",
         "bandwidth",

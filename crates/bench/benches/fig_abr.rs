@@ -17,12 +17,15 @@
 
 use splicecast_bench::{banner, SEEDS};
 use splicecast_core::{
-    max_cdn_segment_secs, run_abr, run_once, AbrAlgorithm, AbrConfig, CdnConfig,
-    ExperimentConfig, Ladder, SplicingSpec, Table, VideoSpec,
+    max_cdn_segment_secs, run_abr, run_once, AbrAlgorithm, AbrConfig, CdnConfig, ExperimentConfig,
+    Ladder, SplicingSpec, Table, VideoSpec,
 };
 
-const BANDWIDTHS: [(&str, f64); 3] =
-    [("96 kB/s", 96_000.0), ("160 kB/s", 160_000.0), ("256 kB/s", 256_000.0)];
+const BANDWIDTHS: [(&str, f64); 3] = [
+    ("96 kB/s", 96_000.0),
+    ("160 kB/s", 160_000.0),
+    ("256 kB/s", 256_000.0),
+];
 
 fn abr_point(bandwidth: f64, algorithm: AbrAlgorithm, ladder: &Ladder) -> (f64, f64, f64) {
     let mut stalls = 0.0;
@@ -69,8 +72,15 @@ fn duration_adaptive_point(bandwidth: f64) -> (f64, f64, f64) {
     (stalls / n, stall_secs / n, 1.0)
 }
 
+/// One experiment arm: label plus a closure producing
+/// (stalls, stall seconds, delivered quality) at a bandwidth.
+type Arm<'a> = (&'a str, Box<dyn Fn(f64) -> (f64, f64, f64) + 'a>);
+
 fn main() {
-    banner("§I ablation", "bitrate adaptation vs duration-adaptive splicing");
+    banner(
+        "§I ablation",
+        "bitrate adaptation vs duration-adaptive splicing",
+    );
 
     let ladder = Ladder::builder()
         .duration_secs(120.0)
@@ -79,15 +89,28 @@ fn main() {
         .seed(2015)
         .build();
 
-    let arms: Vec<(&str, Box<dyn Fn(f64) -> (f64, f64, f64)>)> = vec![
+    let arms: Vec<Arm<'_>> = vec![
         (
             "buffer-abr",
             Box::new(|bw| {
-                abr_point(bw, AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 }, &ladder)
+                abr_point(
+                    bw,
+                    AbrAlgorithm::BufferBased {
+                        low_secs: 4.0,
+                        high_secs: 16.0,
+                    },
+                    &ladder,
+                )
             }),
         ),
-        ("rate-abr", Box::new(|bw| abr_point(bw, AbrAlgorithm::RateBased { safety: 0.8 }, &ladder))),
-        ("fixed-1Mbps", Box::new(|bw| abr_point(bw, AbrAlgorithm::FixedRendition(2), &ladder))),
+        (
+            "rate-abr",
+            Box::new(|bw| abr_point(bw, AbrAlgorithm::RateBased { safety: 0.8 }, &ladder)),
+        ),
+        (
+            "fixed-1Mbps",
+            Box::new(|bw| abr_point(bw, AbrAlgorithm::FixedRendition(2), &ladder)),
+        ),
         ("dur-adapt", Box::new(duration_adaptive_point)),
     ];
 

@@ -26,7 +26,10 @@ fn main() {
                 apply_scale(paper_config(bandwidth).with_splicing(SplicingSpec::Duration(d)));
             config.swarm.cdn = Some(cdn);
             config.swarm.p2p = false; // §IV: the CDN serves the video
-            points.push(SweepPoint { label: format!("{d}s@{bandwidth}"), config });
+            points.push(SweepPoint {
+                label: format!("{d}s@{bandwidth}"),
+                config,
+            });
         }
     }
     let results = sweep(&points, &SEEDS);
@@ -40,8 +43,10 @@ fn main() {
     );
     let mut iter = results.iter();
     for (label, _) in bandwidths {
-        let row: Vec<f64> =
-            durations.iter().map(|_| iter.next().expect("sweep result").1.stalls.mean).collect();
+        let row: Vec<f64> = durations
+            .iter()
+            .map(|_| iter.next().expect("sweep result").1.stalls.mean)
+            .collect();
         stalls.push_row(label, &row);
     }
     println!("{stalls}");

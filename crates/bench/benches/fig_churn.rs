@@ -9,7 +9,10 @@ use splicecast_bench::{apply_scale, banner, paper_config, SEEDS};
 use splicecast_core::{sweep, ChurnConfig, PolicyConfig, SweepPoint, Table};
 
 fn main() {
-    banner("Churn ablation", "stalls of staying viewers vs departure rate");
+    banner(
+        "Churn ablation",
+        "stalls of staying viewers vs departure rate",
+    );
 
     let bandwidth = 256_000.0;
     let policies = [
@@ -26,7 +29,10 @@ fn main() {
             if fraction > 0.0 {
                 config.swarm.churn = Some(ChurnConfig::new(fraction, 45.0));
             }
-            points.push(SweepPoint { label: format!("{name}@{fraction}"), config });
+            points.push(SweepPoint {
+                label: format!("{name}@{fraction}"),
+                config,
+            });
         }
     }
     let results = sweep(&points, &SEEDS);
@@ -37,7 +43,11 @@ fn main() {
         "volatile fraction",
         &series,
     );
-    let mut duration = Table::new("Total stall duration, seconds (mean)", "volatile fraction", &series);
+    let mut duration = Table::new(
+        "Total stall duration, seconds (mean)",
+        "volatile fraction",
+        &series,
+    );
     let mut iter = results.iter();
     for fraction in volatile_fractions {
         let mut stall_row = Vec::new();

@@ -6,11 +6,14 @@
 //! each access link with unrelated traffic.
 
 use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, SEEDS};
-use splicecast_core::{sweep, SweepPoint, Table};
 use splicecast_core::swarm::CrossTrafficConfig;
+use splicecast_core::{sweep, SweepPoint, Table};
 
 fn main() {
-    banner("§VIII ablation", "splicing under competing flows at 256 kB/s");
+    banner(
+        "§VIII ablation",
+        "splicing under competing flows at 256 kB/s",
+    );
 
     let bandwidth = 256_000.0;
     let loads = [("no load", 0usize), ("1 flow/peer", 1), ("2 flows/peer", 2)];
@@ -26,15 +29,21 @@ fn main() {
                     ..CrossTrafficConfig::default()
                 });
             }
-            points.push(SweepPoint { label: format!("{name}@{flows}"), config });
+            points.push(SweepPoint {
+                label: format!("{name}@{flows}"),
+                config,
+            });
         }
     }
     let results = sweep(&points, &SEEDS);
 
     let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
-    let mut stalls = Table::new("Stalls per viewer under background load", "cross traffic", &series);
-    let mut duration =
-        Table::new("Total stall duration, seconds", "cross traffic", &series);
+    let mut stalls = Table::new(
+        "Stalls per viewer under background load",
+        "cross traffic",
+        &series,
+    );
+    let mut duration = Table::new("Total stall duration, seconds", "cross traffic", &series);
     let mut iter = results.iter();
     for (label, _) in loads {
         let mut s_row = Vec::new();

@@ -10,12 +10,21 @@ use splicecast_bench::{apply_scale, banner, paper_config, FIG_BANDWIDTHS, SEEDS}
 use splicecast_core::{sweep, SplicingSpec, SweepPoint, Table};
 
 fn main() {
-    banner("§VIII ablation", "ramped segment durations vs fixed durations");
+    banner(
+        "§VIII ablation",
+        "ramped segment durations vs fixed durations",
+    );
 
     let variants = [
         ("2s", SplicingSpec::Duration(2.0)),
         ("8s", SplicingSpec::Duration(8.0)),
-        ("ramp 1→8s", SplicingSpec::Ramp { initial: 1.0, max: 8.0 }),
+        (
+            "ramp 1→8s",
+            SplicingSpec::Ramp {
+                initial: 1.0,
+                max: 8.0,
+            },
+        ),
     ];
     let mut points = Vec::new();
     for (_, bandwidth) in FIG_BANDWIDTHS {

@@ -10,10 +10,17 @@ use splicecast_bench::{apply_scale, banner, paper_config, splicing_variants, SEE
 use splicecast_core::{sweep, SweepPoint, Table};
 
 fn main() {
-    banner("Variable-bandwidth ablation", "stalls under oscillating peer links");
+    banner(
+        "Variable-bandwidth ablation",
+        "stalls under oscillating peer links",
+    );
 
     let mean_bw = 256_000.0;
-    let amplitudes = [("constant", 0.0), ("±64 kB/s", 64_000.0), ("±128 kB/s", 128_000.0)];
+    let amplitudes = [
+        ("constant", 0.0),
+        ("±64 kB/s", 64_000.0),
+        ("±128 kB/s", 128_000.0),
+    ];
     let variants = splicing_variants();
 
     let mut points = Vec::new();
@@ -25,21 +32,34 @@ fn main() {
                 config.swarm.bandwidth_schedule = (0..120)
                     .map(|i| {
                         let at = 10.0 * (i + 1) as f64;
-                        let bw = if i % 2 == 0 { mean_bw - amplitude } else { mean_bw + amplitude };
+                        let bw = if i % 2 == 0 {
+                            mean_bw - amplitude
+                        } else {
+                            mean_bw + amplitude
+                        };
                         (at, bw)
                     })
                     .collect();
             }
-            points.push(SweepPoint { label: format!("{name}@{amplitude}"), config });
+            points.push(SweepPoint {
+                label: format!("{name}@{amplitude}"),
+                config,
+            });
         }
     }
     let results = sweep(&points, &SEEDS);
 
     let series: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
-    let mut stalls =
-        Table::new("Total number of stalls (mean per viewer)", "bandwidth profile", &series);
-    let mut duration =
-        Table::new("Total stall duration, seconds (mean per viewer)", "bandwidth profile", &series);
+    let mut stalls = Table::new(
+        "Total number of stalls (mean per viewer)",
+        "bandwidth profile",
+        &series,
+    );
+    let mut duration = Table::new(
+        "Total stall duration, seconds (mean per viewer)",
+        "bandwidth profile",
+        &series,
+    );
     let mut iter = results.iter();
     for (label, _) in amplitudes {
         let mut stall_row = Vec::new();

@@ -10,9 +10,14 @@ fn main() {
     println!(" segment whose cut lands mid-GOP; GOP splicing is free)\n");
 
     let video = VideoSpec::default().build();
-    let variants: Vec<(String, SplicingSpec)> = std::iter::once(("gop".to_owned(), SplicingSpec::Gop))
-        .chain([1.0, 2.0, 4.0, 8.0, 16.0].iter().map(|&d| (format!("{d}s"), SplicingSpec::Duration(d))))
-        .collect();
+    let variants: Vec<(String, SplicingSpec)> =
+        std::iter::once(("gop".to_owned(), SplicingSpec::Gop))
+            .chain(
+                [1.0, 2.0, 4.0, 8.0, 16.0]
+                    .iter()
+                    .map(|&d| (format!("{d}s"), SplicingSpec::Duration(d))),
+            )
+            .collect();
 
     let mut table = Table::new(
         "Per-splicing segment statistics",

@@ -27,9 +27,7 @@ impl Args {
         while let Some(token) = iter.next() {
             if let Some(key) = token.strip_prefix("--") {
                 let value = match iter.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        iter.next().expect("peeked").clone()
-                    }
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked").clone(),
                     _ => "true".to_owned(),
                 };
                 if args.options.insert(key.to_owned(), value).is_some() {
@@ -65,7 +63,9 @@ impl Args {
     pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse `{raw}`")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{raw}`")),
         }
     }
 
@@ -74,16 +74,19 @@ impl Args {
     /// # Errors
     ///
     /// Returns a message when any element does not parse.
-    pub fn num_list<T: std::str::FromStr>(&self, key: &str, default: &[T]) -> Result<Vec<T>, String>
+    pub fn num_list<T>(&self, key: &str, default: &[T]) -> Result<Vec<T>, String>
     where
-        T: Clone,
+        T: std::str::FromStr + Clone,
     {
         match self.get(key) {
             None => Ok(default.to_vec()),
             Some(raw) => raw
                 .split(',')
                 .map(|piece| {
-                    piece.trim().parse().map_err(|_| format!("--{key}: cannot parse `{piece}`"))
+                    piece
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("--{key}: cannot parse `{piece}`"))
                 })
                 .collect(),
         }
@@ -118,7 +121,10 @@ mod tests {
         let args = parse(&["run", "--peers", "8", "--bandwidths", "128,256"]).unwrap();
         assert_eq!(args.num("peers", 3usize).unwrap(), 8);
         assert_eq!(args.num("seed", 42u64).unwrap(), 42);
-        assert_eq!(args.num_list("bandwidths", &[64.0f64]).unwrap(), vec![128.0, 256.0]);
+        assert_eq!(
+            args.num_list("bandwidths", &[64.0f64]).unwrap(),
+            vec![128.0, 256.0]
+        );
         assert_eq!(args.num_list("missing", &[64.0f64]).unwrap(), vec![64.0]);
     }
 

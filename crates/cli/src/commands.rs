@@ -55,7 +55,9 @@ fn parse_splicing(raw: &str) -> Result<SplicingSpec, String> {
         return Ok(SplicingSpec::Gop);
     }
     if let Some(bytes) = raw.strip_prefix("bytes:") {
-        let n: u64 = bytes.parse().map_err(|_| format!("bad splicing byte count `{bytes}`"))?;
+        let n: u64 = bytes
+            .parse()
+            .map_err(|_| format!("bad splicing byte count `{bytes}`"))?;
         return Ok(SplicingSpec::Bytes(n));
     }
     let secs = raw.trim_end_matches('s');
@@ -72,13 +74,17 @@ fn parse_policy(raw: &str) -> Result<PolicyConfig, String> {
         let k: usize = k.parse().map_err(|_| format!("bad pool size `{k}`"))?;
         return Ok(PolicyConfig::Fixed(k));
     }
-    Err(format!("bad policy `{raw}` (expected adaptive or fixed:<k>)"))
+    Err(format!(
+        "bad policy `{raw}` (expected adaptive or fixed:<k>)"
+    ))
 }
 
 fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
     let mut config = ExperimentConfig::paper_baseline();
-    config.video =
-        VideoSpec { duration_secs: args.num("clip-secs", 120.0)?, ..VideoSpec::default() };
+    config.video = VideoSpec {
+        duration_secs: args.num("clip-secs", 120.0)?,
+        ..VideoSpec::default()
+    };
     let bandwidth_kb: f64 = args.num("bandwidth", 128.0)?;
     config = config.with_bandwidth(bandwidth_kb * 1_000.0);
     config = config.with_splicing(parse_splicing(args.get("splicing").unwrap_or("4s"))?);
@@ -125,16 +131,34 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
             PolicyConfig::Fixed(k) => format!("fixed-{k}"),
         },
     ));
-    out.push_str(&format!("  segments:          {}\n", averaged.segment_count));
-    out.push_str(&format!("  byte overhead:     {:.1}%\n", averaged.overhead_ratio * 100.0));
+    out.push_str(&format!(
+        "  segments:          {}\n",
+        averaged.segment_count
+    ));
+    out.push_str(&format!(
+        "  byte overhead:     {:.1}%\n",
+        averaged.overhead_ratio * 100.0
+    ));
     out.push_str(&format!(
         "  stalls:            {:.1}  (rounded: {})\n",
         averaged.stalls.mean, averaged.rounded_stalls
     ));
-    out.push_str(&format!("  stall time:        {:.1} s\n", averaged.stall_secs.mean));
-    out.push_str(&format!("  startup:           {:.1} s\n", averaged.startup_secs.mean));
-    out.push_str(&format!("  completion:        {:.0}%\n", averaged.completion_rate * 100.0));
-    out.push_str(&format!("  peer offload:      {:.0}%\n", averaged.peer_offload * 100.0));
+    out.push_str(&format!(
+        "  stall time:        {:.1} s\n",
+        averaged.stall_secs.mean
+    ));
+    out.push_str(&format!(
+        "  startup:           {:.1} s\n",
+        averaged.startup_secs.mean
+    ));
+    out.push_str(&format!(
+        "  completion:        {:.0}%\n",
+        averaged.completion_rate * 100.0
+    ));
+    out.push_str(&format!(
+        "  peer offload:      {:.0}%\n",
+        averaged.peer_offload * 100.0
+    ));
     if args.flag("csv") {
         out.push_str(&format!(
             "\ncsv:\nstalls,stall_secs,startup_secs,completion,offload\n{:.2},{:.2},{:.2},{:.3},{:.3}\n",
@@ -166,7 +190,10 @@ pub fn sweep_command(args: &Args) -> Result<String, String> {
             other => return Err(format!("unknown metric `{other}`")),
         },
         "bandwidth (kB/s)",
-        &splicing_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        &splicing_names
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
     );
     for &bandwidth in &bandwidths {
         let mut row = Vec::new();
@@ -210,7 +237,11 @@ pub fn overhead_command(args: &Args) -> Result<String, String> {
         &["segments", "total MB", "overhead %", "mean kB", "max kB"],
     );
     let mut variants: Vec<(String, SplicingSpec)> = vec![("gop".into(), SplicingSpec::Gop)];
-    variants.extend(durations.iter().map(|&d| (format!("{d}s"), SplicingSpec::Duration(d))));
+    variants.extend(
+        durations
+            .iter()
+            .map(|&d| (format!("{d}s"), SplicingSpec::Duration(d))),
+    );
     for (name, spec) in &variants {
         let list = spec.splice(&video);
         table.push_row(
@@ -255,12 +286,16 @@ pub fn formula_command(args: &Args) -> Result<String, String> {
 /// `splicecast abr`.
 pub fn abr_command(args: &Args) -> Result<String, String> {
     let algorithm = match args.get("algorithm").unwrap_or("buffer") {
-        "buffer" => AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 },
+        "buffer" => AbrAlgorithm::BufferBased {
+            low_secs: 4.0,
+            high_secs: 16.0,
+        },
         "rate" => AbrAlgorithm::RateBased { safety: 0.8 },
         other => {
             if let Some(rung) = other.strip_prefix("fixed:") {
-                let rung: usize =
-                    rung.parse().map_err(|_| format!("bad rendition `{rung}`"))?;
+                let rung: usize = rung
+                    .parse()
+                    .map_err(|_| format!("bad rendition `{rung}`"))?;
                 AbrAlgorithm::FixedRendition(rung)
             } else {
                 return Err(format!("unknown algorithm `{other}`"));

@@ -64,9 +64,16 @@ mod tests {
 
     #[test]
     fn formula_command_prints_eq1() {
-        let text =
-            call(&["formula", "--bandwidth", "128", "--buffered", "8", "--segment-kb", "512"])
-                .unwrap();
+        let text = call(&[
+            "formula",
+            "--bandwidth",
+            "128",
+            "--buffered",
+            "8",
+            "--segment-kb",
+            "512",
+        ])
+        .unwrap();
         assert!(text.contains("= 2 simultaneous"), "{text}");
         assert!(text.contains("B·T"), "{text}");
     }

@@ -117,7 +117,11 @@ pub fn render(table: &Table, width: usize, height: usize) -> String {
         .enumerate()
         .map(|(s, name)| format!("{} = {name}", MARKS[s % MARKS.len()]))
         .collect();
-    out.push_str(&format!("{}{}\n", " ".repeat(label_width + 2), legend.join("   ")));
+    out.push_str(&format!(
+        "{}{}\n",
+        " ".repeat(label_width + 2),
+        legend.join("   ")
+    ));
     out
 }
 
@@ -156,7 +160,10 @@ mod tests {
         // last one.
         let lines: Vec<&str> = plot.lines().collect();
         let first = lines.iter().position(|l| l.contains('o')).unwrap();
-        let last = lines.iter().rposition(|l| l.contains('o') && !l.contains("o = ")).unwrap();
+        let last = lines
+            .iter()
+            .rposition(|l| l.contains('o') && !l.contains("o = "))
+            .unwrap();
         assert!(last > first, "{plot}");
     }
 

@@ -42,9 +42,11 @@ impl Default for VideoSpec {
 impl VideoSpec {
     /// Encodes the video.
     pub fn build(&self) -> Video {
-        let mut encoder = EncoderConfig::default();
-        encoder.fps = self.fps;
-        encoder.bitrate_bps = self.bitrate_bps;
+        let encoder = EncoderConfig {
+            fps: self.fps,
+            bitrate_bps: self.bitrate_bps,
+            ..EncoderConfig::default()
+        };
         Video::builder()
             .duration_secs(self.duration_secs)
             .profile(self.profile.clone())

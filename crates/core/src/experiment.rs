@@ -47,8 +47,14 @@ impl AveragedMetrics {
     pub fn from_runs(results: &[RunResult]) -> Self {
         assert!(!results.is_empty(), "no runs to average");
         let stalls: Vec<f64> = results.iter().map(|r| r.metrics.mean_stalls()).collect();
-        let stall_secs: Vec<f64> = results.iter().map(|r| r.metrics.mean_stall_secs()).collect();
-        let startup: Vec<f64> = results.iter().map(|r| r.metrics.mean_startup_secs()).collect();
+        let stall_secs: Vec<f64> = results
+            .iter()
+            .map(|r| r.metrics.mean_stall_secs())
+            .collect();
+        let startup: Vec<f64> = results
+            .iter()
+            .map(|r| r.metrics.mean_startup_secs())
+            .collect();
         AveragedMetrics {
             runs: results.len(),
             rounded_stalls: rounded_mean(&stalls),
@@ -56,11 +62,17 @@ impl AveragedMetrics {
             stall_secs: Summary::of(&stall_secs),
             startup_secs: Summary::of(&startup),
             completion_rate: Summary::of(
-                &results.iter().map(|r| r.metrics.completion_rate()).collect::<Vec<_>>(),
+                &results
+                    .iter()
+                    .map(|r| r.metrics.completion_rate())
+                    .collect::<Vec<_>>(),
             )
             .mean,
             peer_offload: Summary::of(
-                &results.iter().map(|r| r.metrics.peer_offload_ratio()).collect::<Vec<_>>(),
+                &results
+                    .iter()
+                    .map(|r| r.metrics.peer_offload_ratio())
+                    .collect::<Vec<_>>(),
             )
             .mean,
             overhead_ratio: results[0].overhead_ratio,
@@ -98,15 +110,17 @@ pub struct SweepPoint {
 /// Panics when `seeds` is empty or any worker run panics.
 pub fn sweep(points: &[SweepPoint], seeds: &[u64]) -> Vec<(String, AveragedMetrics)> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<(String, AveragedMetrics)>> = Vec::new();
     slots.resize_with(points.len(), || None);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(points.len().max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
@@ -117,10 +131,12 @@ pub fn sweep(points: &[SweepPoint], seeds: &[u64]) -> Vec<(String, AveragedMetri
                 guard[i] = Some((point.label.clone(), averaged));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    slots.into_iter().map(|s| s.expect("every sweep point filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep point filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -133,7 +149,10 @@ mod tests {
         let mut cfg = ExperimentConfig::paper_baseline()
             .with_bandwidth(bandwidth)
             .with_leechers(3);
-        cfg.video = VideoSpec { duration_secs: 12.0, ..VideoSpec::default() };
+        cfg.video = VideoSpec {
+            duration_secs: 12.0,
+            ..VideoSpec::default()
+        };
         cfg.swarm.max_sim_secs = 300.0;
         cfg
     }
@@ -144,8 +163,10 @@ mod tests {
         let seeds = [1, 2];
         let avg = run_averaged(&cfg, &seeds);
         assert_eq!(avg.runs, 2);
-        let manual: Vec<f64> =
-            seeds.iter().map(|&s| run_once(&cfg, s).metrics.mean_stalls()).collect();
+        let manual: Vec<f64> = seeds
+            .iter()
+            .map(|&s| run_once(&cfg, s).metrics.mean_stalls())
+            .collect();
         assert!((avg.stalls.mean - Summary::of(&manual).mean).abs() < 1e-12);
         assert_eq!(avg.rounded_stalls, rounded_mean(&manual));
         assert_eq!(avg.segment_count, 3);
@@ -155,7 +176,10 @@ mod tests {
     fn sweep_preserves_order_and_matches_serial() {
         let points: Vec<SweepPoint> = [512_000.0, 768_000.0]
             .iter()
-            .map(|&bw| SweepPoint { label: format!("{bw}"), config: quick_config(bw) })
+            .map(|&bw| SweepPoint {
+                label: format!("{bw}"),
+                config: quick_config(bw),
+            })
             .collect();
         let seeds = [3];
         let parallel = sweep(&points, &seeds);
@@ -170,9 +194,14 @@ mod tests {
 
     #[test]
     fn gop_vs_duration_overhead_shows_up_in_averages() {
-        let gop = run_averaged(&quick_config(512_000.0).with_splicing(SplicingSpec::Gop), &[1]);
-        let dur =
-            run_averaged(&quick_config(512_000.0).with_splicing(SplicingSpec::Duration(2.0)), &[1]);
+        let gop = run_averaged(
+            &quick_config(512_000.0).with_splicing(SplicingSpec::Gop),
+            &[1],
+        );
+        let dur = run_averaged(
+            &quick_config(512_000.0).with_splicing(SplicingSpec::Duration(2.0)),
+            &[1],
+        );
         assert_eq!(gop.overhead_ratio, 0.0);
         assert!(dur.overhead_ratio > 0.0);
     }

@@ -67,7 +67,8 @@ pub fn max_cdn_segment_secs(
     buffered_secs: f64,
     video_bitrate_bps: f64,
 ) -> f64 {
-    if !(video_bitrate_bps > 0.0) {
+    // NaN bitrates fall into the guard like non-positive ones.
+    if video_bitrate_bps.is_nan() || video_bitrate_bps <= 0.0 {
         return 0.0;
     }
     (8.0 * bandwidth_bytes_per_sec * buffered_secs / video_bitrate_bps).max(0.0)
@@ -79,8 +80,15 @@ mod tests {
 
     #[test]
     fn pool_size_matches_swarm_impl() {
-        for (b, t, w) in [(128_000.0, 8.0, 256_000u64), (64_000.0, 2.0, 512_000), (1e6, 30.0, 100)] {
-            assert_eq!(optimal_pool_size(b, t, w), splicecast_swarm::optimal_pool_size(b, t, w));
+        for (b, t, w) in [
+            (128_000.0, 8.0, 256_000u64),
+            (64_000.0, 2.0, 512_000),
+            (1e6, 30.0, 100),
+        ] {
+            assert_eq!(
+                optimal_pool_size(b, t, w),
+                splicecast_swarm::optimal_pool_size(b, t, w)
+            );
         }
     }
 

@@ -138,7 +138,13 @@ impl fmt::Display for Table {
         for (x, values) in &self.rows {
             write!(f, "  {:<width$}", x, width = widths[0])?;
             for (i, v) in values.iter().enumerate() {
-                write!(f, "  {:>width$.prec$}", v, width = widths[i + 1], prec = self.precision)?;
+                write!(
+                    f,
+                    "  {:>width$.prec$}",
+                    v,
+                    width = widths[i + 1],
+                    prec = self.precision
+                )?;
             }
             writeln!(f)?;
         }

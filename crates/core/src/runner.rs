@@ -61,7 +61,10 @@ mod tests {
         let mut cfg = ExperimentConfig::paper_baseline()
             .with_bandwidth(512_000.0)
             .with_leechers(3);
-        cfg.video = VideoSpec { duration_secs: 16.0, ..VideoSpec::default() };
+        cfg.video = VideoSpec {
+            duration_secs: 16.0,
+            ..VideoSpec::default()
+        };
         cfg.swarm.max_sim_secs = 300.0;
         cfg
     }
@@ -73,7 +76,10 @@ mod tests {
         assert_eq!(result.seed, 5);
         assert_eq!(result.metrics.reports.len(), 3);
         assert_eq!(result.segment_count, 4); // 16 s / 4 s
-        assert!(result.overhead_ratio > 0.0, "duration splicing has overhead");
+        assert!(
+            result.overhead_ratio > 0.0,
+            "duration splicing has overhead"
+        );
         assert!(result.total_transfer_bytes > 16.0 as u64 * 125_000 / 8);
     }
 

@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use splicecast_media::{ByteSplicer, DurationSplicer, GopSplicer, RampSplicer, SegmentList, Splicer, Video};
+use splicecast_media::{
+    ByteSplicer, DurationSplicer, GopSplicer, RampSplicer, SegmentList, Splicer, Video,
+};
 
 /// Which splicing strategy an experiment uses (§II).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,7 +60,14 @@ mod tests {
 
     #[test]
     fn ramp_spec_builds() {
-        assert_eq!(SplicingSpec::Ramp { initial: 1.0, max: 8.0 }.label(), "ramp(1→8s)");
+        assert_eq!(
+            SplicingSpec::Ramp {
+                initial: 1.0,
+                max: 8.0
+            }
+            .label(),
+            "ramp(1→8s)"
+        );
     }
 
     #[test]
@@ -68,7 +77,10 @@ mod tests {
             SplicingSpec::Gop,
             SplicingSpec::Duration(4.0),
             SplicingSpec::Bytes(200_000),
-            SplicingSpec::Ramp { initial: 1.0, max: 8.0 },
+            SplicingSpec::Ramp {
+                initial: 1.0,
+                max: 8.0,
+            },
         ] {
             let list = spec.splice(&video);
             list.validate(&video).unwrap();

@@ -39,7 +39,14 @@ impl Summary {
         } else {
             (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
         };
-        Summary { n, mean, stddev: var.sqrt(), min: sorted[0], max: sorted[n - 1], median }
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
     }
 
     /// Half-width of the 95 % confidence interval of the mean (normal

@@ -87,7 +87,10 @@ impl SceneClass {
         scene_min_secs: f64,
         scene_max_secs: f64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&probability), "bad probability {probability}");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "bad probability {probability}"
+        );
         assert!(
             min_secs > 0.0 && min_secs <= max_secs,
             "bad duration range [{min_secs}, {max_secs}]"
@@ -96,7 +99,13 @@ impl SceneClass {
             scene_min_secs > 0.0 && scene_min_secs <= scene_max_secs,
             "bad scene range [{scene_min_secs}, {scene_max_secs}]"
         );
-        SceneClass { probability, min_secs, max_secs, scene_min_secs, scene_max_secs }
+        SceneClass {
+            probability,
+            min_secs,
+            max_secs,
+            scene_min_secs,
+            scene_max_secs,
+        }
     }
 }
 
@@ -124,12 +133,16 @@ impl ContentProfile {
 
     /// All-action content: uniformly short GOPs.
     pub fn action() -> Self {
-        ContentProfile::Mixture { classes: vec![SceneClass::new(1.0, 0.3, 1.5)] }
+        ContentProfile::Mixture {
+            classes: vec![SceneClass::new(1.0, 0.3, 1.5)],
+        }
     }
 
     /// Talking-head content: long, stable GOPs.
     pub fn talking_head() -> Self {
-        ContentProfile::Mixture { classes: vec![SceneClass::new(1.0, 5.0, 15.0)] }
+        ContentProfile::Mixture {
+            classes: vec![SceneClass::new(1.0, 5.0, 15.0)],
+        }
     }
 
     /// Samples GOP durations until `total_secs` is covered. The last GOP is
@@ -140,7 +153,10 @@ impl ContentProfile {
     /// Panics if `total_secs` is not positive/finite, or if a mixture's
     /// probabilities do not sum to 1 (within 1e-6).
     pub fn sample_gop_durations(&self, rng: &mut StdRng, total_secs: f64) -> Vec<f64> {
-        assert!(total_secs.is_finite() && total_secs > 0.0, "bad video length {total_secs}");
+        assert!(
+            total_secs.is_finite() && total_secs > 0.0,
+            "bad video length {total_secs}"
+        );
         const EPSILON: f64 = 1e-6;
         let mut durations = Vec::new();
         let mut covered = 0.0;
@@ -167,8 +183,9 @@ impl ContentProfile {
                     // Emit a run of GOPs covering this scene.
                     let mut scene_left = scene;
                     while scene_left > EPSILON {
-                        let next =
-                            rng.gen_range(class.min_secs..=class.max_secs).min(scene_left);
+                        let next = rng
+                            .gen_range(class.min_secs..=class.max_secs)
+                            .min(scene_left);
                         durations.push(next);
                         scene_left -= next;
                         covered += next;
@@ -259,14 +276,20 @@ mod tests {
             classes: vec![SceneClass::with_scene(1.0, 0.2, 0.4, 5.0, 10.0)],
         };
         let durations = profile.sample_gop_durations(&mut rng(), 30.0);
-        assert!(durations.len() >= 30 / 1, "expected many tiny GOPs, got {}", durations.len());
+        assert!(
+            durations.len() >= 30,
+            "expected many tiny GOPs, got {}",
+            durations.len()
+        );
         assert!(durations.iter().all(|&d| d <= 0.4 + 1e-9));
     }
 
     #[test]
     #[should_panic(expected = "probabilities sum")]
     fn bad_mixture_panics() {
-        let p = ContentProfile::Mixture { classes: vec![SceneClass::new(0.4, 1.0, 2.0)] };
+        let p = ContentProfile::Mixture {
+            classes: vec![SceneClass::new(0.4, 1.0, 2.0)],
+        };
         let _ = p.sample_gop_durations(&mut rng(), 10.0);
     }
 

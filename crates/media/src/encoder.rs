@@ -54,7 +54,11 @@ impl EncoderConfig {
     /// Panics on non-positive weights/bitrate or an fps that does not
     /// divide the 90 kHz clock.
     pub fn validate(&self) {
-        assert!(self.fps > 0 && TICKS_PER_SEC % u64::from(self.fps) == 0, "fps {} must divide 90000", self.fps);
+        assert!(
+            self.fps > 0 && TICKS_PER_SEC.is_multiple_of(u64::from(self.fps)),
+            "fps {} must divide 90000",
+            self.fps
+        );
         assert!(self.bitrate_bps > 0, "bitrate must be positive");
         assert!(
             self.i_weight > 0.0 && self.p_weight > 0.0 && self.b_weight > 0.0,
@@ -75,7 +79,7 @@ impl EncoderConfig {
         }
         // Groups of `b_frames` B-frames, each closed by a P reference.
         let group = self.b_frames as usize + 1;
-        if idx % group == 0 {
+        if idx.is_multiple_of(group) {
             FrameType::P
         } else {
             FrameType::B
@@ -106,7 +110,10 @@ pub fn encode(
     rng: &mut StdRng,
 ) -> (Vec<Frame>, Vec<u32>) {
     cfg.validate();
-    assert!(!gop_durations.is_empty(), "cannot encode a video with no GOPs");
+    assert!(
+        !gop_durations.is_empty(),
+        "cannot encode a video with no GOPs"
+    );
 
     let frame_dur = cfg.frame_duration();
     let mut frames: Vec<Frame> = Vec::new();
@@ -141,7 +148,12 @@ pub fn encode(
             };
             raw_sizes.push(cfg.weight(kind) * jitter);
             let pts = MediaTicks::from_ticks(frame_dur.ticks() * frames.len() as u64);
-            frames.push(Frame { kind, bytes: 0, pts, duration: frame_dur });
+            frames.push(Frame {
+                kind,
+                bytes: 0,
+                pts,
+                duration: frame_dur,
+            });
         }
     }
 
@@ -215,11 +227,26 @@ mod tests {
 
     #[test]
     fn i_frames_dominate_sizes_on_average() {
-        let cfg = EncoderConfig { size_jitter_sigma: 0.0, ..EncoderConfig::default() };
+        let cfg = EncoderConfig {
+            size_jitter_sigma: 0.0,
+            ..EncoderConfig::default()
+        };
         let (frames, _) = encode(&cfg, &[4.0], &mut rng());
-        let i = frames.iter().find(|f| f.kind == FrameType::I).unwrap().bytes as f64;
-        let p = frames.iter().find(|f| f.kind == FrameType::P).unwrap().bytes as f64;
-        let b = frames.iter().find(|f| f.kind == FrameType::B).unwrap().bytes as f64;
+        let i = frames
+            .iter()
+            .find(|f| f.kind == FrameType::I)
+            .unwrap()
+            .bytes as f64;
+        let p = frames
+            .iter()
+            .find(|f| f.kind == FrameType::P)
+            .unwrap()
+            .bytes as f64;
+        let b = frames
+            .iter()
+            .find(|f| f.kind == FrameType::B)
+            .unwrap()
+            .bytes as f64;
         assert!((i / p - 4.0).abs() < 0.1, "I/P ratio {}", i / p);
         assert!((p / b - 3.0).abs() < 0.1, "P/B ratio {}", p / b);
     }
@@ -242,7 +269,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must divide 90000")]
     fn bad_fps_panics() {
-        let cfg = EncoderConfig { fps: 29, ..EncoderConfig::default() };
+        let cfg = EncoderConfig {
+            fps: 29,
+            ..EncoderConfig::default()
+        };
         cfg.validate();
     }
 }

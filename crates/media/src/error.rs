@@ -43,7 +43,10 @@ impl fmt::Display for MediaError {
         match self {
             MediaError::EmptyVideo => write!(f, "video contains no frames"),
             MediaError::NonMonotonicPts { frame } => {
-                write!(f, "frame {frame} does not advance the presentation timestamp")
+                write!(
+                    f,
+                    "frame {frame} does not advance the presentation timestamp"
+                )
             }
             MediaError::GopMissingIFrame { gop } => {
                 write!(f, "gop {gop} does not begin with an I-frame")
@@ -70,7 +73,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(MediaError::EmptyVideo.to_string(), "video contains no frames");
+        assert_eq!(
+            MediaError::EmptyVideo.to_string(),
+            "video contains no frames"
+        );
         assert_eq!(
             MediaError::GopMissingIFrame { gop: 3 }.to_string(),
             "gop 3 does not begin with an I-frame"

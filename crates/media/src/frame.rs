@@ -41,7 +41,10 @@ impl MediaTicks {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid media time: {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid media time: {secs}"
+        );
         MediaTicks((secs * TICKS_PER_SEC as f64).round() as u64)
     }
 

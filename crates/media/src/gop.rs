@@ -18,7 +18,11 @@ pub struct GopView<'a> {
 impl<'a> GopView<'a> {
     pub(crate) fn new(index: usize, first_frame: usize, frames: &'a [Frame]) -> Self {
         debug_assert!(!frames.is_empty(), "empty gop");
-        GopView { index, first_frame, frames }
+        GopView {
+            index,
+            first_frame,
+            frames,
+        }
     }
 
     /// The frames of this GOP, in presentation order.

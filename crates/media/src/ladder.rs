@@ -133,11 +133,17 @@ impl Ladder {
             }
             for (a, b) in rendition.segments.iter().zip(reference.segments.iter()) {
                 if a.duration != b.duration || a.start_pts != b.start_pts {
-                    return Err(MediaError::SegmentCoverage { frame: a.first_frame as usize });
+                    return Err(MediaError::SegmentCoverage {
+                        frame: a.first_frame as usize,
+                    });
                 }
             }
         }
-        if !self.renditions.windows(2).all(|w| w[0].bitrate_bps < w[1].bitrate_bps) {
+        if !self
+            .renditions
+            .windows(2)
+            .all(|w| w[0].bitrate_bps < w[1].bitrate_bps)
+        {
             return Err(MediaError::SegmentCoverage { frame: 0 });
         }
         Ok(())
@@ -207,7 +213,10 @@ impl LadderBuilder {
     ///
     /// Panics when no bitrates are given or parameters are invalid.
     pub fn build(&self) -> Ladder {
-        assert!(!self.bitrates.is_empty(), "a ladder needs at least one bitrate");
+        assert!(
+            !self.bitrates.is_empty(),
+            "a ladder needs at least one bitrate"
+        );
         let mut bitrates = self.bitrates.clone();
         bitrates.sort_unstable();
         bitrates.dedup();
@@ -220,11 +229,19 @@ impl LadderBuilder {
                 let video = Video::builder()
                     .duration_secs(self.duration_secs)
                     .profile(self.profile.clone())
-                    .encoder(EncoderConfig { fps: self.fps, bitrate_bps, ..EncoderConfig::default() })
+                    .encoder(EncoderConfig {
+                        fps: self.fps,
+                        bitrate_bps,
+                        ..EncoderConfig::default()
+                    })
                     .seed(self.seed)
                     .build();
                 let segments = splicer.splice(&video);
-                Rendition { bitrate_bps, video, segments }
+                Rendition {
+                    bitrate_bps,
+                    video,
+                    segments,
+                }
             })
             .collect();
         let ladder = Ladder { renditions };
@@ -277,7 +294,11 @@ mod tests {
     #[test]
     fn rung_for_bitrate_picks_the_highest_affordable() {
         let l = ladder();
-        assert_eq!(l.rung_for_bitrate(10_000.0), 0, "below the ladder → lowest rung");
+        assert_eq!(
+            l.rung_for_bitrate(10_000.0),
+            0,
+            "below the ladder → lowest rung"
+        );
         assert_eq!(l.rung_for_bitrate(300_000.0), 0);
         assert_eq!(l.rung_for_bitrate(599_999.0), 0);
         assert_eq!(l.rung_for_bitrate(600_000.0), 1);

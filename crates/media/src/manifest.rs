@@ -57,8 +57,16 @@ impl Manifest {
                 bytes: seg.bytes,
             })
             .collect::<Vec<_>>();
-        let target = entries.iter().map(|e| e.duration_secs.ceil() as u64).max().unwrap_or(0);
-        Manifest { version: 3, target_duration_secs: target, entries }
+        let target = entries
+            .iter()
+            .map(|e| e.duration_secs.ceil() as u64)
+            .max()
+            .unwrap_or(0);
+        Manifest {
+            version: 3,
+            target_duration_secs: target,
+            entries,
+        }
     }
 
     /// Number of segments.
@@ -87,7 +95,10 @@ impl Manifest {
         let mut out = String::new();
         out.push_str("#EXTM3U\n");
         out.push_str(&format!("#EXT-X-VERSION:{}\n", self.version));
-        out.push_str(&format!("#EXT-X-TARGETDURATION:{}\n", self.target_duration_secs));
+        out.push_str(&format!(
+            "#EXT-X-TARGETDURATION:{}\n",
+            self.target_duration_secs
+        ));
         for entry in &self.entries {
             out.push_str(&format!("#EXT-X-SPLICECAST-BYTES:{}\n", entry.bytes));
             out.push_str(&format!("#EXTINF:{:.6},\n", entry.duration_secs));
@@ -122,19 +133,34 @@ impl Manifest {
             } else if let Some(v) = line.strip_prefix("#EXT-X-SPLICECAST-BYTES:") {
                 pending_bytes = Some(v.parse().map_err(|_| bad("bad byte count"))?);
             } else if let Some(v) = line.strip_prefix("#EXTINF:") {
-                let duration = v.trim_end_matches(',').parse().map_err(|_| bad("bad duration"))?;
+                let duration = v
+                    .trim_end_matches(',')
+                    .parse()
+                    .map_err(|_| bad("bad duration"))?;
                 pending_duration = Some(duration);
             } else if line == "#EXT-X-ENDLIST" {
                 break;
             } else if line.starts_with('#') {
                 // Unknown tags are ignored, like real HLS clients do.
             } else {
-                let duration_secs = pending_duration.take().ok_or_else(|| bad("uri without #EXTINF"))?;
-                let bytes = pending_bytes.take().ok_or_else(|| bad("uri without byte size"))?;
-                entries.push(ManifestEntry { uri: line.to_owned(), duration_secs, bytes });
+                let duration_secs = pending_duration
+                    .take()
+                    .ok_or_else(|| bad("uri without #EXTINF"))?;
+                let bytes = pending_bytes
+                    .take()
+                    .ok_or_else(|| bad("uri without byte size"))?;
+                entries.push(ManifestEntry {
+                    uri: line.to_owned(),
+                    duration_secs,
+                    bytes,
+                });
             }
         }
-        Ok(Manifest { version, target_duration_secs: target, entries })
+        Ok(Manifest {
+            version,
+            target_duration_secs: target,
+            entries,
+        })
     }
 }
 

@@ -150,20 +150,27 @@ impl SegmentList {
         let mut next_frame = 0u32;
         for (i, seg) in self.segments.iter().enumerate() {
             if seg.index != i as u32 || seg.first_frame != next_frame || seg.frame_count == 0 {
-                return Err(MediaError::SegmentCoverage { frame: next_frame as usize });
+                return Err(MediaError::SegmentCoverage {
+                    frame: next_frame as usize,
+                });
             }
-            let span = &frames[seg.first_frame as usize..(seg.first_frame + seg.frame_count) as usize];
+            let span =
+                &frames[seg.first_frame as usize..(seg.first_frame + seg.frame_count) as usize];
             let media: u64 = span.iter().map(|f| u64::from(f.bytes)).sum();
             if seg.bytes != media + seg.overhead_bytes {
                 return Err(MediaError::SegmentBytes { segment: i });
             }
             if seg.start_pts != span[0].pts {
-                return Err(MediaError::SegmentCoverage { frame: seg.first_frame as usize });
+                return Err(MediaError::SegmentCoverage {
+                    frame: seg.first_frame as usize,
+                });
             }
             next_frame += seg.frame_count;
         }
         if next_frame as usize != frames.len() {
-            return Err(MediaError::SegmentCoverage { frame: next_frame as usize });
+            return Err(MediaError::SegmentCoverage {
+                frame: next_frame as usize,
+            });
         }
         Ok(())
     }
@@ -225,15 +232,24 @@ mod tests {
 
         let mut wrong_bytes = list.clone();
         wrong_bytes.segments[0].bytes += 1;
-        assert_eq!(wrong_bytes.validate(&v).unwrap_err(), MediaError::SegmentBytes { segment: 0 });
+        assert_eq!(
+            wrong_bytes.validate(&v).unwrap_err(),
+            MediaError::SegmentBytes { segment: 0 }
+        );
 
         let mut gap = list.clone();
         gap.segments.remove(1);
-        assert!(matches!(gap.validate(&v).unwrap_err(), MediaError::SegmentCoverage { .. }));
+        assert!(matches!(
+            gap.validate(&v).unwrap_err(),
+            MediaError::SegmentCoverage { .. }
+        ));
 
         let mut truncated = list.clone();
         truncated.segments.pop();
-        assert!(matches!(truncated.validate(&v).unwrap_err(), MediaError::SegmentCoverage { .. }));
+        assert!(matches!(
+            truncated.validate(&v).unwrap_err(),
+            MediaError::SegmentCoverage { .. }
+        ));
     }
 
     #[test]

@@ -213,8 +213,15 @@ impl RampSplicer {
             initial_secs.is_finite() && initial_secs > 0.0 && initial_secs <= max_secs,
             "bad ramp range [{initial_secs}, {max_secs}]"
         );
-        assert!(growth.is_finite() && growth >= 1.0, "growth must be at least 1, got {growth}");
-        RampSplicer { initial_secs, max_secs, growth }
+        assert!(
+            growth.is_finite() && growth >= 1.0,
+            "growth must be at least 1, got {growth}"
+        );
+        RampSplicer {
+            initial_secs,
+            max_secs,
+            growth,
+        }
     }
 
     /// The first segment's target duration.
@@ -249,7 +256,11 @@ impl Splicer for RampSplicer {
     }
 
     fn name(&self) -> String {
-        format!("ramp({}→{}s)", format_secs_bare(self.initial_secs), format_secs_bare(self.max_secs))
+        format!(
+            "ramp({}→{}s)",
+            format_secs_bare(self.initial_secs),
+            format_secs_bare(self.max_secs)
+        )
     }
 }
 
@@ -355,7 +366,10 @@ mod tests {
     fn duration_splice_pays_overhead_where_cuts_land_mid_gop() {
         let v = video();
         let list = DurationSplicer::new(2.0).splice(&v);
-        assert!(list.total_overhead_bytes() > 0, "mixed content should force conversions");
+        assert!(
+            list.total_overhead_bytes() > 0,
+            "mixed content should force conversions"
+        );
         // Overhead only on segments that do not start with an I-frame.
         for seg in &list {
             let first = &v.frames()[seg.first_frame as usize];
@@ -416,7 +430,12 @@ mod tests {
         // Segments exceed the target by at most one frame plus conversion
         // overhead; sanity-bound at 2x.
         for seg in &list.segments()[..list.len() - 1] {
-            assert!(seg.bytes < 2 * target, "segment {} is {} bytes", seg.index, seg.bytes);
+            assert!(
+                seg.bytes < 2 * target,
+                "segment {} is {} bytes",
+                seg.index,
+                seg.bytes
+            );
         }
     }
 
@@ -429,8 +448,10 @@ mod tests {
         assert_eq!(ramp.name(), "ramp(1→8s)");
         let frame = 1.0 / f64::from(v.fps());
         // Durations are non-decreasing (within a frame) and bounded.
-        let durs: Vec<f64> =
-            list.segments()[..list.len() - 1].iter().map(|s| s.duration.as_secs_f64()).collect();
+        let durs: Vec<f64> = list.segments()[..list.len() - 1]
+            .iter()
+            .map(|s| s.duration.as_secs_f64())
+            .collect();
         for pair in durs.windows(2) {
             assert!(pair[1] >= pair[0] - frame - 1e-9, "{durs:?}");
         }

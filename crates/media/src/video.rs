@@ -44,8 +44,16 @@ impl Video {
     /// Returns the first violated invariant: frames non-empty, strictly
     /// increasing timestamps, every GOP starting with an I-frame and
     /// containing no other I-frames.
-    pub fn from_parts(fps: u32, frames: Vec<Frame>, gop_starts: Vec<u32>) -> Result<Self, MediaError> {
-        let video = Video { fps, frames, gop_starts };
+    pub fn from_parts(
+        fps: u32,
+        frames: Vec<Frame>,
+        gop_starts: Vec<u32>,
+    ) -> Result<Self, MediaError> {
+        let video = Video {
+            fps,
+            frames,
+            gop_starts,
+        };
         video.validate()?;
         Ok(video)
     }
@@ -143,7 +151,11 @@ impl Video {
                     Err(MediaError::StrayIFrame { frame: i })
                 } else {
                     Err(MediaError::GopMissingIFrame {
-                        gop: self.gop_starts.iter().position(|&s| s == i as u32).unwrap_or(0),
+                        gop: self
+                            .gop_starts
+                            .iter()
+                            .position(|&s| s == i as u32)
+                            .unwrap_or(0),
                     })
                 };
             }
@@ -220,9 +232,15 @@ impl VideoBuilder {
     /// bitrate, fps that does not divide 90 000, ...).
     pub fn build(&self) -> Video {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let durations = self.profile.sample_gop_durations(&mut rng, self.duration_secs);
+        let durations = self
+            .profile
+            .sample_gop_durations(&mut rng, self.duration_secs);
         let (frames, gop_starts) = encode(&self.encoder, &durations, &mut rng);
-        let video = Video { fps: self.encoder.fps, frames, gop_starts };
+        let video = Video {
+            fps: self.encoder.fps,
+            frames,
+            gop_starts,
+        };
         debug_assert!(video.validate().is_ok());
         video
     }
@@ -280,7 +298,11 @@ mod tests {
         // Valid: two GOPs.
         let ok = Video::from_parts(
             30,
-            vec![f(FrameType::I, 0), f(FrameType::P, 3000), f(FrameType::I, 6000)],
+            vec![
+                f(FrameType::I, 0),
+                f(FrameType::P, 3000),
+                f(FrameType::I, 6000),
+            ],
             vec![0, 2],
         );
         assert!(ok.is_ok());
@@ -292,17 +314,20 @@ mod tests {
         );
         assert_eq!(bad.unwrap_err(), MediaError::GopMissingIFrame { gop: 1 });
         // Invalid: stray mid-GOP I-frame.
-        let stray = Video::from_parts(
-            30,
-            vec![f(FrameType::I, 0), f(FrameType::I, 3000)],
-            vec![0],
-        );
+        let stray = Video::from_parts(30, vec![f(FrameType::I, 0), f(FrameType::I, 3000)], vec![0]);
         assert_eq!(stray.unwrap_err(), MediaError::StrayIFrame { frame: 1 });
         // Invalid: non-monotonic pts.
-        let order = Video::from_parts(30, vec![f(FrameType::I, 100), f(FrameType::P, 100)], vec![0]);
+        let order = Video::from_parts(
+            30,
+            vec![f(FrameType::I, 100), f(FrameType::P, 100)],
+            vec![0],
+        );
         assert_eq!(order.unwrap_err(), MediaError::NonMonotonicPts { frame: 1 });
         // Invalid: empty.
-        assert_eq!(Video::from_parts(30, vec![], vec![]).unwrap_err(), MediaError::EmptyVideo);
+        assert_eq!(
+            Video::from_parts(30, vec![], vec![]).unwrap_err(),
+            MediaError::EmptyVideo
+        );
     }
 
     #[test]

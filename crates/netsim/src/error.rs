@@ -43,10 +43,16 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let e = NetError::NoRoute { src: NodeId::from_index(1), dst: NodeId::from_index(2) };
+        let e = NetError::NoRoute {
+            src: NodeId::from_index(1),
+            dst: NodeId::from_index(2),
+        };
         assert_eq!(e.to_string(), "no route from n1 to n2");
         assert_eq!(NetError::UnknownNode.to_string(), "unknown node id");
-        assert_eq!(NetError::EmptyTransfer.to_string(), "transfer must carry at least one byte");
+        assert_eq!(
+            NetError::EmptyTransfer.to_string(),
+            "transfer must carry at least one byte"
+        );
     }
 
     #[test]

@@ -18,35 +18,21 @@ pub(crate) enum Scheduled {
     Capacity { dir: DirLinkId, capacity_bps: f64 },
 }
 
-#[derive(Debug)]
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    what: Scheduled,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Ties in time break by insertion order, making runs deterministic.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// The heap holds only small `(time, seq, slot)` keys — ties in time break
+/// by insertion order (`seq`), making runs deterministic — while the
+/// payloads sit in a slab indexed by `slot`. Sift operations on a binary
+/// heap move entries around `log n` times each, so keeping the moved value
+/// at three words instead of a full [`Scheduled`] makes the queue largely
+/// disappear from simulation profiles.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<Entry>>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Payload per slot; `None` marks a free slot.
+    payloads: Vec<Option<Scheduled>>,
+    /// Freed slot indices, reused LIFO.
+    free: Vec<u32>,
     seq: u64,
 }
 
@@ -56,17 +42,30 @@ impl EventQueue {
     }
 
     pub fn push(&mut self, time: SimTime, what: Scheduled) {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.payloads.push(None);
+                (self.payloads.len() - 1) as u32
+            }
+        };
+        self.payloads[slot as usize] = Some(what);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, what }));
+        self.heap.push(Reverse((time, seq, slot)));
     }
 
     pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.heap.peek().map(|&Reverse((time, _, _))| time)
     }
 
     pub fn pop(&mut self) -> Option<(SimTime, Scheduled)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.what))
+        let Reverse((time, _, slot)) = self.heap.pop()?;
+        let what = self.payloads[slot as usize]
+            .take()
+            .expect("heap key without payload");
+        self.free.push(slot);
+        Some((time, what))
     }
 
     pub fn len(&self) -> usize {
@@ -83,12 +82,18 @@ mod tests {
     use super::*;
 
     fn timer(token: u64) -> Scheduled {
-        Scheduled::Node { target: NodeId::from_index(0), event: NodeEvent::Timer { token } }
+        Scheduled::Node {
+            target: NodeId::from_index(0),
+            event: NodeEvent::Timer { token },
+        }
     }
 
     fn token_of(s: Scheduled) -> u64 {
         match s {
-            Scheduled::Node { event: NodeEvent::Timer { token }, .. } => token,
+            Scheduled::Node {
+                event: NodeEvent::Timer { token },
+                ..
+            } => token,
             other => panic!("unexpected event {other:?}"),
         }
     }
@@ -99,7 +104,9 @@ mod tests {
         q.push(SimTime::from_micros(30), timer(3));
         q.push(SimTime::from_micros(10), timer(1));
         q.push(SimTime::from_micros(20), timer(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, s)| token_of(s)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, s)| token_of(s))
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -109,7 +116,9 @@ mod tests {
         for token in 0..100 {
             q.push(SimTime::from_micros(5), timer(token));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, s)| token_of(s)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, s)| token_of(s))
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 

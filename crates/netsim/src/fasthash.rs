@@ -1,0 +1,115 @@
+//! A tiny deterministic hasher for simulator-internal maps.
+//!
+//! The standard library's SipHash shows up on the per-message send path
+//! (route-cache and FIFO-ordering lookups happen on every control
+//! message). The keys are small node-id pairs entirely under the
+//! simulator's control, so hash-flooding resistance buys nothing; a
+//! multiply-rotate hash is a fraction of the cost and just as
+//! deterministic.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FastHasher`].
+pub(crate) type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// Multiply-rotate hasher in the FxHash family: fold each word into the
+/// state with a rotate, xor, and multiply by a large odd constant.
+#[derive(Debug, Default)]
+pub(crate) struct FastHasher(u64);
+
+const MULTIPLIER: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(MULTIPLIER);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(last));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_hash() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastHashMap<(u32, u32), u64> = FastHashMap::default();
+        for i in 0..100u32 {
+            m.insert((i, i + 1), u64::from(i));
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&(i, i + 1)), Some(&u64::from(i)));
+        }
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut a = FastHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FastHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -75,7 +75,7 @@ impl DirLinkId {
 
     /// True when this is the `a -> b` direction of the link.
     pub fn is_forward(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The dense index of this directed link.
@@ -86,7 +86,12 @@ impl DirLinkId {
 
 impl fmt::Display for DirLinkId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.link(), if self.is_forward() { ">" } else { "<" })
+        write!(
+            f,
+            "{}{}",
+            self.link(),
+            if self.is_forward() { ">" } else { "<" }
+        )
     }
 }
 

@@ -37,6 +37,7 @@
 
 mod error;
 mod event;
+mod fasthash;
 mod id;
 mod link;
 mod node;

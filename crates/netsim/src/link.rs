@@ -38,8 +38,15 @@ impl LinkSpec {
             capacity_bps.is_finite() && capacity_bps > 0.0,
             "link capacity must be positive, got {capacity_bps}"
         );
-        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1), got {loss}");
-        LinkSpec { capacity_bps, latency, loss }
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss must be in [0,1), got {loss}"
+        );
+        LinkSpec {
+            capacity_bps,
+            latency,
+            loss,
+        }
     }
 
     /// Convenience constructor taking capacity in bytes per second.

@@ -9,9 +9,12 @@ use rand::Rng;
 
 /// Draws from a binomial distribution `Bin(n, p)`.
 ///
-/// For small `n` the trials are sampled directly; for large `n` a normal
-/// approximation is used (with clamping to `[0, n]`), which is accurate to
-/// well under a packet for the window sizes the TCP model produces.
+/// For small `n` the exact distribution is sampled by inversion — one
+/// uniform draw walked down the CDF via the pmf recurrence — which costs
+/// `O(np)` arithmetic instead of the `n` uniform draws of per-trial
+/// sampling. For large `n` a normal approximation is used (with clamping to
+/// `[0, n]`), which is accurate to well under a packet for the window sizes
+/// the TCP model produces.
 ///
 /// # Examples
 ///
@@ -29,13 +32,13 @@ pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
         return n;
     }
     if n <= 128 {
-        let mut hits = 0;
-        for _ in 0..n {
-            if rng.gen::<f64>() < p {
-                hits += 1;
-            }
+        // Keep the walked tail short and the starting pmf well away from
+        // underflow by sampling the complement when p > 1/2.
+        if p > 0.5 {
+            n - binomial_inversion(rng, n, 1.0 - p)
+        } else {
+            binomial_inversion(rng, n, p)
         }
-        hits
     } else {
         let mean = n as f64 * p;
         let sd = (n as f64 * p * (1.0 - p)).sqrt();
@@ -43,6 +46,22 @@ pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
         let draw = (mean + sd * z).round();
         draw.clamp(0.0, n as f64) as u64
     }
+}
+
+/// Exact binomial sampling by CDF inversion, for `p <= 0.5` and small `n`.
+fn binomial_inversion<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let ratio = p / q;
+    let mut pmf = q.powi(n as i32);
+    let mut cdf = pmf;
+    let u: f64 = rng.gen();
+    let mut k = 0u64;
+    while u > cdf && k < n {
+        k += 1;
+        pmf *= ratio * (n - k + 1) as f64 / k as f64;
+        cdf += pmf;
+    }
+    k
 }
 
 /// Draws from an exponential distribution with the given rate (events per

@@ -1,6 +1,6 @@
 //! The simulator: event loop, node contexts, and the world state.
 
-use std::collections::HashMap;
+use crate::fasthash::FastHashMap;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -56,15 +56,24 @@ pub(crate) struct World {
     link_bytes: Vec<u64>,
     /// Last scheduled delivery per (src, dst), to keep the control channel
     /// in order like a TCP connection would.
-    msg_order: HashMap<(NodeId, NodeId), SimTime>,
+    msg_order: FastHashMap<(NodeId, NodeId), SimTime>,
+    /// Scratch for `step_flow`: per-link decayed rates, computed once per
+    /// round and reused for both the utilization read and the usage update.
+    scratch_rates: Vec<f64>,
 }
 
 impl World {
     fn fail_flow(&mut self, id: FlowId, notify: &[NodeId]) {
-        let Some(flow) = self.flows.remove(id) else { return };
+        let Some(flow) = self.flows.remove(id) else {
+            return;
+        };
         self.stats.flows_failed += 1;
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceRecord::FlowFailed { at: self.now, flow: id, delivered: flow.delivered });
+            trace.push(TraceRecord::FlowFailed {
+                at: self.now,
+                flow: id,
+                delivered: flow.delivered,
+            });
         }
         let notice_at = self.now + flow.rtt;
         for &node in notify {
@@ -103,56 +112,69 @@ impl World {
     fn step_flow(&mut self, raw: u64) {
         let id = FlowId(raw);
         // A stale round event for a flow that was cancelled or failed.
-        let Some(flow) = self.flows.get(id) else { return };
-
-        // Max–min fair share: the narrowest per-flow slice along the path.
-        let mut share_bps = f64::INFINITY;
-        for dir in &flow.path {
-            let cap = self.net.dir_spec(*dir).capacity_bps;
-            let load = self.flows.load(*dir).max(1);
-            share_bps = share_bps.min(cap / load as f64);
-        }
-
-        // Shaped-queue loss model: the configured loss applies in full only
-        // when the path is busy (see [`TcpConfig::loss_utilization_floor`]).
-        let utilization = self.path_utilization(&flow.path).min(1.0);
-        let floor = self.tcp.loss_utilization_floor;
-        let shaped_loss = flow.loss * (floor + (1.0 - floor) * utilization);
-
-        // Overload collapse: when the *competing* flows on a link cannot
-        // shrink their windows below `min_cwnd` without exceeding its BDP,
-        // the excess turns into timeouts, modelled as extra loss. A lone
-        // flow never overloads itself (its send budget already paces it),
-        // hence `load - 1`.
-        let rtt_secs = flow.rtt.as_secs_f64();
-        let mut pressure: f64 = 0.0;
-        for dir in &flow.path {
-            let cap = self.net.dir_spec(*dir).capacity_bps;
-            let competing = self.flows.load(*dir).saturating_sub(1) as f64;
-            let bdp_bytes = cap / 8.0 * rtt_secs;
-            pressure =
-                pressure.max(competing * self.tcp.min_cwnd * self.tcp.mss as f64 / bdp_bytes);
-        }
-        let overload_loss = (self.tcp.overload_loss_coeff
-            * (pressure - self.tcp.overload_pressure_threshold).max(0.0))
-        .min(self.tcp.overload_loss_max);
-        let effective_loss = 1.0 - (1.0 - shaped_loss) * (1.0 - overload_loss);
+        let Some(flow) = self.flows.get(id) else {
+            return;
+        };
 
         let tcp = self.tcp;
+        let now = self.now;
+        let rtt_secs = flow.rtt.as_secs_f64();
+
+        // One pass over the path computes everything the round needs:
+        //
+        // - Max–min fair share: the narrowest per-flow slice.
+        // - Utilization, for the shaped-queue loss model (the configured
+        //   loss applies in full only when the path is busy, see
+        //   [`TcpConfig::loss_utilization_floor`]).
+        // - Overload pressure: when the *competing* flows on a link cannot
+        //   shrink their windows below `min_cwnd` without exceeding its
+        //   BDP, the excess turns into timeouts, modelled as extra loss. A
+        //   lone flow never overloads itself (its send budget already
+        //   paces it), hence `load - 1`.
+        //
+        // The decayed per-link rates are kept so the usage update after the
+        // round reuses them instead of re-evaluating the decay.
+        let mut share_bps = f64::INFINITY;
+        let mut utilization: f64 = 0.0;
+        let mut pressure: f64 = 0.0;
+        let mut rates = std::mem::take(&mut self.scratch_rates);
+        rates.clear();
+        for dir in &flow.path {
+            let cap = self.net.dir_spec(*dir).capacity_bps;
+            let load = self.flows.load(*dir);
+            share_bps = share_bps.min(cap / load.max(1) as f64);
+            let rate = self.usage[dir.index()].rate_bps_at(now, tcp.utilization_tau_secs);
+            rates.push(rate);
+            utilization = utilization.max(rate / cap);
+            let competing = load.saturating_sub(1) as f64;
+            let bdp_bytes = cap / 8.0 * rtt_secs;
+            pressure = pressure.max(competing * tcp.min_cwnd * tcp.mss as f64 / bdp_bytes);
+        }
+        let utilization = utilization.min(1.0);
+        let floor = tcp.loss_utilization_floor;
+        let shaped_loss = flow.loss * (floor + (1.0 - floor) * utilization);
+        let overload_loss = (tcp.overload_loss_coeff
+            * (pressure - tcp.overload_pressure_threshold).max(0.0))
+        .min(tcp.overload_loss_max);
+        let effective_loss = 1.0 - (1.0 - shaped_loss) * (1.0 - overload_loss);
+
         let flow = self.flows.get_mut(id).expect("flow vanished");
         let rtt = flow.rtt;
-        let (outcome, sent_bytes) = flow.advance_round(&tcp, share_bps, effective_loss, &mut self.rng);
-        let path = flow.path.clone();
-        let now = self.now;
+        let (outcome, sent_bytes) =
+            flow.advance_round(&tcp, share_bps, effective_loss, &mut self.rng);
         self.stats.wire_bytes_sent += sent_bytes;
-        for dir in &path {
-            self.usage[dir.index()].note(now, sent_bytes, tcp.utilization_tau_secs);
+        // `flow` borrows only the flow table; usage and link_bytes are
+        // disjoint fields, so the path needs no defensive clone.
+        let added_bps = sent_bytes as f64 * 8.0 / tcp.utilization_tau_secs;
+        for (dir, &rate) in flow.path.iter().zip(&rates) {
+            self.usage[dir.index()].set_rate(now, rate + added_bps);
             self.link_bytes[dir.index()] += sent_bytes;
         }
-        let flow = self.flows.get_mut(id).expect("flow vanished");
+        self.scratch_rates = rates;
         match outcome {
             RoundOutcome::InProgress => {
-                self.queue.push(self.now + rtt, Scheduled::FlowRound { flow: raw });
+                self.queue
+                    .push(self.now + rtt, Scheduled::FlowRound { flow: raw });
             }
             RoundOutcome::Completed => {
                 let (src, dst, tag, total, started) =
@@ -165,20 +187,33 @@ impl World {
                 let recv_at = self.now + rtt / 2;
                 let ack_at = self.now + rtt;
                 if let Some(trace) = &mut self.trace {
-                    trace.push(TraceRecord::FlowCompleted { at: recv_at, flow: id });
+                    trace.push(TraceRecord::FlowCompleted {
+                        at: recv_at,
+                        flow: id,
+                    });
                 }
                 self.queue.push(
                     recv_at,
                     Scheduled::Node {
                         target: dst,
-                        event: NodeEvent::TransferComplete { flow: id, from: src, tag, bytes: total, started },
+                        event: NodeEvent::TransferComplete {
+                            flow: id,
+                            from: src,
+                            tag,
+                            bytes: total,
+                            started,
+                        },
                     },
                 );
                 self.queue.push(
                     ack_at,
                     Scheduled::Node {
                         target: src,
-                        event: NodeEvent::UploadComplete { flow: id, to: dst, tag },
+                        event: NodeEvent::UploadComplete {
+                            flow: id,
+                            to: dst,
+                            tag,
+                        },
                     },
                 );
             }
@@ -196,7 +231,10 @@ pub struct Ctx<'a> {
 
 impl std::fmt::Debug for Ctx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctx").field("me", &self.me).field("now", &self.world.now).finish()
+        f.debug_struct("Ctx")
+            .field("me", &self.me)
+            .field("now", &self.world.now)
+            .finish()
     }
 }
 
@@ -250,8 +288,11 @@ impl Ctx<'_> {
         let delay = if to == self.me {
             LOOPBACK_DELAY
         } else {
-            let path = w.net.path(self.me, to)?;
-            let props = w.net.path_properties(&path);
+            // prime + borrow instead of `path()` so the steady path does
+            // not clone the cached route Vec on every message.
+            w.net.prime_route(self.me, to)?;
+            let path = w.net.cached_route(self.me, to);
+            let props = w.net.path_properties(path);
             let wire_bytes = payload.len() as u64 + MESSAGE_OVERHEAD_BYTES;
             let tx = SimDuration::from_secs_f64(wire_bytes as f64 * 8.0 / props.min_capacity_bps);
             // Each retransmission costs a full round trip (timeout + resend).
@@ -277,7 +318,13 @@ impl Ctx<'_> {
         }
         w.queue.push(
             deliver_at,
-            Scheduled::Node { target: to, event: NodeEvent::Message { from: self.me, payload } },
+            Scheduled::Node {
+                target: to,
+                event: NodeEvent::Message {
+                    from: self.me,
+                    payload,
+                },
+            },
         );
         Ok(())
     }
@@ -306,7 +353,12 @@ impl Ctx<'_> {
     /// # Errors
     ///
     /// Same as [`Ctx::start_transfer`].
-    pub fn start_transfer_warm(&mut self, to: NodeId, bytes: u64, tag: u64) -> Result<FlowId, NetError> {
+    pub fn start_transfer_warm(
+        &mut self,
+        to: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> Result<FlowId, NetError> {
         self.transfer_inner(to, bytes, tag, true)
     }
 
@@ -328,7 +380,10 @@ impl Ctx<'_> {
             return Err(NetError::NodeOffline(to));
         }
         if to == self.me {
-            return Err(NetError::NoRoute { src: self.me, dst: to });
+            return Err(NetError::NoRoute {
+                src: self.me,
+                dst: to,
+            });
         }
         let path = w.net.path(self.me, to)?;
         let props = w.net.path_properties(&path);
@@ -350,14 +405,21 @@ impl Ctx<'_> {
         let id = w.flows.insert(flow);
         w.stats.flows_started += 1;
         if let Some(trace) = &mut w.trace {
-            trace.push(TraceRecord::FlowStarted { at: w.now, flow: id, src: self.me, dst: to, bytes });
+            trace.push(TraceRecord::FlowStarted {
+                at: w.now,
+                flow: id,
+                src: self.me,
+                dst: to,
+                bytes,
+            });
         }
         // First data round: after the three-way handshake for a fresh
         // connection, after half an RTT (send → first data back) when the
         // connection is kept alive.
         let setup = if warm { 0.5 } else { w.tcp.handshake_rtts };
         let first_round = w.now + rtt.mul_f64(setup);
-        w.queue.push(first_round, Scheduled::FlowRound { flow: id.raw() });
+        w.queue
+            .push(first_round, Scheduled::FlowRound { flow: id.raw() });
         Ok(id)
     }
 
@@ -365,7 +427,9 @@ impl Ctx<'_> {
     /// [`NodeEvent::TransferFailed`]; the caller is not. Cancelling an
     /// already-finished flow is a no-op.
     pub fn cancel_transfer(&mut self, flow: FlowId) {
-        let Some(f) = self.world.flows.get(flow) else { return };
+        let Some(f) = self.world.flows.get(flow) else {
+            return;
+        };
         let counterpart = if f.src == self.me { f.dst } else { f.src };
         self.world.fail_flow(flow, &[counterpart]);
     }
@@ -374,9 +438,13 @@ impl Ctx<'_> {
     /// node after `after`.
     pub fn set_timer(&mut self, after: SimDuration, token: u64) {
         let at = self.world.now + after;
-        self.world
-            .queue
-            .push(at, Scheduled::Node { target: self.me, event: NodeEvent::Timer { token } });
+        self.world.queue.push(
+            at,
+            Scheduled::Node {
+                target: self.me,
+                event: NodeEvent::Timer { token },
+            },
+        );
     }
 
     /// Takes this node offline: all its flows fail (counterparts are
@@ -390,10 +458,18 @@ impl Ctx<'_> {
         }
         w.online[me.index()] = false;
         if let Some(trace) = &mut w.trace {
-            trace.push(TraceRecord::NodeOffline { at: w.now, node: me });
+            trace.push(TraceRecord::NodeOffline {
+                at: w.now,
+                node: me,
+            });
         }
-        for id in w.flows.flows_touching(me) {
-            let Some(f) = w.flows.get(id) else { continue };
+        // fail_flow removes each flow from the per-node index, so taking
+        // the first id each time walks the list in insertion order.
+        while let Some(&id) = w.flows.flows_touching(me).first() {
+            let Some(f) = w.flows.get(id) else {
+                debug_assert!(false, "per-node flow index held a stale id");
+                break;
+            };
             let counterpart = if f.src == me { f.dst } else { f.src };
             w.fail_flow(id, &[counterpart]);
         }
@@ -408,10 +484,15 @@ impl Ctx<'_> {
         if to == self.me || to.index() >= self.world.online.len() {
             return 0.0;
         }
-        match self.world.net.path(self.me, to) {
-            Ok(path) => self.world.path_utilization(&path),
-            Err(_) => 0.0,
+        let w = &mut *self.world;
+        if w.net.prime_route(self.me, to).is_err() {
+            return 0.0;
         }
+        let path = w.net.cached_route(self.me, to);
+        if path.is_empty() {
+            return 0.0;
+        }
+        w.path_utilization(path)
     }
 
     /// Bytes already delivered for an in-flight transfer, if it is still
@@ -485,7 +566,8 @@ impl Simulator {
                 trace: None,
                 stats: SimStats::default(),
                 link_bytes: vec![0; dir_links],
-                msg_order: HashMap::new(),
+                msg_order: FastHashMap::default(),
+                scratch_rates: Vec::new(),
             },
             nodes: Vec::new(),
             started: false,
@@ -529,7 +611,9 @@ impl Simulator {
     /// Schedules a capacity change of one link direction at an absolute time
     /// (bandwidth modulation, for variable-bandwidth experiments).
     pub fn schedule_capacity(&mut self, at: SimTime, dir: DirLinkId, capacity_bps: f64) {
-        self.world.queue.push(at, Scheduled::Capacity { dir, capacity_bps });
+        self.world
+            .queue
+            .push(at, Scheduled::Capacity { dir, capacity_bps });
     }
 
     /// The current simulated time.
@@ -565,7 +649,10 @@ impl Simulator {
         for index in 0..self.nodes.len() {
             let target = NodeId::from_index(index);
             let mut node = self.nodes[index].take().expect("node missing");
-            node.on_start(&mut Ctx { world: &mut self.world, me: target });
+            node.on_start(&mut Ctx {
+                world: &mut self.world,
+                me: target,
+            });
             self.nodes[index] = Some(node);
         }
     }
@@ -575,7 +662,13 @@ impl Simulator {
             return;
         }
         let mut node = self.nodes[target.index()].take().expect("node missing");
-        node.on_event(&mut Ctx { world: &mut self.world, me: target }, event);
+        node.on_event(
+            &mut Ctx {
+                world: &mut self.world,
+                me: target,
+            },
+            event,
+        );
         self.nodes[target.index()] = Some(node);
     }
 
@@ -614,7 +707,10 @@ impl Simulator {
                 continue;
             }
             let mut node = self.nodes[index].take().expect("node missing");
-            node.on_sim_end(&mut Ctx { world: &mut self.world, me: target });
+            node.on_sim_end(&mut Ctx {
+                world: &mut self.world,
+                me: target,
+            });
             self.nodes[index] = Some(node);
         }
     }
@@ -669,7 +765,9 @@ mod tests {
         }
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
             if let NodeEvent::Message { .. } = event {
-                self.log.borrow_mut().push(format!("reply at {}", ctx.now()));
+                self.log
+                    .borrow_mut()
+                    .push(format!("reply at {}", ctx.now()));
             }
         }
     }
@@ -684,7 +782,10 @@ mod tests {
         let s = two_leaf_star(0.0);
         let mut sim = Simulator::new(s.network, 1);
         sim.add_node(Box::new(crate::node::NullBehavior));
-        sim.add_node(Box::new(Client { log: log.clone(), peer: s.leaves[1] }));
+        sim.add_node(Box::new(Client {
+            log: log.clone(),
+            peer: s.leaves[1],
+        }));
         sim.add_node(Box::new(Echo { log: log.clone() }));
         sim.run_until_idle(SimTime::from_secs_f64(5.0));
         let entries = log.borrow();
@@ -724,7 +825,10 @@ mod tests {
         let done = Rc::new(RefCell::new(None));
         let mut sim = Simulator::new(s.network, 1);
         sim.add_node(Box::new(crate::node::NullBehavior));
-        sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 500_000 }));
+        sim.add_node(Box::new(Sender {
+            to: s.leaves[1],
+            bytes: 500_000,
+        }));
         sim.add_node(Box::new(Receiver { done: done.clone() }));
         sim.run_until_idle(SimTime::from_secs_f64(60.0));
         let (bytes, at) = done.borrow().expect("transfer should complete");
@@ -764,7 +868,10 @@ mod tests {
         let saw = Rc::new(RefCell::new(false));
         let mut sim = Simulator::new(s.network, 1);
         sim.add_node(Box::new(crate::node::NullBehavior));
-        sim.add_node(Box::new(LateSender { to: s.leaves[1], saw_err: saw.clone() }));
+        sim.add_node(Box::new(LateSender {
+            to: s.leaves[1],
+            saw_err: saw.clone(),
+        }));
         sim.add_node(Box::new(Quitter));
         sim.run_until_idle(SimTime::from_secs_f64(5.0));
         assert!(*saw.borrow());
@@ -802,10 +909,15 @@ mod tests {
         let mut sim = Simulator::new(s.network, 1);
         sim.add_node(Box::new(crate::node::NullBehavior));
         sim.add_node(Box::new(FlakySender { to: s.leaves[1] }));
-        sim.add_node(Box::new(FailWatcher { failed: failed.clone() }));
+        sim.add_node(Box::new(FailWatcher {
+            failed: failed.clone(),
+        }));
         sim.run_until_idle(SimTime::from_secs_f64(30.0));
         let delivered = failed.borrow().expect("receiver should see the failure");
-        assert!(delivered > 0, "some bytes should have flowed before the failure");
+        assert!(
+            delivered > 0,
+            "some bytes should have flowed before the failure"
+        );
         assert!(delivered < 10_000_000);
         assert_eq!(sim.active_flow_count(), 0);
     }
@@ -853,7 +965,10 @@ mod tests {
             let mut sim = Simulator::new(s.network, seed);
             sim.enable_trace();
             sim.add_node(Box::new(crate::node::NullBehavior));
-            sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 300_000 }));
+            sim.add_node(Box::new(Sender {
+                to: s.leaves[1],
+                bytes: 300_000,
+            }));
             sim.add_node(Box::new(Receiver::default()));
             sim.run_until_idle(SimTime::from_secs_f64(120.0));
             sim.take_trace()
@@ -875,7 +990,10 @@ mod tests {
                 sim.schedule_capacity(SimTime::from_secs_f64(1.0), dir[1], 100_000.0);
             }
             sim.add_node(Box::new(crate::node::NullBehavior));
-            sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 1_000_000 }));
+            sim.add_node(Box::new(Sender {
+                to: s.leaves[1],
+                bytes: 1_000_000,
+            }));
             sim.add_node(Box::new(Receiver { done: done.clone() }));
             sim.run_until_idle(SimTime::from_secs_f64(300.0));
             let (_, at) = done.borrow().expect("transfer should complete");
@@ -912,7 +1030,9 @@ mod tests {
         impl NodeBehavior for Stamps {
             fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
                 if let NodeEvent::Message { payload, .. } = event {
-                    self.at.borrow_mut().push((payload[0], ctx.now().as_secs_f64()));
+                    self.at
+                        .borrow_mut()
+                        .push((payload[0], ctx.now().as_secs_f64()));
                 }
             }
         }
@@ -952,7 +1072,10 @@ mod tests {
         let seen = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulator::new(s.network, 1);
         sim.add_node(Box::new(crate::node::NullBehavior));
-        sim.add_node(Box::new(Probe { to: s.leaves[1], seen: seen.clone() }));
+        sim.add_node(Box::new(Probe {
+            to: s.leaves[1],
+            seen: seen.clone(),
+        }));
         sim.add_node(Box::new(crate::node::NullBehavior));
         sim.run_until_idle(SimTime::from_secs_f64(30.0));
         let seen = seen.borrow();
@@ -966,7 +1089,10 @@ mod tests {
         let done = Rc::new(RefCell::new(None));
         let mut sim = Simulator::new(s.network, 4);
         sim.add_node(Box::new(crate::node::NullBehavior));
-        sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 300_000 }));
+        sim.add_node(Box::new(Sender {
+            to: s.leaves[1],
+            bytes: 300_000,
+        }));
         sim.add_node(Box::new(Receiver { done: done.clone() }));
         sim.run_until_idle(SimTime::from_secs_f64(120.0));
         assert!(done.borrow().is_some());
@@ -988,7 +1114,10 @@ mod tests {
         let path = net.path(s.leaves[0], s.leaves[1]).unwrap();
         let mut sim = Simulator::new(net, 4);
         sim.add_node(Box::new(crate::node::NullBehavior));
-        sim.add_node(Box::new(Sender { to: s.leaves[1], bytes: 200_000 }));
+        sim.add_node(Box::new(Sender {
+            to: s.leaves[1],
+            bytes: 200_000,
+        }));
         sim.add_node(Box::new(Receiver { done: done.clone() }));
         sim.run_until_idle(SimTime::from_secs_f64(60.0));
         let wire = sim.stats().wire_bytes_sent;
@@ -1004,7 +1133,10 @@ mod tests {
         }
         impl NodeBehavior for Z {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                assert!(matches!(ctx.start_transfer(self.to, 0, 0), Err(NetError::EmptyTransfer)));
+                assert!(matches!(
+                    ctx.start_transfer(self.to, 0, 0),
+                    Err(NetError::EmptyTransfer)
+                ));
             }
             fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
         }

@@ -146,8 +146,10 @@ impl Flow {
         // Fair-share budget for one RTT, in packets (at least one: TCP
         // always keeps a packet in flight).
         let budget_bytes = fair_share_bps / 8.0 * self.rtt.as_secs_f64();
-        let budget_pkts = (budget_bytes / cfg.mss as f64).floor().max(1.0) as u64;
-        let window_pkts = self.cwnd.floor().max(1.0) as u64;
+        // `as u64` truncates like `floor` for non-negative values without
+        // the libm call (the default x86-64 target has no roundsd).
+        let budget_pkts = ((budget_bytes / cfg.mss as f64) as u64).max(1);
+        let window_pkts = (self.cwnd as u64).max(1);
         let remaining_pkts = (self.total - self.delivered).div_ceil(cfg.mss);
         let send = budget_pkts.min(window_pkts).min(remaining_pkts);
 
@@ -183,9 +185,12 @@ pub(crate) struct LinkUsage {
 }
 
 impl LinkUsage {
-    /// Accounts `bytes` put on the link at `now`.
-    pub fn note(&mut self, now: SimTime, bytes: u64, tau_secs: f64) {
-        self.rate_bps = self.rate_bps_at(now, tau_secs) + bytes as f64 * 8.0 / tau_secs;
+    /// Overwrites the estimate with `rate_bps` observed at `now`. The
+    /// caller decays the old rate via [`LinkUsage::rate_bps_at`] and adds
+    /// its contribution; splitting the two lets a round reuse one decay
+    /// computation for both the utilization read and this update.
+    pub fn set_rate(&mut self, now: SimTime, rate_bps: f64) {
+        self.rate_bps = rate_bps;
         self.last_micros = now.as_micros();
     }
 
@@ -196,51 +201,120 @@ impl LinkUsage {
     }
 }
 
+/// One slab slot: a generation counter plus the flow occupying it (if any).
+/// The generation is bumped on removal, so a stale [`FlowId`] can never
+/// alias a newer flow that reuses the slot.
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    flow: Option<Flow>,
+}
+
 /// Book-keeping for all active flows and per-directed-link load counts.
+///
+/// Flows live in a generational slab: a [`FlowId`] packs `generation << 32 |
+/// slot`, so lookups are two array indexes instead of a hash, freed slots
+/// are reused LIFO, and stale ids (from already-delivered round events) miss
+/// on the generation check. A per-node index keeps the flows touching each
+/// endpoint in insertion order, making [`FlowTable::flows_touching`] O(1)
+/// instead of a scan-and-sort over every active flow.
 #[derive(Debug, Default)]
 pub(crate) struct FlowTable {
-    flows: std::collections::HashMap<u64, Flow>,
+    slots: Vec<Slot>,
+    /// Freed slot indices, reused LIFO.
+    free: Vec<u32>,
+    active: usize,
     /// Number of active flows crossing each directed link.
     link_load: Vec<u32>,
-    next_id: u64,
+    /// Flows touching each node (as src or dst), in insertion order.
+    by_node: Vec<Vec<FlowId>>,
 }
 
 impl FlowTable {
     pub fn new(dir_link_count: usize) -> Self {
         FlowTable {
-            flows: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: 0,
             link_load: vec![0; dir_link_count],
-            next_id: 0,
+            by_node: Vec::new(),
         }
     }
 
+    fn pack(slot: u32, gen: u32) -> FlowId {
+        FlowId((gen as u64) << 32 | slot as u64)
+    }
+
+    fn slot_of(id: FlowId) -> usize {
+        (id.0 & u32::MAX as u64) as usize
+    }
+
+    fn gen_of(id: FlowId) -> u32 {
+        (id.0 >> 32) as u32
+    }
+
     pub fn insert(&mut self, mut flow: Flow) -> FlowId {
-        let id = FlowId(self.next_id);
-        self.next_id += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot { gen: 0, flow: None });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = Self::pack(slot, self.slots[slot as usize].gen);
         flow.id = id;
         for dir in &flow.path {
             self.link_load[dir.index()] += 1;
         }
-        self.flows.insert(id.0, flow);
+        self.note_endpoint(flow.src, id);
+        self.note_endpoint(flow.dst, id);
+        self.slots[slot as usize].flow = Some(flow);
+        self.active += 1;
         id
     }
 
+    fn note_endpoint(&mut self, node: NodeId, id: FlowId) {
+        let idx = node.index();
+        if idx >= self.by_node.len() {
+            self.by_node.resize_with(idx + 1, Vec::new);
+        }
+        self.by_node[idx].push(id);
+    }
+
     pub fn get_mut(&mut self, id: FlowId) -> Option<&mut Flow> {
-        self.flows.get_mut(&id.0)
+        let slot = self.slots.get_mut(Self::slot_of(id))?;
+        if slot.gen != Self::gen_of(id) {
+            return None;
+        }
+        slot.flow.as_mut()
     }
 
     pub fn get(&self, id: FlowId) -> Option<&Flow> {
-        self.flows.get(&id.0)
+        let slot = self.slots.get(Self::slot_of(id))?;
+        if slot.gen != Self::gen_of(id) {
+            return None;
+        }
+        slot.flow.as_ref()
     }
 
-    /// Removes a flow, releasing its link load. Returns the flow if it was
-    /// still active.
+    /// Removes a flow, releasing its link load and retiring the slot's
+    /// generation. Returns the flow if it was still active.
     pub fn remove(&mut self, id: FlowId) -> Option<Flow> {
-        let flow = self.flows.remove(&id.0)?;
+        let idx = Self::slot_of(id);
+        let slot = self.slots.get_mut(idx)?;
+        if slot.gen != Self::gen_of(id) {
+            return None;
+        }
+        let flow = slot.flow.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx as u32);
+        self.active -= 1;
         for dir in &flow.path {
             debug_assert!(self.link_load[dir.index()] > 0);
             self.link_load[dir.index()] -= 1;
         }
+        self.by_node[flow.src.index()].retain(|&f| f != id);
+        self.by_node[flow.dst.index()].retain(|&f| f != id);
         Some(flow)
     }
 
@@ -249,20 +323,16 @@ impl FlowTable {
         self.link_load[dir.index()]
     }
 
-    /// Ids of all flows that have `node` as an endpoint.
-    pub fn flows_touching(&self, node: NodeId) -> Vec<FlowId> {
-        let mut ids: Vec<FlowId> = self
-            .flows
-            .values()
-            .filter(|f| f.src == node || f.dst == node)
-            .map(|f| f.id)
-            .collect();
-        ids.sort_unstable(); // deterministic iteration order
-        ids
+    /// Ids of all flows that have `node` as an endpoint, in insertion order.
+    pub fn flows_touching(&self, node: NodeId) -> &[FlowId] {
+        self.by_node
+            .get(node.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     pub fn active_count(&self) -> usize {
-        self.flows.len()
+        self.active
     }
 }
 
@@ -378,5 +448,59 @@ mod tests {
         assert_eq!(table.flows_touching(NodeId::from_index(0)), vec![f]);
         assert_eq!(table.flows_touching(NodeId::from_index(1)), vec![f]);
         assert!(table.flows_touching(NodeId::from_index(2)).is_empty());
+    }
+
+    #[test]
+    fn slab_never_reuses_ids_for_live_flows() {
+        use std::collections::HashSet;
+        let mut table = FlowTable::new(4);
+        let mut live: HashSet<u64> = HashSet::new();
+        let mut retired: HashSet<u64> = HashSet::new();
+        let mut active: Vec<FlowId> = Vec::new();
+        // Churn insertions and removals so slots recycle many times.
+        for round in 0..64 {
+            for _ in 0..3 {
+                let id = table.insert(test_flow(1, 0.0));
+                assert!(
+                    !retired.contains(&id.raw()),
+                    "retired id {id:?} was handed out again"
+                );
+                assert!(live.insert(id.raw()), "id {id:?} duplicates a live flow");
+                active.push(id);
+            }
+            // Remove from the middle so the free list sees varied slots.
+            let victim = active.remove(round % active.len());
+            assert!(table.remove(victim).is_some());
+            live.remove(&victim.raw());
+            retired.insert(victim.raw());
+        }
+        assert_eq!(table.active_count(), active.len());
+        for id in &retired {
+            assert!(
+                table.get(FlowId(*id)).is_none(),
+                "stale id resolved to a flow"
+            );
+        }
+        for id in &active {
+            assert!(table.get(*id).is_some(), "live id failed to resolve");
+        }
+    }
+
+    #[test]
+    fn stale_id_misses_after_slot_reuse() {
+        let mut table = FlowTable::new(4);
+        let a = table.insert(test_flow(1, 0.0));
+        table.remove(a).unwrap();
+        // The replacement reuses slot 0 but carries a newer generation.
+        let b = table.insert(test_flow(1, 0.0));
+        assert_ne!(a.raw(), b.raw());
+        assert!(
+            table.get(a).is_none(),
+            "stale id must not alias the new flow"
+        );
+        assert!(table.get_mut(a).is_none());
+        assert!(table.remove(a).is_none());
+        assert!(table.get(b).is_some());
+        assert_eq!(table.active_count(), 1);
     }
 }

@@ -1,6 +1,8 @@
 //! The network graph: nodes, links, routing, and topology builders.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use crate::fasthash::FastHashMap;
 
 use crate::error::NetError;
 use crate::id::{DirLinkId, LinkId, NodeId};
@@ -29,7 +31,7 @@ use crate::time::SimDuration;
 pub struct Network {
     links: Vec<Link>,
     adj: Vec<Vec<(NodeId, LinkId)>>,
-    route_cache: HashMap<(NodeId, NodeId), Vec<DirLinkId>>,
+    route_cache: FastHashMap<(NodeId, NodeId), Vec<DirLinkId>>,
 }
 
 /// Aggregate path properties used by the TCP and message models.
@@ -71,12 +73,23 @@ impl Network {
     /// # Panics
     ///
     /// Panics if either node does not exist or `a == b`.
-    pub fn connect(&mut self, a: NodeId, b: NodeId, forward: LinkSpec, backward: LinkSpec) -> LinkId {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        forward: LinkSpec,
+        backward: LinkSpec,
+    ) -> LinkId {
         assert!(a.index() < self.adj.len(), "unknown node {a}");
         assert!(b.index() < self.adj.len(), "unknown node {b}");
         assert_ne!(a, b, "self-links are not allowed");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { a, b, forward, backward });
+        self.links.push(Link {
+            a,
+            b,
+            forward,
+            backward,
+        });
         self.adj[a.index()].push((b, id));
         self.adj[b.index()].push((a, id));
         self.route_cache.clear();
@@ -114,7 +127,9 @@ impl Network {
             capacity_bps.is_finite() && capacity_bps > 0.0,
             "link capacity must be positive, got {capacity_bps}"
         );
-        self.links[dir.link().index()].spec_mut(dir.is_forward()).capacity_bps = capacity_bps;
+        self.links[dir.link().index()]
+            .spec_mut(dir.is_forward())
+            .capacity_bps = capacity_bps;
     }
 
     /// Sets the capacity of both directions of a link.
@@ -142,6 +157,35 @@ impl Network {
         let path = self.bfs(src, dst).ok_or(NetError::NoRoute { src, dst })?;
         self.route_cache.insert((src, dst), path.clone());
         Ok(path)
+    }
+
+    /// Ensures the route from `src` to `dst` is cached, computing it if
+    /// needed, without cloning it. Pair with [`Network::cached_route`] on
+    /// hot paths that only need to *look at* the path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::path`].
+    pub fn prime_route(&mut self, src: NodeId, dst: NodeId) -> Result<(), NetError> {
+        if src.index() >= self.adj.len() || dst.index() >= self.adj.len() {
+            return Err(NetError::UnknownNode);
+        }
+        if src == dst || self.route_cache.contains_key(&(src, dst)) {
+            return Ok(());
+        }
+        let path = self.bfs(src, dst).ok_or(NetError::NoRoute { src, dst })?;
+        self.route_cache.insert((src, dst), path);
+        Ok(())
+    }
+
+    /// The cached route from `src` to `dst`, empty unless a prior
+    /// [`Network::path`] or [`Network::prime_route`] computed it (or
+    /// `src == dst`, whose route is genuinely empty).
+    pub fn cached_route(&self, src: NodeId, dst: NodeId) -> &[DirLinkId] {
+        self.route_cache
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     fn bfs(&self, src: NodeId, dst: NodeId) -> Option<Vec<DirLinkId>> {
@@ -195,7 +239,11 @@ impl Network {
             pass *= 1.0 - spec.loss;
             min_cap = min_cap.min(spec.capacity_bps);
         }
-        PathProperties { latency, loss: 1.0 - pass, min_capacity_bps: min_cap }
+        PathProperties {
+            latency,
+            loss: 1.0 - pass,
+            min_capacity_bps: min_cap,
+        }
     }
 }
 
@@ -247,7 +295,12 @@ pub fn star(leaf_specs: &[LinkSpec]) -> Star {
             leaf
         })
         .collect();
-    Star { network, hub, leaves, links }
+    Star {
+        network,
+        hub,
+        leaves,
+        links,
+    }
 }
 
 /// Builds a full mesh of `n` nodes where every pair shares a direct link.
@@ -271,7 +324,10 @@ pub fn dumbbell(
     access: LinkSpec,
     bottleneck: LinkSpec,
 ) -> (Network, Vec<NodeId>, Vec<NodeId>) {
-    assert!(left >= 1 && right >= 1, "dumbbell needs hosts on both sides");
+    assert!(
+        left >= 1 && right >= 1,
+        "dumbbell needs hosts on both sides"
+    );
     let mut network = Network::new();
     let left_router = network.add_node();
     let right_router = network.add_node();
@@ -303,7 +359,7 @@ mod tests {
 
     #[test]
     fn star_routes_through_hub() {
-        let s = star(&vec![spec(1000.0, 25, 0.0); 3]);
+        let s = star(&[spec(1000.0, 25, 0.0); 3]);
         let mut net = s.network;
         let path = net.path(s.leaves[0], s.leaves[2]).unwrap();
         assert_eq!(path.len(), 2);
@@ -313,7 +369,7 @@ mod tests {
 
     #[test]
     fn path_to_self_is_empty() {
-        let s = star(&vec![spec(1000.0, 25, 0.0); 2]);
+        let s = star(&[spec(1000.0, 25, 0.0); 2]);
         let mut net = s.network;
         assert!(net.path(s.leaves[0], s.leaves[0]).unwrap().is_empty());
     }
@@ -330,12 +386,15 @@ mod tests {
     fn unknown_node_is_an_error() {
         let mut net = Network::new();
         let a = net.add_node();
-        assert!(matches!(net.path(a, NodeId::from_index(9)), Err(NetError::UnknownNode)));
+        assert!(matches!(
+            net.path(a, NodeId::from_index(9)),
+            Err(NetError::UnknownNode)
+        ));
     }
 
     #[test]
     fn loss_compounds_along_path() {
-        let s = star(&vec![spec(1000.0, 0, 0.1); 2]);
+        let s = star(&[spec(1000.0, 0, 0.1); 2]);
         let mut net = s.network;
         let path = net.path(s.leaves[0], s.leaves[1]).unwrap();
         let props = net.path_properties(&path);
@@ -344,8 +403,7 @@ mod tests {
 
     #[test]
     fn min_capacity_is_bottleneck() {
-        let (mut net, lefts, rights) =
-            dumbbell(1, 1, spec(1000.0, 1, 0.0), spec(100.0, 1, 0.0));
+        let (mut net, lefts, rights) = dumbbell(1, 1, spec(1000.0, 1, 0.0), spec(100.0, 1, 0.0));
         let path = net.path(lefts[0], rights[0]).unwrap();
         assert_eq!(path.len(), 3);
         let props = net.path_properties(&path);
@@ -366,7 +424,7 @@ mod tests {
 
     #[test]
     fn capacity_can_be_modulated() {
-        let s = star(&vec![spec(1000.0, 25, 0.0); 2]);
+        let s = star(&[spec(1000.0, 25, 0.0); 2]);
         let mut net = s.network;
         let path = net.path(s.leaves[0], s.leaves[1]).unwrap();
         net.set_capacity(path[0], 400.0);

@@ -163,9 +163,19 @@ mod tests {
             dst: NodeId::from_index(0),
             bytes: 500,
         });
-        t.push(TraceRecord::FlowCompleted { at: SimTime::from_micros(9), flow: FlowId(0) });
-        t.push(TraceRecord::FlowFailed { at: SimTime::from_micros(9), flow: FlowId(1), delivered: 20 });
-        t.push(TraceRecord::NodeOffline { at: SimTime::from_micros(10), node: NodeId::from_index(1) });
+        t.push(TraceRecord::FlowCompleted {
+            at: SimTime::from_micros(9),
+            flow: FlowId(0),
+        });
+        t.push(TraceRecord::FlowFailed {
+            at: SimTime::from_micros(9),
+            flow: FlowId(1),
+            delivered: 20,
+        });
+        t.push(TraceRecord::NodeOffline {
+            at: SimTime::from_micros(10),
+            node: NodeId::from_index(1),
+        });
         let s = t.summary();
         assert_eq!(s.messages, 1);
         assert_eq!(s.flows_started, 2);
@@ -179,8 +189,14 @@ mod tests {
     fn trace_accumulates_in_order() {
         let mut t = Trace::new();
         assert!(t.is_empty());
-        t.push(TraceRecord::NodeOffline { at: SimTime::from_micros(1), node: NodeId::from_index(0) });
-        t.push(TraceRecord::FlowCompleted { at: SimTime::from_micros(2), flow: FlowId(0) });
+        t.push(TraceRecord::NodeOffline {
+            at: SimTime::from_micros(1),
+            node: NodeId::from_index(0),
+        });
+        t.push(TraceRecord::FlowCompleted {
+            at: SimTime::from_micros(2),
+            flow: FlowId(0),
+        });
         assert_eq!(t.len(), 2);
         assert!(matches!(t.records()[0], TraceRecord::NodeOffline { .. }));
     }

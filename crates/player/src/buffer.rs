@@ -26,6 +26,10 @@ pub struct SegmentBuffer {
     ends: Vec<MediaTicks>,
     have: Vec<bool>,
     held: usize,
+    /// Lowest index not held: every segment below it is held. Downloads
+    /// are near-sequential, so timeline queries answer from this mark in
+    /// O(1) instead of walking the contiguous run each time.
+    first_missing: usize,
 }
 
 impl SegmentBuffer {
@@ -34,7 +38,13 @@ impl SegmentBuffer {
         let starts = segments.iter().map(|s| s.start_pts).collect::<Vec<_>>();
         let ends = segments.iter().map(|s| s.end_pts()).collect::<Vec<_>>();
         let have = vec![false; segments.len()];
-        SegmentBuffer { starts, ends, have, held: 0 }
+        SegmentBuffer {
+            starts,
+            ends,
+            have,
+            held: 0,
+            first_missing: 0,
+        }
     }
 
     /// Number of segments in the splice.
@@ -72,6 +82,9 @@ impl SegmentBuffer {
         } else {
             self.have[index] = true;
             self.held += 1;
+            while self.first_missing < self.have.len() && self.have[self.first_missing] {
+                self.first_missing += 1;
+            }
             true
         }
     }
@@ -89,7 +102,8 @@ impl SegmentBuffer {
 
     /// The first missing segment at or after `index`, if any.
     pub fn next_missing(&self, index: usize) -> Option<usize> {
-        (index..self.have.len()).find(|&i| !self.have[i])
+        // Everything below `first_missing` is held, so start there.
+        (index.max(self.first_missing)..self.have.len()).find(|&i| !self.have[i])
     }
 
     /// The timeline point up to which playback can run without interruption
@@ -103,6 +117,11 @@ impl SegmentBuffer {
         };
         if !self.have[idx] {
             return position;
+        }
+        if idx < self.first_missing {
+            // The common sequential case: the run covering `position` ends
+            // exactly at the first gap.
+            return self.ends[self.first_missing - 1];
         }
         while idx + 1 < self.have.len() && self.have[idx + 1] {
             idx += 1;

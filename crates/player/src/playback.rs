@@ -157,8 +157,7 @@ impl Playback {
         }
         let elapsed = now_secs - self.playing_since_secs;
         debug_assert!(elapsed >= -1e-9, "time ran backwards");
-        let target =
-            self.position_at_since + MediaTicks::from_secs_f64(elapsed.max(0.0));
+        let target = self.position_at_since + MediaTicks::from_secs_f64(elapsed.max(0.0));
         let playable_until = self.buffer.playable_until(self.position_at_since);
         if target < playable_until {
             self.position = target;
@@ -247,7 +246,7 @@ mod tests {
         let mut p = playback();
         p.on_segment(0, 0.0); // play starts at t=0, runs to media 4 s
         p.on_segment(1, 1.0); // runs to media 8 s
-        // Segment 2 arrives at t=11, but the head ran dry at t=8.
+                              // Segment 2 arrives at t=11, but the head ran dry at t=8.
         p.on_segment(2, 11.0);
         assert_eq!(p.state(), PlaybackState::Playing);
         let stalls = p.stalls();

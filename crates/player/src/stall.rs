@@ -61,7 +61,10 @@ impl StallTracker {
     pub fn end_stall(&mut self, at_secs: f64) {
         let start = self.open_since.take().expect("no stall open");
         assert!(at_secs >= start, "stall ends before it starts");
-        self.stalls.push(StallEvent { start_secs: start, end_secs: at_secs });
+        self.stalls.push(StallEvent {
+            start_secs: start,
+            end_secs: at_secs,
+        });
     }
 
     /// True while a stall is open.
@@ -172,7 +175,10 @@ mod tests {
 
     #[test]
     fn stall_event_duration() {
-        let e = StallEvent { start_secs: 1.5, end_secs: 4.0 };
+        let e = StallEvent {
+            start_secs: 1.5,
+            end_secs: 4.0,
+        };
         assert!((e.duration_secs() - 2.5).abs() < 1e-12);
     }
 }

@@ -27,7 +27,10 @@ pub struct Bitfield {
 impl Bitfield {
     /// Creates an all-zero bitfield of `len` bits.
     pub fn new(len: u32) -> Self {
-        Bitfield { len, bits: vec![0; (len as usize).div_ceil(8)] }
+        Bitfield {
+            len,
+            bits: vec![0; (len as usize).div_ceil(8)],
+        }
     }
 
     /// Reconstructs a bitfield from its wire form.
@@ -51,16 +54,19 @@ impl Bitfield {
     }
 
     /// Number of bits.
+    #[inline]
     pub fn len(&self) -> u32 {
         self.len
     }
 
     /// True when the bitfield has zero bits.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// The raw bytes, most significant bit first (BitTorrent convention).
+    #[inline]
     pub fn as_bytes(&self) -> &[u8] {
         &self.bits
     }
@@ -70,6 +76,7 @@ impl Bitfield {
     /// # Panics
     ///
     /// Panics when `index >= len`.
+    #[inline]
     pub fn get(&self, index: u32) -> bool {
         assert!(index < self.len, "bit {index} out of range {}", self.len);
         self.bits[(index / 8) as usize] & (0x80 >> (index % 8)) != 0
@@ -80,6 +87,7 @@ impl Bitfield {
     /// # Panics
     ///
     /// Panics when `index >= len`.
+    #[inline]
     pub fn set(&mut self, index: u32) {
         assert!(index < self.len, "bit {index} out of range {}", self.len);
         self.bits[(index / 8) as usize] |= 0x80 >> (index % 8);
@@ -90,6 +98,7 @@ impl Bitfield {
     /// # Panics
     ///
     /// Panics when `index >= len`.
+    #[inline]
     pub fn clear(&mut self, index: u32) {
         assert!(index < self.len, "bit {index} out of range {}", self.len);
         self.bits[(index / 8) as usize] &= !(0x80 >> (index % 8));

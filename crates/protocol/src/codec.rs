@@ -67,7 +67,11 @@ pub fn encode(msg: &Message, dst: &mut BytesMut) {
         Message::ManifestData { payload } => {
             dst.put_slice(payload);
         }
-        Message::Handshake { peer_id, info_hash, version } => {
+        Message::Handshake {
+            peer_id,
+            info_hash,
+            version,
+        } => {
             dst.put_slice(&PROTOCOL_MAGIC);
             dst.put_u8(*version);
             dst.put_u64(*peer_id);
@@ -81,6 +85,41 @@ pub fn encode_to_bytes(msg: &Message) -> Bytes {
     let mut buf = BytesMut::new();
     encode(msg, &mut buf);
     buf.freeze()
+}
+
+/// A reusable encoding buffer for hot paths.
+///
+/// [`encode_to_bytes`] allocates a scratch buffer per call;
+/// [`EncodeBuf::wire`] keeps one scratch buffer alive across calls, so each
+/// encode costs only the single allocation of the returned [`Bytes`].
+///
+/// # Examples
+///
+/// ```
+/// use splicecast_protocol::{decode_single, EncodeBuf, Message};
+///
+/// let mut buf = EncodeBuf::new();
+/// let wire = buf.wire(&Message::Have { index: 7 });
+/// assert_eq!(decode_single(&wire).unwrap(), Message::Have { index: 7 });
+/// ```
+#[derive(Debug, Default)]
+pub struct EncodeBuf {
+    buf: BytesMut,
+}
+
+impl EncodeBuf {
+    /// Creates an empty encode buffer.
+    pub fn new() -> Self {
+        EncodeBuf::default()
+    }
+
+    /// Encodes `msg` into the internal scratch buffer and returns it as a
+    /// standalone [`Bytes`].
+    pub fn wire(&mut self, msg: &Message) -> Bytes {
+        self.buf.clear();
+        encode(msg, &mut self.buf);
+        Bytes::copy_from_slice(&self.buf)
+    }
 }
 
 fn body_len(msg: &Message) -> usize {
@@ -105,17 +144,42 @@ fn body_len(msg: &Message) -> usize {
 
 /// Decodes exactly one message from `data`.
 ///
+/// Parses in place: the only allocations are for messages that carry
+/// owned data (`Bitfield`, `ManifestData`, `PeerList`), which keeps the
+/// per-message receive path of the simulator allocation-free.
+///
 /// # Errors
 ///
 /// Fails on truncated input, trailing bytes, or any malformed frame.
 pub fn decode_single(data: &[u8]) -> Result<Message, ProtocolError> {
-    let mut decoder = Decoder::new();
-    decoder.feed(data);
-    let msg = decoder
-        .poll()?
-        .ok_or(ProtocolError::BadBody { kind: 0xFF, len: data.len() })?;
-    if decoder.buffered() != 0 {
-        return Err(ProtocolError::BadBody { kind: 0xFE, len: decoder.buffered() });
+    if data.len() < 4 {
+        return Err(ProtocolError::BadBody {
+            kind: 0xFF,
+            len: data.len(),
+        });
+    }
+    let len = u32::from_be_bytes(data[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len });
+    }
+    let rest = &data[4..];
+    if rest.len() < len as usize {
+        return Err(ProtocolError::BadBody {
+            kind: 0xFF,
+            len: data.len(),
+        });
+    }
+    let msg = if len == 0 {
+        Message::KeepAlive
+    } else {
+        decode_body_slice(rest[0], &rest[1..len as usize])?
+    };
+    let trailing = rest.len() - len as usize;
+    if trailing != 0 {
+        return Err(ProtocolError::BadBody {
+            kind: 0xFE,
+            len: trailing,
+        });
     }
     Ok(msg)
 }
@@ -184,96 +248,147 @@ impl Decoder {
     }
 }
 
-fn decode_body(kind: u8, mut body: Bytes) -> Result<Message, ProtocolError> {
-    let fixed = |body: &Bytes, n: usize| -> Result<(), ProtocolError> {
+fn decode_body(kind: u8, body: Bytes) -> Result<Message, ProtocolError> {
+    if kind == 10 {
+        // Streaming path: hand the manifest payload over without copying.
+        return Ok(Message::ManifestData { payload: body });
+    }
+    decode_body_slice(kind, &body)
+}
+
+/// Advances `body` past its first `n` bytes and returns them.
+fn split<'a>(body: &mut &'a [u8], n: usize) -> &'a [u8] {
+    let (head, tail) = body.split_at(n);
+    *body = tail;
+    head
+}
+
+fn read_u32(body: &mut &[u8]) -> u32 {
+    u32::from_be_bytes(split(body, 4).try_into().expect("4 bytes"))
+}
+
+fn read_u64(body: &mut &[u8]) -> u64 {
+    u64::from_be_bytes(split(body, 8).try_into().expect("8 bytes"))
+}
+
+fn decode_body_slice(kind: u8, mut body: &[u8]) -> Result<Message, ProtocolError> {
+    let fixed = |body: &[u8], n: usize| -> Result<(), ProtocolError> {
         if body.len() != n {
-            Err(ProtocolError::BadBody { kind, len: body.len() })
+            Err(ProtocolError::BadBody {
+                kind,
+                len: body.len(),
+            })
         } else {
             Ok(())
         }
     };
     let msg = match kind {
         0 => {
-            fixed(&body, 0)?;
+            fixed(body, 0)?;
             Message::Choke
         }
         1 => {
-            fixed(&body, 0)?;
+            fixed(body, 0)?;
             Message::Unchoke
         }
         2 => {
-            fixed(&body, 0)?;
+            fixed(body, 0)?;
             Message::Interested
         }
         3 => {
-            fixed(&body, 0)?;
+            fixed(body, 0)?;
             Message::NotInterested
         }
         4 => {
-            fixed(&body, 4)?;
-            Message::Have { index: body.get_u32() }
+            fixed(body, 4)?;
+            Message::Have {
+                index: read_u32(&mut body),
+            }
         }
         5 => {
             if body.len() < 4 {
-                return Err(ProtocolError::BadBody { kind, len: body.len() });
+                return Err(ProtocolError::BadBody {
+                    kind,
+                    len: body.len(),
+                });
             }
-            let bits = body.get_u32();
+            let bits = read_u32(&mut body);
             let bf = Bitfield::from_wire(bits, body.to_vec())?;
             Message::Bitfield(bf)
         }
         6 => {
-            fixed(&body, 4)?;
-            Message::Request { index: body.get_u32() }
+            fixed(body, 4)?;
+            Message::Request {
+                index: read_u32(&mut body),
+            }
         }
         7 => {
-            fixed(&body, 12)?;
-            Message::SegmentHeader { index: body.get_u32(), bytes: body.get_u64() }
+            fixed(body, 12)?;
+            Message::SegmentHeader {
+                index: read_u32(&mut body),
+                bytes: read_u64(&mut body),
+            }
         }
         8 => {
-            fixed(&body, 4)?;
-            Message::Cancel { index: body.get_u32() }
+            fixed(body, 4)?;
+            Message::Cancel {
+                index: read_u32(&mut body),
+            }
         }
         9 => {
-            fixed(&body, 0)?;
+            fixed(body, 0)?;
             Message::ManifestRequest
         }
-        10 => Message::ManifestData { payload: body },
+        10 => Message::ManifestData {
+            payload: Bytes::copy_from_slice(body),
+        },
         11 => {
-            fixed(&body, 0)?;
+            fixed(body, 0)?;
             Message::Goodbye
         }
         12 => {
-            fixed(&body, 5)?;
-            let rendition = body.get_u8();
-            Message::RequestRendition { rendition, index: body.get_u32() }
+            fixed(body, 5)?;
+            let rendition = split(&mut body, 1)[0];
+            Message::RequestRendition {
+                rendition,
+                index: read_u32(&mut body),
+            }
         }
         13 => {
-            fixed(&body, 0)?;
+            fixed(body, 0)?;
             Message::PeerListRequest
         }
         14 => {
             if body.len() < 4 {
-                return Err(ProtocolError::BadBody { kind, len: body.len() });
+                return Err(ProtocolError::BadBody {
+                    kind,
+                    len: body.len(),
+                });
             }
-            let count = body.get_u32() as usize;
+            let count = read_u32(&mut body) as usize;
             if body.len() != count * 4 {
-                return Err(ProtocolError::BadBody { kind, len: body.len() });
+                return Err(ProtocolError::BadBody {
+                    kind,
+                    len: body.len(),
+                });
             }
-            let peers = (0..count).map(|_| body.get_u32()).collect();
+            let peers = (0..count).map(|_| read_u32(&mut body)).collect();
             Message::PeerList { peers }
         }
         20 => {
-            fixed(&body, 37)?;
-            let mut magic = [0u8; 8];
-            body.copy_to_slice(&mut magic);
-            if magic != PROTOCOL_MAGIC {
+            fixed(body, 37)?;
+            if split(&mut body, 8) != PROTOCOL_MAGIC.as_slice() {
                 return Err(ProtocolError::BadMagic);
             }
-            let version = body.get_u8();
-            let peer_id = body.get_u64();
+            let version = split(&mut body, 1)[0];
+            let peer_id = read_u64(&mut body);
             let mut info_hash = [0u8; 20];
-            body.copy_to_slice(&mut info_hash);
-            Message::Handshake { peer_id, info_hash, version }
+            info_hash.copy_from_slice(body);
+            Message::Handshake {
+                peer_id,
+                info_hash,
+                version,
+            }
         }
         other => return Err(ProtocolError::UnknownType(other)),
     };
@@ -290,7 +405,11 @@ mod tests {
         bf.set(12);
         vec![
             Message::KeepAlive,
-            Message::Handshake { peer_id: 0xDEAD_BEEF, info_hash: [7; 20], version: 1 },
+            Message::Handshake {
+                peer_id: 0xDEAD_BEEF,
+                info_hash: [7; 20],
+                version: 1,
+            },
             Message::Choke,
             Message::Unchoke,
             Message::Interested,
@@ -298,14 +417,24 @@ mod tests {
             Message::Have { index: 42 },
             Message::Bitfield(bf),
             Message::Request { index: u32::MAX },
-            Message::RequestRendition { rendition: 3, index: 17 },
+            Message::RequestRendition {
+                rendition: 3,
+                index: 17,
+            },
             Message::PeerListRequest,
-            Message::PeerList { peers: vec![1, 5, 900] },
+            Message::PeerList {
+                peers: vec![1, 5, 900],
+            },
             Message::PeerList { peers: vec![] },
             Message::Cancel { index: 0 },
-            Message::SegmentHeader { index: 9, bytes: 123_456_789 },
+            Message::SegmentHeader {
+                index: 9,
+                bytes: 123_456_789,
+            },
             Message::ManifestRequest,
-            Message::ManifestData { payload: Bytes::from_static(b"#EXTM3U\n") },
+            Message::ManifestData {
+                payload: Bytes::from_static(b"#EXTM3U\n"),
+            },
             Message::Goodbye,
         ]
     }
@@ -342,7 +471,12 @@ mod tests {
     fn oversize_frame_is_rejected_without_buffering() {
         let mut dec = Decoder::new();
         dec.feed(&(MAX_FRAME_LEN + 1).to_be_bytes());
-        assert_eq!(dec.poll().unwrap_err(), ProtocolError::FrameTooLarge { len: MAX_FRAME_LEN + 1 });
+        assert_eq!(
+            dec.poll().unwrap_err(),
+            ProtocolError::FrameTooLarge {
+                len: MAX_FRAME_LEN + 1
+            }
+        );
     }
 
     #[test]
@@ -357,7 +491,10 @@ mod tests {
         // A `Have` with a 2-byte body.
         let mut dec = Decoder::new();
         dec.feed(&[0, 0, 0, 3, 4, 0, 0]);
-        assert_eq!(dec.poll().unwrap_err(), ProtocolError::BadBody { kind: 4, len: 2 });
+        assert_eq!(
+            dec.poll().unwrap_err(),
+            ProtocolError::BadBody { kind: 4, len: 2 }
+        );
     }
 
     #[test]
@@ -380,7 +517,10 @@ mod tests {
         frame.put_u8(5);
         frame.put_u32(3);
         frame.put_slice(&[0xFF, 0xFF]);
-        assert_eq!(decode_single(&frame).unwrap_err(), ProtocolError::MalformedBitfield);
+        assert_eq!(
+            decode_single(&frame).unwrap_err(),
+            ProtocolError::MalformedBitfield
+        );
     }
 
     #[test]
@@ -399,7 +539,9 @@ mod tests {
     #[test]
     fn decoder_never_panics_on_arbitrary_prefixes() {
         // Deterministic pseudo-fuzz: every prefix of a noisy buffer.
-        let noise: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let noise: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         for end in 0..noise.len() {
             let mut dec = Decoder::new();
             dec.feed(&noise[..end]);

@@ -50,12 +50,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(ProtocolError::UnknownType(99).to_string(), "unknown message type 99");
+        assert_eq!(
+            ProtocolError::UnknownType(99).to_string(),
+            "unknown message type 99"
+        );
         assert_eq!(
             ProtocolError::FrameTooLarge { len: 1 << 30 }.to_string(),
             format!("frame of {} bytes exceeds limit", 1u32 << 30)
         );
-        assert_eq!(ProtocolError::MalformedBitfield.to_string(), "malformed bitfield");
+        assert_eq!(
+            ProtocolError::MalformedBitfield.to_string(),
+            "malformed bitfield"
+        );
     }
 
     #[test]

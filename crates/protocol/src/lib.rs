@@ -30,6 +30,6 @@ mod error;
 mod message;
 
 pub use bitfield::Bitfield;
-pub use codec::{decode_single, encode, encode_to_bytes, Decoder, MAX_FRAME_LEN};
+pub use codec::{decode_single, encode, encode_to_bytes, Decoder, EncodeBuf, MAX_FRAME_LEN};
 pub use error::ProtocolError;
 pub use message::{Message, PROTOCOL_MAGIC, PROTOCOL_VERSION};

@@ -153,12 +153,21 @@ mod tests {
             Message::SegmentHeader { index: 0, bytes: 0 },
             Message::Cancel { index: 0 },
             Message::ManifestRequest,
-            Message::ManifestData { payload: Bytes::new() },
+            Message::ManifestData {
+                payload: Bytes::new(),
+            },
             Message::Goodbye,
-            Message::RequestRendition { rendition: 0, index: 0 },
+            Message::RequestRendition {
+                rendition: 0,
+                index: 0,
+            },
             Message::PeerListRequest,
             Message::PeerList { peers: vec![] },
-            Message::Handshake { peer_id: 0, info_hash: [0; 20], version: 1 },
+            Message::Handshake {
+                peer_id: 0,
+                info_hash: [0; 20],
+                version: 1,
+            },
         ];
         let mut seen = std::collections::HashSet::new();
         for m in &msgs {

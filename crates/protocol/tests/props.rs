@@ -19,8 +19,11 @@ fn arbitrary_message() -> impl Strategy<Value = Message> {
         any::<u32>().prop_map(|index| Message::Cancel { index }),
         (any::<u32>(), any::<u64>())
             .prop_map(|(index, bytes)| Message::SegmentHeader { index, bytes }),
-        (any::<u64>(), any::<[u8; 20]>())
-            .prop_map(|(peer_id, info_hash)| Message::Handshake { peer_id, info_hash, version: 1 }),
+        (any::<u64>(), any::<[u8; 20]>()).prop_map(|(peer_id, info_hash)| Message::Handshake {
+            peer_id,
+            info_hash,
+            version: 1
+        }),
         prop::collection::vec(any::<bool>(), 0..200).prop_map(|bits| {
             let mut bf = Bitfield::new(bits.len() as u32);
             for (i, &on) in bits.iter().enumerate() {
@@ -30,8 +33,9 @@ fn arbitrary_message() -> impl Strategy<Value = Message> {
             }
             Message::Bitfield(bf)
         }),
-        prop::collection::vec(any::<u8>(), 0..500)
-            .prop_map(|data| Message::ManifestData { payload: data.into() }),
+        prop::collection::vec(any::<u8>(), 0..500).prop_map(|data| Message::ManifestData {
+            payload: data.into()
+        }),
     ]
 }
 

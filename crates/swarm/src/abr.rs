@@ -65,9 +65,15 @@ impl AbrAlgorithm {
             AbrAlgorithm::FixedRendition(r) => r.min(top),
             AbrAlgorithm::RateBased { safety } => {
                 let budget_bps = estimated_bytes_per_sec * 8.0 * safety;
-                ladder.iter().rposition(|&b| (b as f64) <= budget_bps).unwrap_or(0)
+                ladder
+                    .iter()
+                    .rposition(|&b| (b as f64) <= budget_bps)
+                    .unwrap_or(0)
             }
-            AbrAlgorithm::BufferBased { low_secs, high_secs } => {
+            AbrAlgorithm::BufferBased {
+                low_secs,
+                high_secs,
+            } => {
                 if buffered_secs <= low_secs {
                     0
                 } else if buffered_secs >= high_secs {
@@ -124,7 +130,10 @@ impl Default for AbrConfig {
             one_way_latency_secs: 0.05,
             end_to_end_loss: 0.05,
             origin_upload_slots: 64,
-            algorithm: AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 },
+            algorithm: AbrAlgorithm::BufferBased {
+                low_secs: 4.0,
+                high_secs: 16.0,
+            },
             join_stagger_secs: 1.0,
             resume_buffer_secs: 0.25,
             max_sim_secs: 1_800.0,
@@ -135,9 +144,18 @@ impl Default for AbrConfig {
 impl AbrConfig {
     fn validate(&self) {
         assert!(self.n_clients >= 1, "need at least one client");
-        assert!(self.client_bandwidth_bytes_per_sec > 0.0, "client bandwidth must be positive");
-        assert!(self.origin_bandwidth_bytes_per_sec > 0.0, "origin bandwidth must be positive");
-        assert!((0.0..1.0).contains(&self.end_to_end_loss), "loss must be in [0,1)");
+        assert!(
+            self.client_bandwidth_bytes_per_sec > 0.0,
+            "client bandwidth must be positive"
+        );
+        assert!(
+            self.origin_bandwidth_bytes_per_sec > 0.0,
+            "origin bandwidth must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.end_to_end_loss),
+            "loss must be in [0,1)"
+        );
         assert!(self.origin_upload_slots > 0, "origin needs upload slots");
         assert!(self.max_sim_secs > 0.0, "sim cap must be positive");
     }
@@ -194,7 +212,13 @@ impl AbrMetrics {
 
     /// Fraction of clients that finished the video.
     pub fn completion_rate(&self) -> f64 {
-        mean(self.reports.iter().map(|r| if r.qoe.finished_secs.is_some() { 1.0 } else { 0.0 }))
+        mean(self.reports.iter().map(|r| {
+            if r.qoe.finished_secs.is_some() {
+                1.0
+            } else {
+                0.0
+            }
+        }))
     }
 }
 
@@ -216,7 +240,11 @@ type ByteTable = Rc<Vec<Vec<u64>>>;
 
 fn byte_table(ladder: &Ladder) -> Vec<Vec<u64>> {
     (0..ladder.len())
-        .map(|r| (0..ladder.segment_count()).map(|s| ladder.segment_bytes(r, s)).collect())
+        .map(|r| {
+            (0..ladder.segment_count())
+                .map(|s| ladder.segment_bytes(r, s))
+                .collect()
+        })
         .collect()
 }
 
@@ -248,17 +276,20 @@ impl OriginNode {
             active: std::collections::HashMap::new(),
         }
     }
-
 }
 
 impl NodeBehavior for OriginNode {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
         match event {
             NodeEvent::Message { from, payload } => {
-                let Ok(message) = decode_single(&payload) else { return };
+                let Ok(message) = decode_single(&payload) else {
+                    return;
+                };
                 match message {
                     Message::ManifestRequest => {
-                        let reply = Message::ManifestData { payload: self.manifest_wire.clone() };
+                        let reply = Message::ManifestData {
+                            payload: self.manifest_wire.clone(),
+                        };
                         let _ = ctx.send(from, encode_to_bytes(&reply));
                     }
                     Message::RequestRendition { rendition, index } => {
@@ -267,12 +298,12 @@ impl NodeBehavior for OriginNode {
                     _ => {}
                 }
             }
-            NodeEvent::UploadComplete { flow, .. } | NodeEvent::TransferFailed { flow, .. } => {
-                if self.active.remove(&flow).is_some() {
-                    if let Some(next) = self.slots.release(|_| true) {
-                        let (rendition, index) = untag_request(&next);
-                        self.begin_transfer(ctx, next.peer, rendition, index);
-                    }
+            NodeEvent::UploadComplete { flow, .. } | NodeEvent::TransferFailed { flow, .. }
+                if self.active.remove(&flow).is_some() =>
+            {
+                if let Some(next) = self.slots.release(|_| true) {
+                    let (rendition, index) = untag_request(&next);
+                    self.begin_transfer(ctx, next.peer, rendition, index);
                 }
             }
             _ => {}
@@ -283,11 +314,17 @@ impl NodeBehavior for OriginNode {
 fn tag_request(peer: NodeId, rendition: usize, index: u32) -> UploadRequest {
     // UploadRequest.segment is 32 bits; pack the rendition into the top
     // byte (ladders are tiny, segment counts < 2^24).
-    UploadRequest { peer, segment: ((rendition as u32) << 24) | index }
+    UploadRequest {
+        peer,
+        segment: ((rendition as u32) << 24) | index,
+    }
 }
 
 fn untag_request(request: &UploadRequest) -> (usize, u32) {
-    ((request.segment >> 24) as usize, request.segment & 0x00FF_FFFF)
+    (
+        (request.segment >> 24) as usize,
+        request.segment & 0x00FF_FFFF,
+    )
 }
 
 impl OriginNode {
@@ -352,12 +389,18 @@ impl AbrClientNode {
         if !self.streaming || self.in_flight.is_some() {
             return;
         }
-        let Some(index) = self.next_segment() else { return };
+        let Some(index) = self.next_segment() else {
+            return;
+        };
         let now = ctx.now().as_secs_f64();
         let buffered = self.playback.buffered_ahead(now).as_secs_f64();
-        let rung =
-            self.algorithm.choose(&self.bitrates, buffered, self.estimator.bytes_per_sec());
-        let message = Message::RequestRendition { rendition: rung as u8, index };
+        let rung = self
+            .algorithm
+            .choose(&self.bitrates, buffered, self.estimator.bytes_per_sec());
+        let message = Message::RequestRendition {
+            rendition: rung as u8,
+            index,
+        };
         if ctx.send(self.origin, encode_to_bytes(&message)).is_ok() {
             self.in_flight = Some((rung, index));
             self.requested_at = ctx.now();
@@ -414,8 +457,7 @@ impl NodeBehavior for AbrClientNode {
                 self.playback.advance(ctx.now().as_secs_f64());
                 // Re-request if a request was lost in a choke/drop race.
                 if self.in_flight.is_some()
-                    && ctx.now().saturating_since(self.requested_at)
-                        > SimDuration::from_secs(30)
+                    && ctx.now().saturating_since(self.requested_at) > SimDuration::from_secs(30)
                 {
                     self.in_flight = None;
                 }
@@ -426,7 +468,9 @@ impl NodeBehavior for AbrClientNode {
             }
             NodeEvent::Timer { .. } => {}
             NodeEvent::Message { payload, .. } => {
-                let Ok(message) = decode_single(&payload) else { return };
+                let Ok(message) = decode_single(&payload) else {
+                    return;
+                };
                 if let Message::ManifestData { .. } = message {
                     if !self.streaming {
                         self.streaming = true;
@@ -434,10 +478,16 @@ impl NodeBehavior for AbrClientNode {
                     }
                 }
             }
-            NodeEvent::TransferComplete { tag, bytes, started, .. } => {
+            NodeEvent::TransferComplete {
+                tag,
+                bytes,
+                started,
+                ..
+            } => {
                 let (rung, index) = untag(tag);
                 let now = ctx.now();
-                self.estimator.observe(bytes, now.saturating_since(started).as_secs_f64());
+                self.estimator
+                    .observe(bytes, now.saturating_since(started).as_secs_f64());
                 if self.in_flight == Some((rung, index)) {
                     self.in_flight = None;
                 }
@@ -512,13 +562,19 @@ pub fn run_abr(ladder: &Ladder, config: &AbrConfig, seed: u64) -> AbrMetrics {
 
     let bytes: ByteTable = Rc::new(byte_table(ladder));
     let bitrates: Vec<u64> = (0..ladder.len()).map(|r| ladder.bitrate_bps(r)).collect();
-    let durations: Vec<f64> = (0..ladder.segment_count()).map(|s| ladder.segment_secs(s)).collect();
+    let durations: Vec<f64> = (0..ladder.segment_count())
+        .map(|s| ladder.segment_secs(s))
+        .collect();
 
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xAB12_AB12_AB12_AB12);
     let sink = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Simulator::new(star.network, seed);
     sim.add_node(Box::new(NullBehavior)); // hub
-    sim.add_node(Box::new(OriginNode::new(ladder, bytes.clone(), config.origin_upload_slots)));
+    sim.add_node(Box::new(OriginNode::new(
+        ladder,
+        bytes.clone(),
+        config.origin_upload_slots,
+    )));
     for index in 0..config.n_clients {
         let mut playback = Playback::new(ladder.segments(0));
         playback.set_resume_threshold(config.resume_buffer_secs);
@@ -550,7 +606,10 @@ pub fn run_abr(ladder: &Ladder, config: &AbrConfig, seed: u64) -> AbrMetrics {
     let end = sim.run_until_idle(SimTime::from_secs_f64(config.max_sim_secs));
     let mut reports = sink.take();
     reports.sort_by_key(|r| r.client);
-    AbrMetrics { reports, sim_end_secs: end.as_secs_f64() }
+    AbrMetrics {
+        reports,
+        sim_end_secs: end.as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
@@ -584,7 +643,10 @@ mod tests {
         let rate = AbrAlgorithm::RateBased { safety: 0.8 };
         assert_eq!(rate.choose(&ladder, 0.0, 1_000_000.0 / 8.0 * 0.5), 0); // 0.4 Mbps budget
         assert_eq!(rate.choose(&ladder, 0.0, 200_000.0), 2); // 1.28 Mbps budget
-        let buffer = AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 12.0 };
+        let buffer = AbrAlgorithm::BufferBased {
+            low_secs: 4.0,
+            high_secs: 12.0,
+        };
         assert_eq!(buffer.choose(&ladder, 0.0, 1e9), 0);
         assert_eq!(buffer.choose(&ladder, 20.0, 0.0), 2);
         assert_eq!(buffer.choose(&ladder, 8.0, 0.0), 1);
@@ -593,8 +655,11 @@ mod tests {
 
     #[test]
     fn fixed_top_rendition_delivers_full_quality() {
-        let metrics =
-            run_abr(&small_ladder(), &small_config(AbrAlgorithm::FixedRendition(2)), 7);
+        let metrics = run_abr(
+            &small_ladder(),
+            &small_config(AbrAlgorithm::FixedRendition(2)),
+            7,
+        );
         assert_eq!(metrics.reports.len(), 4);
         assert_eq!(metrics.completion_rate(), 1.0);
         assert!((metrics.mean_bitrate_bps() - 1_000_000.0).abs() < 1.0);
@@ -615,11 +680,21 @@ mod tests {
         };
         let abr = run_abr(
             &small_ladder(),
-            &config_of(AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 }),
+            &config_of(AbrAlgorithm::BufferBased {
+                low_secs: 4.0,
+                high_secs: 16.0,
+            }),
             11,
         );
-        let fixed = run_abr(&small_ladder(), &config_of(AbrAlgorithm::FixedRendition(2)), 11);
-        assert!(abr.mean_bitrate_bps() < fixed.mean_bitrate_bps(), "quality was sacrificed");
+        let fixed = run_abr(
+            &small_ladder(),
+            &config_of(AbrAlgorithm::FixedRendition(2)),
+            11,
+        );
+        assert!(
+            abr.mean_bitrate_bps() < fixed.mean_bitrate_bps(),
+            "quality was sacrificed"
+        );
         assert!(
             abr.mean_stall_secs() <= fixed.mean_stall_secs(),
             "abr stall time {} should not exceed fixed-top {}",

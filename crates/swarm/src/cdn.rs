@@ -32,8 +32,14 @@ impl CdnConfig {
     ///
     /// Panics on non-positive bandwidth/slots or negative latency.
     pub fn validate(&self) {
-        assert!(self.bandwidth_bytes_per_sec > 0.0, "cdn bandwidth must be positive");
-        assert!(self.one_way_latency_secs >= 0.0, "cdn latency must be non-negative");
+        assert!(
+            self.bandwidth_bytes_per_sec > 0.0,
+            "cdn bandwidth must be positive"
+        );
+        assert!(
+            self.one_way_latency_secs >= 0.0,
+            "cdn latency must be non-negative"
+        );
         assert!(self.upload_slots > 0, "cdn upload slots must be positive");
     }
 }
@@ -42,7 +48,12 @@ impl CdnConfig {
 /// segment must be at most `B·T` bytes or fetching it will outlast the
 /// buffer.
 pub fn max_cdn_segment_bytes(bandwidth_bytes_per_sec: f64, buffered_secs: f64) -> u64 {
-    if !(bandwidth_bytes_per_sec > 0.0) || !(buffered_secs > 0.0) {
+    // NaN inputs fall into the guard like non-positive ones.
+    if bandwidth_bytes_per_sec.is_nan()
+        || bandwidth_bytes_per_sec <= 0.0
+        || buffered_secs.is_nan()
+        || buffered_secs <= 0.0
+    {
         return 0;
     }
     (bandwidth_bytes_per_sec * buffered_secs).floor() as u64
@@ -68,6 +79,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_panics() {
-        CdnConfig { bandwidth_bytes_per_sec: 0.0, ..CdnConfig::default() }.validate();
+        CdnConfig {
+            bandwidth_bytes_per_sec: 0.0,
+            ..CdnConfig::default()
+        }
+        .validate();
     }
 }

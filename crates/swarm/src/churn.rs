@@ -28,7 +28,10 @@ impl ChurnConfig {
             "volatile fraction must be in [0,1], got {volatile_fraction}"
         );
         assert!(mean_lifetime_secs > 0.0, "mean lifetime must be positive");
-        ChurnConfig { volatile_fraction, mean_lifetime_secs }
+        ChurnConfig {
+            volatile_fraction,
+            mean_lifetime_secs,
+        }
     }
 
     /// Samples a departure delay (seconds after joining) for each of

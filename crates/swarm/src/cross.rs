@@ -26,7 +26,11 @@ pub struct CrossTrafficConfig {
 
 impl Default for CrossTrafficConfig {
     fn default() -> Self {
-        CrossTrafficConfig { flows_per_peer: 1, transfer_bytes: 2_000_000, duration_secs: 300.0 }
+        CrossTrafficConfig {
+            flows_per_peer: 1,
+            transfer_bytes: 2_000_000,
+            duration_secs: 300.0,
+        }
     }
 }
 
@@ -37,9 +41,18 @@ impl CrossTrafficConfig {
     ///
     /// Panics on zero flows/bytes or a non-positive duration.
     pub fn validate(&self) {
-        assert!(self.flows_per_peer > 0, "cross traffic needs at least one flow per peer");
-        assert!(self.transfer_bytes > 0, "cross-traffic transfers need bytes");
-        assert!(self.duration_secs > 0.0, "cross-traffic duration must be positive");
+        assert!(
+            self.flows_per_peer > 0,
+            "cross traffic needs at least one flow per peer"
+        );
+        assert!(
+            self.transfer_bytes > 0,
+            "cross-traffic transfers need bytes"
+        );
+        assert!(
+            self.duration_secs > 0.0,
+            "cross-traffic duration must be positive"
+        );
     }
 }
 
@@ -57,7 +70,11 @@ impl CrossTrafficNode {
     /// Creates a server that loads every node in `targets`.
     pub fn new(targets: Vec<NodeId>, config: CrossTrafficConfig) -> Self {
         config.validate();
-        CrossTrafficNode { targets, config, active: true }
+        CrossTrafficNode {
+            targets,
+            config,
+            active: true,
+        }
     }
 }
 
@@ -65,19 +82,21 @@ impl NodeBehavior for CrossTrafficNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for &target in &self.targets {
             for _ in 0..self.config.flows_per_peer {
-                let _ = ctx.start_transfer(target, self.config.transfer_bytes, target.index() as u64);
+                let _ =
+                    ctx.start_transfer(target, self.config.transfer_bytes, target.index() as u64);
             }
         }
-        ctx.set_timer(SimDuration::from_secs_f64(self.config.duration_secs), TOKEN_STOP);
+        ctx.set_timer(
+            SimDuration::from_secs_f64(self.config.duration_secs),
+            TOKEN_STOP,
+        );
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
         match event {
             NodeEvent::Timer { token: TOKEN_STOP } => self.active = false,
-            NodeEvent::UploadComplete { to, .. } => {
-                if self.active && ctx.is_online(to) {
-                    let _ = ctx.start_transfer(to, self.config.transfer_bytes, to.index() as u64);
-                }
+            NodeEvent::UploadComplete { to, .. } if self.active && ctx.is_online(to) => {
+                let _ = ctx.start_transfer(to, self.config.transfer_bytes, to.index() as u64);
             }
             // A failed upload means the viewer churned out: stop loading it.
             _ => {}
@@ -97,12 +116,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one flow")]
     fn zero_flows_panics() {
-        CrossTrafficConfig { flows_per_peer: 0, ..Default::default() }.validate();
+        CrossTrafficConfig {
+            flows_per_peer: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "duration must be positive")]
     fn zero_duration_panics() {
-        CrossTrafficConfig { duration_secs: 0.0, ..Default::default() }.validate();
+        CrossTrafficConfig {
+            duration_secs: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

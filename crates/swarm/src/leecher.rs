@@ -2,16 +2,17 @@
 //! policy, plays the video, and serves other peers.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use splicecast_media::{Manifest, SegmentList};
 use splicecast_netsim::{Ctx, NodeBehavior, NodeEvent, NodeId, SimDuration, SimTime};
 use splicecast_player::{Playback, PlaybackState};
-use splicecast_protocol::{decode_single, encode_to_bytes, Bitfield, Message, PROTOCOL_VERSION};
+use splicecast_protocol::{decode_single, Bitfield, EncodeBuf, Message, PROTOCOL_VERSION};
 
 use crate::metrics::{MetricsSink, PeerReport};
 use crate::peer::PeerView;
 use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
-use crate::scheduler::{next_wanted, pick_source, SourceCandidate};
+use crate::scheduler::{next_wanted_from, pick_source, SourceCandidate};
 use crate::upload::UploadSide;
 
 const TOKEN_BOOT: u64 = 1;
@@ -28,8 +29,9 @@ pub struct LeecherConfig {
     pub cdn: Option<NodeId>,
     /// The other leechers.
     pub others: Vec<NodeId>,
-    /// The splice being streamed.
-    pub segments: SegmentList,
+    /// The splice being streamed, shared across the whole swarm (segment
+    /// metadata is immutable, so every node holds the same `Arc`).
+    pub segments: Arc<SegmentList>,
     /// Pool-size policy (§III).
     pub policy: Box<dyn DownloadPolicy>,
     /// Bandwidth estimator feeding the policy's `B`.
@@ -86,10 +88,24 @@ pub struct LeecherNode {
     uploads: UploadSide,
     /// Set once the manifest has arrived; downloads start then.
     streaming: bool,
+    /// Low-water mark for the sequential scheduler: every segment below it
+    /// is held, so scans for the next wanted segment start here instead of
+    /// re-walking the played-out prefix.
+    next_needed: u32,
+    /// [`SegmentList::mean_segment_bytes`] is O(segments); the list is
+    /// immutable, so the mean is computed once.
+    mean_segment_bytes: u64,
     pumping: bool,
     pumps: u64,
     report: PeerReport,
     reported: bool,
+    /// Scratch buffer for outgoing frames (reused across sends).
+    wire_buf: EncodeBuf,
+    /// Scratch storage reused by the steady-state paths below, so the
+    /// request/deliver cycle allocates nothing per event.
+    scratch_candidates: Vec<SourceCandidate>,
+    scratch_peers: Vec<NodeId>,
+    scratch_stale: Vec<(u32, InFlight)>,
 }
 
 impl LeecherNode {
@@ -109,7 +125,10 @@ impl LeecherNode {
             }
         }
         let uploads = UploadSide::new(cfg.upload_slots);
-        let report = PeerReport { peer: cfg.index, ..PeerReport::default() };
+        let report = PeerReport {
+            peer: cfg.index,
+            ..PeerReport::default()
+        };
         LeecherNode {
             playback,
             holdings: Bitfield::new(segment_count),
@@ -117,10 +136,16 @@ impl LeecherNode {
             in_flight: BTreeMap::new(),
             uploads,
             streaming: false,
+            next_needed: 0,
+            mean_segment_bytes: cfg.segments.mean_segment_bytes().round() as u64,
             pumping: false,
             pumps: 0,
             report,
             reported: false,
+            wire_buf: EncodeBuf::new(),
+            scratch_candidates: Vec::new(),
+            scratch_peers: Vec::new(),
+            scratch_stale: Vec::new(),
             cfg,
         }
     }
@@ -135,7 +160,7 @@ impl LeecherNode {
     }
 
     fn say(&mut self, ctx: &mut Ctx<'_>, to: NodeId, message: &Message) -> bool {
-        match ctx.send(to, encode_to_bytes(message)) {
+        match ctx.send(to, self.wire_buf.wire(message)) {
             Ok(()) => true,
             Err(_) => {
                 // Unreachable peer (churned out): forget it entirely.
@@ -202,8 +227,12 @@ impl LeecherNode {
             return;
         }
         let now = ctx.now().as_secs_f64();
+        while self.next_needed < self.holdings.len() && self.holdings.get(self.next_needed) {
+            self.next_needed += 1;
+        }
         loop {
-            let Some(want) = next_wanted(
+            let Some(want) = next_wanted_from(
+                self.next_needed,
                 self.holdings.len(),
                 |i| self.holdings.get(i),
                 |i| self.in_flight.contains_key(&i),
@@ -211,9 +240,7 @@ impl LeecherNode {
                 return; // everything held or requested
             };
             let w = match self.cfg.w_estimate {
-                crate::policy::WEstimate::MeanSegment => {
-                    self.cfg.segments.mean_segment_bytes().round() as u64
-                }
+                crate::policy::WEstimate::MeanSegment => self.mean_segment_bytes,
                 crate::policy::WEstimate::NextSegment => self.cfg.segments[want as usize].bytes,
             };
             let input = PolicyInput {
@@ -224,7 +251,9 @@ impl LeecherNode {
             if self.in_flight.len() >= self.cfg.policy.pool_size(&input) {
                 return;
             }
-            let Some(source) = self.pick_source_for(ctx, want) else { return };
+            let Some(source) = self.pick_source_for(ctx, want) else {
+                return;
+            };
             self.request_from(ctx, source, want);
         }
     }
@@ -235,15 +264,21 @@ impl LeecherNode {
             .cdn
             .map(|cdn| self.in_flight.values().filter(|f| f.source == cdn).count() >= 1)
             .unwrap_or(true);
-        let mut candidates = Vec::new();
+        let seeder = self.cfg.seeder;
+        let cdn = self.cfg.cdn;
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
         for (&peer, view) in &self.views {
             if !view.handshaken || !ctx.is_online(peer) {
                 continue;
             }
-            if self.cfg.cdn == Some(peer) {
+            if cdn == Some(peer) {
                 // §IV: downloads from the CDN happen one segment at a time.
                 if !cdn_busy {
-                    candidates.push(SourceCandidate { peer, outstanding: view.outstanding });
+                    candidates.push(SourceCandidate {
+                        peer,
+                        outstanding: view.outstanding,
+                    });
                 }
                 continue;
             }
@@ -251,24 +286,37 @@ impl LeecherNode {
                 continue; // CDN-only mode: neither seeder nor peers serve data
             }
             if view.holdings.get(index) {
-                candidates.push(SourceCandidate { peer, outstanding: view.outstanding });
+                candidates.push(SourceCandidate {
+                    peer,
+                    outstanding: view.outstanding,
+                });
             }
         }
         // Prefer fellow leechers whenever one holds the segment: the origin
         // is the last resort, so its uplink stays free to push *fresh*
         // segments into the swarm (classic BitTorrent etiquette, and what
-        // keeps a bandwidth-tight swarm feasible).
-        let peers_only: Vec<SourceCandidate> =
-            candidates.iter().copied().filter(|c| !self.is_origin(c.peer)).collect();
-        let mut pool = if peers_only.is_empty() { candidates } else { peers_only };
-        pool.sort_by_key(|c| c.peer); // deterministic iteration order
-        pick_source(&pool, ctx.rng())
+        // keeps a bandwidth-tight swarm feasible). `views` is a `BTreeMap`,
+        // so the pool is already in ascending `NodeId` order — no sort
+        // needed for determinism.
+        let is_origin = |c: &SourceCandidate| c.peer == seeder || cdn == Some(c.peer);
+        if candidates.iter().any(|c| !is_origin(c)) {
+            candidates.retain(|c| !is_origin(c));
+        }
+        let picked = pick_source(&candidates, ctx.rng());
+        self.scratch_candidates = candidates;
+        picked
     }
 
     fn request_from(&mut self, ctx: &mut Ctx<'_>, source: NodeId, index: u32) {
         if self.say(ctx, source, &Message::Request { index }) {
-            self.in_flight
-                .insert(index, InFlight { source, requested_at: ctx.now(), serving: false });
+            self.in_flight.insert(
+                index,
+                InFlight {
+                    source,
+                    requested_at: ctx.now(),
+                    serving: false,
+                },
+            );
             if let Some(view) = self.views.get_mut(&source) {
                 view.outstanding += 1;
             }
@@ -289,22 +337,27 @@ impl LeecherNode {
     /// simply extended — the old source is still the only provider.
     fn check_timeouts(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        let stale: Vec<(u32, InFlight)> = self
-            .in_flight
-            .iter()
-            .filter(|(_, f)| {
-                !ctx.is_online(f.source)
-                    || (!f.serving && now.saturating_since(f.requested_at) >= self.cfg.request_timeout)
-            })
-            .map(|(&i, &f)| (i, f))
-            .collect();
-        for (index, entry) in stale {
+        let mut stale = std::mem::take(&mut self.scratch_stale);
+        stale.clear();
+        stale.extend(
+            self.in_flight
+                .iter()
+                .filter(|(_, f)| {
+                    !ctx.is_online(f.source)
+                        || (!f.serving
+                            && now.saturating_since(f.requested_at) >= self.cfg.request_timeout)
+                })
+                .map(|(&i, &f)| (i, f)),
+        );
+        for &(index, entry) in &stale {
             if !ctx.is_online(entry.source) {
                 self.views.remove(&entry.source);
                 self.drop_in_flight(index);
                 continue;
             }
-            let alternative = self.pick_source_for(ctx, index).filter(|&s| s != entry.source);
+            let alternative = self
+                .pick_source_for(ctx, index)
+                .filter(|&s| s != entry.source);
             match alternative {
                 Some(_) => {
                     self.say(ctx, entry.source, &Message::Cancel { index });
@@ -317,24 +370,32 @@ impl LeecherNode {
                 }
             }
         }
+        self.scratch_stale = stale;
     }
 
     fn update_interest(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
-        let Some(view) = self.views.get(&peer) else { return };
+        let Some(view) = self.views.get(&peer) else {
+            return;
+        };
         if view.interested_sent || self.is_origin(peer) {
             return;
         }
         let wants_something = view.holdings.iter_set().any(|i| !self.holdings.get(i));
-        if wants_something {
-            if self.say(ctx, peer, &Message::Interested) {
-                if let Some(view) = self.views.get_mut(&peer) {
-                    view.interested_sent = true;
-                }
+        if wants_something && self.say(ctx, peer, &Message::Interested) {
+            if let Some(view) = self.views.get_mut(&peer) {
+                view.interested_sent = true;
             }
         }
     }
 
-    fn on_segment_complete(&mut self, ctx: &mut Ctx<'_>, from: NodeId, index: u32, bytes: u64, started: SimTime) {
+    fn on_segment_complete(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        index: u32,
+        bytes: u64,
+        started: SimTime,
+    ) {
         if index >= self.holdings.len() {
             // Not a segment of ours: bulk data from outside the swarm
             // (e.g. another application sharing the access link).
@@ -345,7 +406,13 @@ impl LeecherNode {
         self.cfg
             .estimator
             .observe(bytes, now.saturating_since(started).as_secs_f64());
-        self.drop_in_flight(index);
+        // A raced re-request can deliver from the *old* source after the
+        // in-flight entry was re-pointed at a new one; only the recorded
+        // source may clear the entry, or the new source's outstanding
+        // counter is decremented for a transfer that is still running.
+        if self.in_flight.get(&index).is_some_and(|f| f.source == from) {
+            self.drop_in_flight(index);
+        }
         if self.holdings.get(index) {
             return; // duplicate delivery from a raced re-request
         }
@@ -359,23 +426,46 @@ impl LeecherNode {
         }
         self.playback.on_segment(index as usize, now.as_secs_f64());
         if self.cfg.p2p {
-            let peers: Vec<NodeId> = self
-                .views
-                .keys()
-                .copied()
-                .filter(|&p| !self.is_origin(p))
-                .collect();
-            for peer in peers {
-                self.say(ctx, peer, &Message::Have { index });
+            let seeder = self.cfg.seeder;
+            let cdn = self.cfg.cdn;
+            let mut peers = std::mem::take(&mut self.scratch_peers);
+            peers.clear();
+            peers.extend(
+                self.views
+                    .keys()
+                    .copied()
+                    .filter(|&p| p != seeder && Some(p) != cdn),
+            );
+            // One encode for the whole broadcast: a `Bytes` clone is a
+            // reference-count bump, not a copy.
+            let wire = self.wire_buf.wire(&Message::Have { index });
+            for &peer in &peers {
+                if ctx.send(peer, wire.clone()).is_err() {
+                    self.views.remove(&peer);
+                    self.uploads.forget_peer(peer);
+                }
             }
+            self.scratch_peers = peers;
         }
         self.schedule(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
-        let Ok(message) = decode_single(payload) else { return };
+        let Ok(message) = decode_single(payload) else {
+            return;
+        };
         match message {
             Message::Handshake { .. } => {
+                // An unknown greeter (it discovered us via the tracker
+                // before we heard of it) gets a fresh view, so the
+                // handshake becomes mutual and its segments enter our
+                // source pool instead of being silently dropped.
+                if self.cfg.p2p && !self.is_origin(from) {
+                    let segment_count = self.holdings.len();
+                    self.views
+                        .entry(from)
+                        .or_insert_with(|| PeerView::new(segment_count));
+                }
                 self.greet(ctx, from);
                 if let Some(view) = self.views.get_mut(&from) {
                     view.handshaken = true;
@@ -427,8 +517,8 @@ impl LeecherNode {
             }
             Message::Request { index } => {
                 let have = index < self.holdings.len() && self.holdings.get(index);
-                let segments = self.cfg.segments.clone();
-                self.uploads.on_request(ctx, from, index, &segments, have);
+                self.uploads
+                    .on_request(ctx, from, index, &self.cfg.segments, have);
             }
             Message::Cancel { index } => self.uploads.on_cancel(from, index),
             Message::Goodbye => {
@@ -491,7 +581,7 @@ impl NodeBehavior for LeecherNode {
                 self.pumps += 1;
                 if self.cfg.p2p
                     && self.cfg.discovery == crate::swarm::DiscoveryMode::Tracker
-                    && self.pumps % 10 == 0
+                    && self.pumps.is_multiple_of(10)
                     && !self.holdings.is_complete()
                 {
                     self.say(ctx, self.cfg.seeder, &Message::PeerListRequest);
@@ -502,25 +592,44 @@ impl NodeBehavior for LeecherNode {
                     self.pumping = false;
                 }
             }
-            NodeEvent::Timer { token: TOKEN_DEPART } => {
+            NodeEvent::Timer {
+                token: TOKEN_DEPART,
+            } => {
                 self.write_report(ctx, true);
-                let peers: Vec<NodeId> = self.views.keys().copied().collect();
-                for peer in peers {
-                    self.say(ctx, peer, &Message::Goodbye);
+                let mut peers = std::mem::take(&mut self.scratch_peers);
+                peers.clear();
+                peers.extend(self.views.keys().copied());
+                let wire = self.wire_buf.wire(&Message::Goodbye);
+                for &peer in &peers {
+                    if ctx.send(peer, wire.clone()).is_err() {
+                        self.views.remove(&peer);
+                        self.uploads.forget_peer(peer);
+                    }
                 }
+                self.scratch_peers = peers;
                 ctx.go_offline();
             }
             NodeEvent::Timer { .. } => {}
-            NodeEvent::TransferComplete { from, tag, bytes, started, .. } => {
+            NodeEvent::TransferComplete {
+                from,
+                tag,
+                bytes,
+                started,
+                ..
+            } => {
                 self.on_segment_complete(ctx, from, tag as u32, bytes, started);
             }
             NodeEvent::UploadComplete { flow, .. } => {
-                let segments = self.cfg.segments.clone();
-                self.uploads.on_upload_complete(ctx, flow, &segments);
+                self.uploads
+                    .on_upload_complete(ctx, flow, &self.cfg.segments);
             }
-            NodeEvent::TransferFailed { flow, peer, tag, .. } => {
-                let segments = self.cfg.segments.clone();
-                if self.uploads.on_transfer_failed(ctx, flow, &segments) {
+            NodeEvent::TransferFailed {
+                flow, peer, tag, ..
+            } => {
+                if self
+                    .uploads
+                    .on_transfer_failed(ctx, flow, &self.cfg.segments)
+                {
                     return;
                 }
                 // A download died (the source churned out mid-transfer).
@@ -546,5 +655,254 @@ impl NodeBehavior for LeecherNode {
 
     fn on_sim_end(&mut self, ctx: &mut Ctx<'_>) {
         self.write_report(ctx, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use splicecast_media::{DurationSplicer, Splicer, Video};
+    use splicecast_netsim::{star, LinkSpec, NullBehavior, Simulator};
+    use splicecast_protocol::encode_to_bytes;
+
+    use crate::policy::{EstimatorKind, PolicyConfig, WEstimate};
+    use crate::swarm::DiscoveryMode;
+
+    /// Keeps the leecher inspectable after the simulator takes ownership
+    /// of its behaviour box.
+    struct Shared(Rc<RefCell<LeecherNode>>);
+
+    impl NodeBehavior for Shared {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.0.borrow_mut().on_start(ctx);
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            self.0.borrow_mut().on_event(ctx, event);
+        }
+        fn on_sim_end(&mut self, ctx: &mut Ctx<'_>) {
+            self.0.borrow_mut().on_sim_end(ctx);
+        }
+    }
+
+    /// Runs one closure when its timer fires.
+    struct At<F: FnMut(&mut Ctx<'_>)> {
+        after: SimDuration,
+        action: F,
+    }
+
+    impl<F: FnMut(&mut Ctx<'_>)> NodeBehavior for At<F> {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.after, 0);
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            if let NodeEvent::Timer { .. } = event {
+                (self.action)(ctx);
+            }
+        }
+    }
+
+    fn two_segments() -> Arc<SegmentList> {
+        let video = Video::builder().duration_secs(8.0).seed(1).build();
+        Arc::new(DurationSplicer::new(4.0).splice(&video))
+    }
+
+    fn config(seeder: NodeId, others: Vec<NodeId>, discovery: DiscoveryMode) -> LeecherConfig {
+        LeecherConfig {
+            index: 0,
+            seeder,
+            cdn: None,
+            others,
+            segments: two_segments(),
+            policy: PolicyConfig::Fixed(2).build(),
+            estimator: BandwidthEstimator::new(EstimatorKind::Oracle, 400_000.0),
+            upload_slots: 1,
+            // Larger than any deadline below: the tests drive events
+            // directly instead of letting the leecher boot.
+            join_delay: SimDuration::from_secs_f64(600.0),
+            depart_after: None,
+            pump_interval: SimDuration::from_secs_f64(1.0),
+            request_timeout: SimDuration::from_secs_f64(4.0),
+            resume_buffer_secs: 0.0,
+            w_estimate: WEstimate::MeanSegment,
+            p2p: true,
+            discovery,
+            sink: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Regression test: a timed-out request was re-pointed at peer B, but
+    /// the old source A delivers anyway (its cancel raced with the data).
+    /// The stale delivery must not clear B's in-flight entry or decrement
+    /// B's outstanding counter while B is still serving, and B's later
+    /// delivery must not double-count the segment.
+    #[test]
+    fn raced_rerequest_keeps_new_source_accounting() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 3]);
+        let (leecher_id, a_id, b_id) = (net.leaves[0], net.leaves[1], net.leaves[2]);
+
+        let node = Rc::new(RefCell::new(LeecherNode::new(config(
+            a_id,
+            vec![b_id],
+            DiscoveryMode::Full,
+        ))));
+        {
+            // The timeout path already moved segment 0 from A to B.
+            let mut l = node.borrow_mut();
+            l.in_flight.insert(
+                0,
+                InFlight {
+                    source: b_id,
+                    requested_at: SimTime::ZERO,
+                    serving: true,
+                },
+            );
+            l.views.get_mut(&a_id).unwrap().handshaken = true;
+            let view_b = l.views.get_mut(&b_id).unwrap();
+            view_b.handshaken = true;
+            view_b.outstanding = 1;
+        }
+
+        let mut sim = Simulator::new(net.network, 42);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(1.0),
+            action: move |ctx| {
+                // A's stale delivery of segment 0.
+                ctx.start_transfer(leecher_id, 10_000, 0).unwrap();
+            },
+        }));
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(3.0),
+            action: move |ctx| {
+                // B's re-requested delivery of the same segment.
+                ctx.start_transfer(leecher_id, 10_000, 0).unwrap();
+            },
+        }));
+
+        // After A's delivery but before B's: the segment is held, yet B's
+        // transfer is still running and its accounting must be intact.
+        sim.run_until_idle(SimTime::from_secs_f64(2.0));
+        {
+            let l = node.borrow();
+            assert!(
+                l.holdings.get(0),
+                "the stale delivery still yields the segment"
+            );
+            assert_eq!(l.report.segments_from_seeder, 1);
+            let entry = l
+                .in_flight
+                .get(&0)
+                .expect("B's re-request must stay in flight");
+            assert_eq!(
+                entry.source, b_id,
+                "only the recorded source may clear the entry"
+            );
+            assert_eq!(
+                l.views[&b_id].outstanding, 1,
+                "B is still serving; its outstanding counter must not drop"
+            );
+        }
+
+        // After B's delivery: the entry clears exactly once and the
+        // duplicate is not counted again.
+        sim.run_until_idle(SimTime::from_secs_f64(10.0));
+        {
+            let l = node.borrow();
+            assert!(l.in_flight.is_empty());
+            assert_eq!(l.views[&b_id].outstanding, 0);
+            let counted = l.report.segments_from_seeder
+                + l.report.segments_from_peers
+                + l.report.segments_from_cdn;
+            assert_eq!(counted, 1, "the raced duplicate must not be double-counted");
+        }
+    }
+
+    /// Regression test: under tracker discovery a peer can learn about us
+    /// and handshake before we ever heard of it. The inbound handshake must
+    /// create a fresh view so the exchange becomes mutual, instead of being
+    /// silently dropped.
+    #[test]
+    fn handshake_from_unknown_peer_creates_view() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 3]);
+        let (leecher_id, seeder_id, stranger_id) = (net.leaves[0], net.leaves[1], net.leaves[2]);
+
+        // Tracker discovery: the leecher starts knowing only the seeder.
+        let node = Rc::new(RefCell::new(LeecherNode::new(config(
+            seeder_id,
+            vec![stranger_id],
+            DiscoveryMode::Tracker,
+        ))));
+        assert!(!node.borrow().views.contains_key(&stranger_id));
+
+        let heard: Rc<RefCell<Vec<Message>>> = Rc::new(RefCell::new(Vec::new()));
+        struct Stranger {
+            leecher: NodeId,
+            heard: Rc<RefCell<Vec<Message>>>,
+        }
+        impl NodeBehavior for Stranger {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs_f64(1.0), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                match event {
+                    NodeEvent::Timer { .. } => {
+                        let hs = Message::Handshake {
+                            peer_id: 99,
+                            info_hash: crate::seeder::info_hash_of(""),
+                            version: PROTOCOL_VERSION,
+                        };
+                        ctx.send(self.leecher, encode_to_bytes(&hs)).unwrap();
+                        let bf = Message::Bitfield(Bitfield::full(2));
+                        ctx.send(self.leecher, encode_to_bytes(&bf)).unwrap();
+                    }
+                    NodeEvent::Message { payload, .. } => {
+                        if let Ok(message) = decode_single(&payload) {
+                            self.heard.borrow_mut().push(message);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(net.network, 7);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+        sim.add_node(Box::new(Stranger {
+            leecher: leecher_id,
+            heard: heard.clone(),
+        }));
+        sim.run_until_idle(SimTime::from_secs_f64(5.0));
+
+        let l = node.borrow();
+        let view = l
+            .views
+            .get(&stranger_id)
+            .expect("the unknown greeter must get a view");
+        assert!(view.handshaken);
+        assert!(
+            view.holdings.get(0) && view.holdings.get(1),
+            "the stranger's bitfield must land in its view"
+        );
+        assert!(
+            view.interested_sent,
+            "holding segments we lack makes it interesting"
+        );
+        let heard = heard.borrow();
+        assert!(
+            heard.iter().any(|m| matches!(m, Message::Handshake { .. })),
+            "the handshake must become mutual"
+        );
+        assert!(
+            heard.iter().any(|m| matches!(m, Message::Interested)),
+            "interest must reach the stranger"
+        );
     }
 }

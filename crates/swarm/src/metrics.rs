@@ -71,7 +71,9 @@ impl SwarmMetrics {
 
     /// Worst startup time, seconds.
     pub fn max_startup_secs(&self) -> f64 {
-        self.watching().filter_map(|r| r.qoe.startup_secs).fold(0.0, f64::max)
+        self.watching()
+            .filter_map(|r| r.qoe.startup_secs)
+            .fold(0.0, f64::max)
     }
 
     /// Fraction of watching peers that finished the video.
@@ -149,7 +151,11 @@ mod tests {
     #[test]
     fn aggregates_exclude_departed_peers() {
         let m = SwarmMetrics {
-            reports: vec![report(0, 2, 4.0, false), report(1, 4, 8.0, false), report(2, 100, 100.0, true)],
+            reports: vec![
+                report(0, 2, 4.0, false),
+                report(1, 4, 8.0, false),
+                report(2, 100, 100.0, true),
+            ],
             sim_end_secs: 200.0,
             net: Default::default(),
         };

@@ -60,7 +60,11 @@ impl UploadManager {
     /// Panics when `max_active` is zero.
     pub fn new(max_active: usize) -> Self {
         assert!(max_active > 0, "upload slots must be positive");
-        UploadManager { max_active, active: 0, queue: VecDeque::new() }
+        UploadManager {
+            max_active,
+            active: 0,
+            queue: VecDeque::new(),
+        }
     }
 
     /// Number of uploads currently running.
@@ -78,9 +82,9 @@ impl UploadManager {
     /// queued. `can_serve` lets the caller veto requests that must wait
     /// even though a slot is free — e.g. super-seeding style deduplication
     /// (don't push the same segment to two peers at once).
-    pub fn offer<F>(&mut self, request: UploadRequest, can_serve: F) -> bool
+    pub fn offer<F>(&mut self, request: UploadRequest, mut can_serve: F) -> bool
     where
-        F: Fn(&UploadRequest) -> bool,
+        F: FnMut(&UploadRequest) -> bool,
     {
         if self.active < self.max_active && can_serve(&request) {
             self.active += 1;
@@ -100,7 +104,7 @@ impl UploadManager {
     /// Panics when no upload is active.
     pub fn release<F>(&mut self, can_serve: F) -> Option<UploadRequest>
     where
-        F: Fn(&UploadRequest) -> bool,
+        F: FnMut(&UploadRequest) -> bool,
     {
         self.release_preferring(can_serve, |_| false)
     }
@@ -114,16 +118,16 @@ impl UploadManager {
     /// Panics when no upload is active.
     pub fn release_preferring<F, G>(&mut self, primary: F, fallback: G) -> Option<UploadRequest>
     where
-        F: Fn(&UploadRequest) -> bool,
-        G: Fn(&UploadRequest) -> bool,
+        F: FnMut(&UploadRequest) -> bool,
+        G: FnMut(&UploadRequest) -> bool,
     {
         assert!(self.active > 0, "release without an active upload");
         self.active -= 1;
         let idx = self
             .queue
             .iter()
-            .position(&primary)
-            .or_else(|| self.queue.iter().position(&fallback))?;
+            .position(primary)
+            .or_else(|| self.queue.iter().position(fallback))?;
         let next = self.queue.remove(idx).expect("index in range");
         self.active += 1;
         Some(next)
@@ -136,7 +140,7 @@ impl UploadManager {
 
     /// Drops queued requests matching the predicate (used for `Cancel` and
     /// for peers that went offline).
-    pub fn drop_queued<F: Fn(&UploadRequest) -> bool>(&mut self, drop_if: F) {
+    pub fn drop_queued<F: FnMut(&UploadRequest) -> bool>(&mut self, mut drop_if: F) {
         self.queue.retain(|r| !drop_if(r));
     }
 }
@@ -146,7 +150,10 @@ mod tests {
     use super::*;
 
     fn req(peer: usize, seg: u32) -> UploadRequest {
-        UploadRequest { peer: NodeId::from_index(peer), segment: seg }
+        UploadRequest {
+            peer: NodeId::from_index(peer),
+            segment: seg,
+        }
     }
 
     fn any(_: &UploadRequest) -> bool {

@@ -74,7 +74,13 @@ pub fn optimal_pool_size(
     buffered_secs: f64,
     next_segment_bytes: u64,
 ) -> usize {
-    if !(bandwidth_bytes_per_sec > 0.0) || !(buffered_secs > 0.0) || next_segment_bytes == 0 {
+    // NaN inputs fall into the guard like non-positive ones.
+    if bandwidth_bytes_per_sec.is_nan()
+        || bandwidth_bytes_per_sec <= 0.0
+        || buffered_secs.is_nan()
+        || buffered_secs <= 0.0
+        || next_segment_bytes == 0
+    {
         return 1;
     }
     let k = (bandwidth_bytes_per_sec * buffered_secs / next_segment_bytes as f64).floor();
@@ -186,9 +192,15 @@ impl BandwidthEstimator {
     pub fn new(kind: EstimatorKind, hint_bytes_per_sec: f64) -> Self {
         assert!(hint_bytes_per_sec > 0.0, "bandwidth hint must be positive");
         if let EstimatorKind::Ewma { alpha } = kind {
-            assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1]");
+            assert!(
+                (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+                "alpha must be in (0,1]"
+            );
         }
-        BandwidthEstimator { kind, current_bytes_per_sec: hint_bytes_per_sec }
+        BandwidthEstimator {
+            kind,
+            current_bytes_per_sec: hint_bytes_per_sec,
+        }
     }
 
     /// Feeds one completed transfer (`bytes` over `secs`).
@@ -214,7 +226,11 @@ mod tests {
     use super::*;
 
     fn input(b: f64, t: f64, w: u64) -> PolicyInput {
-        PolicyInput { bandwidth_bytes_per_sec: b, buffered_secs: t, next_segment_bytes: w }
+        PolicyInput {
+            bandwidth_bytes_per_sec: b,
+            buffered_secs: t,
+            next_segment_bytes: w,
+        }
     }
 
     #[test]
@@ -260,7 +276,11 @@ mod tests {
         assert_eq!(p.pool_size(&input(1.0, 0.0, 1)), 4);
         assert_eq!(p.pool_size(&input(1e9, 1e9, 1)), 4);
         assert_eq!(p.name(), "pool-4");
-        assert_eq!(FixedPool(0).pool_size(&input(1.0, 1.0, 1)), 1, "clamped to 1");
+        assert_eq!(
+            FixedPool(0).pool_size(&input(1.0, 1.0, 1)),
+            1,
+            "clamped to 1"
+        );
     }
 
     #[test]

@@ -11,7 +11,18 @@ where
     H: Fn(u32) -> bool,
     F: Fn(u32) -> bool,
 {
-    (0..segment_count).find(|&i| !held(i) && !in_flight(i))
+    next_wanted_from(0, segment_count, held, in_flight)
+}
+
+/// Like [`next_wanted`], but starts scanning at `from`. Callers that track a
+/// low-water mark (segments below it are all held) avoid re-walking the
+/// played-out prefix on every scheduling pass.
+pub fn next_wanted_from<H, F>(from: u32, segment_count: u32, held: H, in_flight: F) -> Option<u32>
+where
+    H: Fn(u32) -> bool,
+    F: Fn(u32) -> bool,
+{
+    (from..segment_count).find(|&i| !held(i) && !in_flight(i))
 }
 
 /// A candidate upload source with its current load (requests we already
@@ -29,10 +40,16 @@ pub struct SourceCandidate {
 /// replicas appear.
 pub fn pick_source(candidates: &[SourceCandidate], rng: &mut StdRng) -> Option<NodeId> {
     let min = candidates.iter().map(|c| c.outstanding).min()?;
-    let tied: Vec<NodeId> =
-        candidates.iter().filter(|c| c.outstanding == min).map(|c| c.peer).collect();
-    let pick = if tied.len() == 1 { 0 } else { rng.gen_range(0..tied.len()) };
-    Some(tied[pick])
+    let tied = candidates.iter().filter(|c| c.outstanding == min).count();
+    // The second filter pass replaces collecting the tied peers into a
+    // Vec; the RNG is consulted exactly as before, so seeded runs pick
+    // the same sources.
+    let pick = if tied == 1 { 0 } else { rng.gen_range(0..tied) };
+    candidates
+        .iter()
+        .filter(|c| c.outstanding == min)
+        .nth(pick)
+        .map(|c| c.peer)
 }
 
 #[cfg(test)]
@@ -63,9 +80,18 @@ mod tests {
     fn pick_source_prefers_least_loaded() {
         let mut rng = StdRng::seed_from_u64(1);
         let candidates = [
-            SourceCandidate { peer: node(1), outstanding: 3 },
-            SourceCandidate { peer: node(2), outstanding: 0 },
-            SourceCandidate { peer: node(3), outstanding: 1 },
+            SourceCandidate {
+                peer: node(1),
+                outstanding: 3,
+            },
+            SourceCandidate {
+                peer: node(2),
+                outstanding: 0,
+            },
+            SourceCandidate {
+                peer: node(3),
+                outstanding: 1,
+            },
         ];
         for _ in 0..10 {
             assert_eq!(pick_source(&candidates, &mut rng), Some(node(2)));
@@ -76,12 +102,23 @@ mod tests {
     fn pick_source_breaks_ties_randomly() {
         let mut rng = StdRng::seed_from_u64(7);
         let candidates = [
-            SourceCandidate { peer: node(1), outstanding: 0 },
-            SourceCandidate { peer: node(2), outstanding: 0 },
+            SourceCandidate {
+                peer: node(1),
+                outstanding: 0,
+            },
+            SourceCandidate {
+                peer: node(2),
+                outstanding: 0,
+            },
         ];
-        let picks: std::collections::HashSet<NodeId> =
-            (0..64).map(|_| pick_source(&candidates, &mut rng).unwrap()).collect();
-        assert_eq!(picks.len(), 2, "both tied candidates should be picked eventually");
+        let picks: std::collections::HashSet<NodeId> = (0..64)
+            .map(|_| pick_source(&candidates, &mut rng).unwrap())
+            .collect();
+        assert_eq!(
+            picks.len(),
+            2,
+            "both tied candidates should be picked eventually"
+        );
     }
 
     #[test]

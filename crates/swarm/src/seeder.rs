@@ -1,10 +1,12 @@
 //! The seeder: holds the whole video and serves manifest + segments.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 
 use splicecast_media::{Manifest, SegmentList};
 use splicecast_netsim::{Ctx, NodeBehavior, NodeEvent, NodeId};
-use splicecast_protocol::{decode_single, encode_to_bytes, Bitfield, Message, PROTOCOL_VERSION};
+use splicecast_protocol::{decode_single, Bitfield, EncodeBuf, Message, PROTOCOL_VERSION};
 
 use crate::upload::UploadSide;
 
@@ -30,12 +32,14 @@ pub fn info_hash_of(manifest_text: &str) -> [u8; 20] {
 /// mode (a CDN is an origin with a fatter pipe).
 #[derive(Debug)]
 pub struct SeederNode {
-    segments: SegmentList,
+    segments: Arc<SegmentList>,
     manifest_wire: Bytes,
     info_hash: [u8; 20],
     peer_id: u64,
     holdings: Bitfield,
     uploads: UploadSide,
+    /// Scratch buffer for outgoing frames (reused across sends).
+    wire_buf: EncodeBuf,
     /// Swarm members in join order — the seeder doubles as the tracker
     /// (the paper: "each peer contacts the seeder and gets different
     /// information about the video and the swarm").
@@ -43,8 +47,10 @@ pub struct SeederNode {
 }
 
 impl SeederNode {
-    /// Creates a seeder for the given splice.
-    pub fn new(segments: SegmentList, peer_id: u64, upload_slots: usize) -> Self {
+    /// Creates a seeder for the given splice. Accepts either an owned
+    /// [`SegmentList`] or a pre-shared `Arc<SegmentList>`.
+    pub fn new(segments: impl Into<Arc<SegmentList>>, peer_id: u64, upload_slots: usize) -> Self {
+        let segments = segments.into();
         let manifest = Manifest::from_segments("video", &segments);
         let text = manifest.to_m3u8();
         let info_hash = info_hash_of(&text);
@@ -56,6 +62,7 @@ impl SeederNode {
             peer_id,
             holdings,
             uploads: UploadSide::new(upload_slots),
+            wire_buf: EncodeBuf::new(),
             members: Vec::new(),
         }
     }
@@ -76,8 +83,10 @@ impl SeederNode {
         };
         match message {
             Message::ManifestRequest => {
-                let reply = Message::ManifestData { payload: self.manifest_wire.clone() };
-                let _ = ctx.send(from, encode_to_bytes(&reply));
+                let reply = Message::ManifestData {
+                    payload: self.manifest_wire.clone(),
+                };
+                let _ = ctx.send(from, self.wire_buf.wire(&reply));
             }
             Message::Handshake { .. } => {
                 if !self.members.contains(&from) {
@@ -88,8 +97,9 @@ impl SeederNode {
                     info_hash: self.info_hash,
                     version: PROTOCOL_VERSION,
                 };
-                let _ = ctx.send(from, encode_to_bytes(&hs));
-                let _ = ctx.send(from, encode_to_bytes(&Message::Bitfield(self.holdings.clone())));
+                let _ = ctx.send(from, self.wire_buf.wire(&hs));
+                let bitfield = Message::Bitfield(self.holdings.clone());
+                let _ = ctx.send(from, self.wire_buf.wire(&bitfield));
             }
             Message::PeerListRequest => {
                 let peers: Vec<u32> = self
@@ -99,10 +109,11 @@ impl SeederNode {
                     .take(64)
                     .map(|p| p.index() as u32)
                     .collect();
-                let _ = ctx.send(from, encode_to_bytes(&Message::PeerList { peers }));
+                let _ = ctx.send(from, self.wire_buf.wire(&Message::PeerList { peers }));
             }
             Message::Request { index } => {
-                self.uploads.on_request(ctx, from, index, &self.segments, true);
+                self.uploads
+                    .on_request(ctx, from, index, &self.segments, true);
             }
             Message::Cancel { index } => self.uploads.on_cancel(from, index),
             Message::Goodbye => {

@@ -127,22 +127,40 @@ impl SwarmConfig {
     /// peer-to-peer latency, ...).
     pub fn validate(&self) {
         assert!(self.n_leechers >= 1, "a swarm needs at least one leecher");
-        assert!(self.peer_bandwidth_bytes_per_sec > 0.0, "peer bandwidth must be positive");
-        assert!(self.seeder_bandwidth_bytes_per_sec > 0.0, "seeder bandwidth must be positive");
-        assert!((0.0..1.0).contains(&self.end_to_end_loss), "loss must be in [0,1)");
+        assert!(
+            self.peer_bandwidth_bytes_per_sec > 0.0,
+            "peer bandwidth must be positive"
+        );
+        assert!(
+            self.seeder_bandwidth_bytes_per_sec > 0.0,
+            "seeder bandwidth must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.end_to_end_loss),
+            "loss must be in [0,1)"
+        );
         assert!(
             self.seeder_one_way_latency_secs >= self.peer_one_way_latency_secs / 2.0,
             "seeder latency cannot be below half the peer-to-peer latency in a star"
         );
-        assert!(self.p2p || self.cdn.is_some(), "CDN-only mode requires a CDN");
+        assert!(
+            self.p2p || self.cdn.is_some(),
+            "CDN-only mode requires a CDN"
+        );
         if let Some(cdn) = &self.cdn {
             cdn.validate();
         }
         if let Some(cross) = &self.cross_traffic {
             cross.validate();
         }
-        assert!(self.pump_interval_secs > 0.0, "pump interval must be positive");
-        assert!(self.request_timeout_secs > 0.0, "request timeout must be positive");
+        assert!(
+            self.pump_interval_secs > 0.0,
+            "pump interval must be positive"
+        );
+        assert!(
+            self.request_timeout_secs > 0.0,
+            "request timeout must be positive"
+        );
         assert!(self.max_sim_secs > 0.0, "sim cap must be positive");
     }
 
@@ -176,6 +194,9 @@ impl SwarmConfig {
 pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> SwarmMetrics {
     config.validate();
     assert!(!segments.is_empty(), "cannot stream an empty segment list");
+    // One deep copy for the whole swarm: every node shares the same
+    // immutable segment metadata through the `Arc`.
+    let segments = std::sync::Arc::new(segments.clone());
 
     let per_link_loss = config.per_link_loss();
     let peer_link_latency = SimDuration::from_secs_f64(config.peer_one_way_latency_secs / 2.0);
@@ -225,8 +246,9 @@ pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> Swa
     // Setup randomness (join jitter, churn) is derived from the same seed
     // but a distinct stream from the simulator's own RNG.
     let mut setup_rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED_5EED_5EED);
-    let join_delays: Vec<f64> =
-        (0..config.n_leechers).map(|_| setup_rng.gen_range(0.0..=config.join_stagger_secs)).collect();
+    let join_delays: Vec<f64> = (0..config.n_leechers)
+        .map(|_| setup_rng.gen_range(0.0..=config.join_stagger_secs))
+        .collect();
     let departures: Vec<Option<f64>> = match &config.churn {
         Some(churn) => churn.sample_departures(config.n_leechers, &mut setup_rng),
         None => vec![None; config.n_leechers],
@@ -235,7 +257,11 @@ pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> Swa
     let sink = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Simulator::new(star.network, seed);
     sim.add_node(Box::new(NullBehavior)); // the hub
-    sim.add_node(Box::new(SeederNode::new(segments.clone(), 0, config.seeder_upload_slots)));
+    sim.add_node(Box::new(SeederNode::new(
+        segments.clone(),
+        0,
+        config.seeder_upload_slots,
+    )));
     for index in 0..config.n_leechers {
         let mut others = leecher_ids.clone();
         others.remove(index);
@@ -266,10 +292,17 @@ pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> Swa
     if cdn_id.is_some() {
         let cdn_cfg = config.cdn.as_ref().expect("cdn config");
         // The CDN is an origin with a fat pipe: reuse the seeder behaviour.
-        sim.add_node(Box::new(SeederNode::new(segments.clone(), u64::MAX, cdn_cfg.upload_slots)));
+        sim.add_node(Box::new(SeederNode::new(
+            segments.clone(),
+            u64::MAX,
+            cdn_cfg.upload_slots,
+        )));
     }
     if let Some(cross) = config.cross_traffic {
-        sim.add_node(Box::new(crate::cross::CrossTrafficNode::new(leecher_ids.clone(), cross)));
+        sim.add_node(Box::new(crate::cross::CrossTrafficNode::new(
+            leecher_ids.clone(),
+            cross,
+        )));
     }
 
     for &(at_secs, bytes_per_sec) in &config.bandwidth_schedule {
@@ -293,7 +326,11 @@ pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> Swa
     let net = sim.stats();
     let mut reports = sink.take();
     reports.sort_by_key(|r| r.peer);
-    SwarmMetrics { reports, sim_end_secs: end.as_secs_f64(), net }
+    SwarmMetrics {
+        reports,
+        sim_end_secs: end.as_secs_f64(),
+        net,
+    }
 }
 
 #[cfg(test)]
@@ -322,7 +359,11 @@ mod tests {
         let metrics = run_swarm(&tiny_segments(), &tiny_config(), 7);
         assert_eq!(metrics.reports.len(), 3);
         for report in &metrics.reports {
-            assert!(report.finished, "peer {} did not finish: {:?}", report.peer, report.qoe);
+            assert!(
+                report.finished,
+                "peer {} did not finish: {:?}",
+                report.peer, report.qoe
+            );
             assert!(report.qoe.startup_secs.is_some());
             assert!(report.bytes_downloaded > 0);
         }
@@ -345,7 +386,10 @@ mod tests {
         // Plenty of peers and segments: most deliveries should be P2P.
         let video = Video::builder().duration_secs(40.0).seed(6).build();
         let segments = DurationSplicer::new(4.0).splice(&video);
-        let config = SwarmConfig { n_leechers: 6, ..tiny_config() };
+        let config = SwarmConfig {
+            n_leechers: 6,
+            ..tiny_config()
+        };
         let metrics = run_swarm(&segments, &config, 3);
         assert!(
             metrics.peer_offload_ratio() > 0.2,
@@ -356,7 +400,10 @@ mod tests {
 
     #[test]
     fn per_link_loss_compounds_back() {
-        let config = SwarmConfig { end_to_end_loss: 0.05, ..SwarmConfig::default() };
+        let config = SwarmConfig {
+            end_to_end_loss: 0.05,
+            ..SwarmConfig::default()
+        };
         let p = config.per_link_loss();
         assert!(((1.0 - (1.0 - p) * (1.0 - p)) - 0.05).abs() < 1e-12);
     }
@@ -364,7 +411,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "CDN-only mode requires a CDN")]
     fn cdn_only_without_cdn_panics() {
-        let config = SwarmConfig { p2p: false, cdn: None, ..SwarmConfig::default() };
+        let config = SwarmConfig {
+            p2p: false,
+            cdn: None,
+            ..SwarmConfig::default()
+        };
         run_swarm(&tiny_segments(), &config, 1);
     }
 
@@ -408,7 +459,10 @@ mod tests {
         let full = run_swarm(&segments, &tiny_config(), 8);
         let tracked = run_swarm(
             &segments,
-            &SwarmConfig { discovery: DiscoveryMode::Tracker, ..tiny_config() },
+            &SwarmConfig {
+                discovery: DiscoveryMode::Tracker,
+                ..tiny_config()
+            },
             8,
         );
         assert_eq!(full.completion_rate(), 1.0);
@@ -425,6 +479,9 @@ mod tests {
         let metrics = run_swarm(&tiny_segments(), &config, 21);
         assert_eq!(metrics.reports.len(), 4);
         let departed = metrics.reports.iter().filter(|r| r.departed).count();
-        assert!(departed >= 1, "seeded churn should remove at least one peer");
+        assert!(
+            departed >= 1,
+            "seeded churn should remove at least one peer"
+        );
     }
 }

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use splicecast_media::SegmentList;
 use splicecast_netsim::{Ctx, FlowId, NodeId};
-use splicecast_protocol::{encode_to_bytes, Message};
+use splicecast_protocol::{encode_to_bytes, EncodeBuf, Message};
 
 use crate::peer::{UploadManager, UploadRequest};
 
@@ -28,6 +29,12 @@ pub struct UploadSide {
     warm_peers: std::collections::HashSet<NodeId>,
     /// Payload bytes of completed uploads.
     pub bytes_uploaded: u64,
+    /// Scratch buffer for per-request frames (`SegmentHeader`).
+    wire_buf: EncodeBuf,
+    /// `Choke`/`Unchoke` never change: encoded once, cloned per send
+    /// (a `Bytes` clone is a reference-count bump).
+    choke_wire: Bytes,
+    unchoke_wire: Bytes,
 }
 
 impl UploadSide {
@@ -38,6 +45,9 @@ impl UploadSide {
             active_flows: HashMap::new(),
             warm_peers: std::collections::HashSet::new(),
             bytes_uploaded: 0,
+            wire_buf: EncodeBuf::new(),
+            choke_wire: encode_to_bytes(&Message::Choke),
+            unchoke_wire: encode_to_bytes(&Message::Unchoke),
         }
     }
 
@@ -75,7 +85,10 @@ impl UploadSide {
         if !have || index as usize >= segments.len() {
             return;
         }
-        let request = UploadRequest { peer: from, segment: index };
+        let request = UploadRequest {
+            peer: from,
+            segment: index,
+        };
         // Duplicates are also admitted while the path to the requester has
         // spare capacity — at a fat link, pushing a second copy costs
         // nothing and halves the swarm's replication latency.
@@ -84,20 +97,28 @@ impl UploadSide {
         if self.mgr.offer(request, |_| admissible) {
             self.serve(ctx, request, segments);
         } else {
-            let _ = ctx.send(from, encode_to_bytes(&Message::Choke));
+            let _ = ctx.send(from, self.choke_wire.clone());
         }
     }
 
     /// Handles a `Cancel`: drops matching queued requests (an in-flight
     /// upload is left to finish, as in BitTorrent).
     pub fn on_cancel(&mut self, from: NodeId, index: u32) {
-        self.mgr.drop_queued(|r| r.peer == from && r.segment == index);
+        self.mgr
+            .drop_queued(|r| r.peer == from && r.segment == index);
     }
 
     /// Handles `UploadComplete`. Returns `true` when the flow was one of
     /// ours (an upload), after releasing the slot and serving the queue.
-    pub fn on_upload_complete(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, segments: &SegmentList) -> bool {
-        let Some(request) = self.active_flows.remove(&flow) else { return false };
+    pub fn on_upload_complete(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        flow: FlowId,
+        segments: &SegmentList,
+    ) -> bool {
+        let Some(request) = self.active_flows.remove(&flow) else {
+            return false;
+        };
         self.bytes_uploaded += segments[request.segment as usize].bytes;
         self.release_and_continue(ctx, segments);
         true
@@ -105,7 +126,12 @@ impl UploadSide {
 
     /// Handles `TransferFailed` for the upload side. Returns `true` when
     /// the failed flow was one of our uploads.
-    pub fn on_transfer_failed(&mut self, ctx: &mut Ctx<'_>, flow: FlowId, segments: &SegmentList) -> bool {
+    pub fn on_transfer_failed(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        flow: FlowId,
+        segments: &SegmentList,
+    ) -> bool {
         if self.active_flows.remove(&flow).is_none() {
             return false;
         }
@@ -121,21 +147,14 @@ impl UploadSide {
     }
 
     fn pop_serviceable(&mut self, ctx: &mut Ctx<'_>) -> Option<UploadRequest> {
-        let active: std::collections::HashSet<u32> =
-            self.active_flows.values().map(|r| r.segment).collect();
         // Prefer requests for segments nobody is currently receiving (they
         // grow the number of replicas); serve duplicates only to requesters
-        // whose path still has spare capacity.
-        let spare: std::collections::HashSet<_> = self
-            .mgr
-            .queue_snapshot()
-            .iter()
-            .map(|r| r.peer)
-            .filter(|&p| ctx.path_utilization(p) < DUP_UTILIZATION_MAX)
-            .collect();
+        // whose path still has spare capacity. The active set is at most
+        // `slots` entries, so a linear scan beats building hash sets.
+        let active_flows = &self.active_flows;
         self.mgr.release_preferring(
-            |r| !active.contains(&r.segment),
-            |r| spare.contains(&r.peer),
+            |r| !active_flows.values().any(|a| a.segment == r.segment),
+            |r| ctx.path_utilization(r.peer) < DUP_UTILIZATION_MAX,
         )
     }
 
@@ -151,9 +170,12 @@ impl UploadSide {
         let mut current = Some(request);
         while let Some(req) = current {
             let bytes = segments[req.segment as usize].bytes;
-            let header = Message::SegmentHeader { index: req.segment, bytes };
-            let reachable = ctx.send(req.peer, encode_to_bytes(&Message::Unchoke)).is_ok()
-                && ctx.send(req.peer, encode_to_bytes(&header)).is_ok();
+            let header = Message::SegmentHeader {
+                index: req.segment,
+                bytes,
+            };
+            let reachable = ctx.send(req.peer, self.unchoke_wire.clone()).is_ok()
+                && ctx.send(req.peer, self.wire_buf.wire(&header)).is_ok();
             if reachable {
                 let started = if self.warm_peers.contains(&req.peer) {
                     ctx.start_transfer_warm(req.peer, bytes, u64::from(req.segment))

@@ -26,7 +26,10 @@ fn config() -> SwarmConfig {
 fn starved_seeder_slots_still_serve_everyone() {
     // One upload slot at the seeder: every queued request must eventually
     // be served or re-routed to a replica.
-    let config = SwarmConfig { seeder_upload_slots: 1, ..config() };
+    let config = SwarmConfig {
+        seeder_upload_slots: 1,
+        ..config()
+    };
     let metrics = run_swarm(&segments(24.0), &config, 3);
     assert_eq!(metrics.completion_rate(), 1.0);
 }
@@ -34,8 +37,15 @@ fn starved_seeder_slots_still_serve_everyone() {
 #[test]
 fn leechers_upload_while_watching() {
     let metrics = run_swarm(&segments(24.0), &config(), 9);
-    let uploaders = metrics.reports.iter().filter(|r| r.bytes_uploaded > 0).count();
-    assert!(uploaders >= 2, "P2P exchange implies leechers upload, got {uploaders}");
+    let uploaders = metrics
+        .reports
+        .iter()
+        .filter(|r| r.bytes_uploaded > 0)
+        .count();
+    assert!(
+        uploaders >= 2,
+        "P2P exchange implies leechers upload, got {uploaders}"
+    );
     // Upload and download ledgers are mutually consistent: what leechers
     // and the seeder uploaded is what leechers downloaded.
     let downloaded: u64 = metrics.reports.iter().map(|r| r.bytes_downloaded).sum();
@@ -45,14 +55,20 @@ fn leechers_upload_while_watching() {
 
 #[test]
 fn ewma_estimator_mode_completes() {
-    let config = SwarmConfig { estimator: EstimatorKind::Ewma { alpha: 0.3 }, ..config() };
+    let config = SwarmConfig {
+        estimator: EstimatorKind::Ewma { alpha: 0.3 },
+        ..config()
+    };
     let metrics = run_swarm(&segments(24.0), &config, 4);
     assert_eq!(metrics.completion_rate(), 1.0);
 }
 
 #[test]
 fn next_segment_w_estimate_mode_completes() {
-    let config = SwarmConfig { w_estimate: WEstimate::NextSegment, ..config() };
+    let config = SwarmConfig {
+        w_estimate: WEstimate::NextSegment,
+        ..config()
+    };
     let metrics = run_swarm(&segments(24.0), &config, 4);
     assert_eq!(metrics.completion_rate(), 1.0);
 }
@@ -66,7 +82,10 @@ fn w_estimates_differ_on_variable_segments() {
     let mean = run_swarm(&gop, &config(), 4);
     let next = run_swarm(
         &gop,
-        &SwarmConfig { w_estimate: WEstimate::NextSegment, ..config() },
+        &SwarmConfig {
+            w_estimate: WEstimate::NextSegment,
+            ..config()
+        },
         4,
     );
     assert_eq!(mean.completion_rate(), 1.0);
@@ -83,7 +102,10 @@ fn zero_resume_threshold_counts_more_stalls_than_large() {
         resume_buffer_secs: 0.0,
         ..config()
     };
-    let relaxed = SwarmConfig { resume_buffer_secs: 4.0, ..tight.clone() };
+    let relaxed = SwarmConfig {
+        resume_buffer_secs: 4.0,
+        ..tight.clone()
+    };
     let a = run_swarm(&segments, &tight, 6);
     let b = run_swarm(&segments, &relaxed, 6);
     assert!(
@@ -124,7 +146,11 @@ fn competing_flows_degrade_but_do_not_break_streaming() {
         },
         8,
     );
-    assert_eq!(loaded.completion_rate(), 1.0, "the stream must survive congestion");
+    assert_eq!(
+        loaded.completion_rate(),
+        1.0,
+        "the stream must survive congestion"
+    );
     assert!(
         loaded.mean_stall_secs() > clean.mean_stall_secs(),
         "background load must cost stall time ({} vs {})",
@@ -143,7 +169,10 @@ fn hybrid_cdn_supplements_the_swarm() {
     assert_eq!(metrics.completion_rate(), 1.0);
     let from_cdn: usize = metrics.reports.iter().map(|r| r.segments_from_cdn).sum();
     let from_p2p: usize = metrics.reports.iter().map(|r| r.segments_from_peers).sum();
-    assert!(from_cdn > 0, "the CDN should serve some segments in hybrid mode");
+    assert!(
+        from_cdn > 0,
+        "the CDN should serve some segments in hybrid mode"
+    );
     assert!(from_p2p > 0, "peers should still exchange in hybrid mode");
 }
 
@@ -152,7 +181,10 @@ fn fixed_pool_one_is_strictly_sequential() {
     // Pool-1 never holds more than one segment in flight, so per-peer
     // delivery order is exactly sequential: the completion times (proxied
     // by stall structure) must still produce a full video.
-    let config = SwarmConfig { policy: PolicyConfig::Fixed(1), ..config() };
+    let config = SwarmConfig {
+        policy: PolicyConfig::Fixed(1),
+        ..config()
+    };
     let metrics = run_swarm(&segments(24.0), &config, 2);
     assert_eq!(metrics.completion_rate(), 1.0);
 }
@@ -160,7 +192,10 @@ fn fixed_pool_one_is_strictly_sequential() {
 #[test]
 fn swarm_scales_down_to_two_and_up_to_thirty_leechers() {
     for n in [2usize, 30] {
-        let config = SwarmConfig { n_leechers: n, ..config() };
+        let config = SwarmConfig {
+            n_leechers: n,
+            ..config()
+        };
         let metrics = run_swarm(&segments(16.0), &config, 1);
         assert_eq!(metrics.reports.len(), n);
         assert_eq!(metrics.completion_rate(), 1.0, "n = {n}");
@@ -169,8 +204,22 @@ fn swarm_scales_down_to_two_and_up_to_thirty_leechers() {
 
 #[test]
 fn network_counters_track_swarm_size() {
-    let small = run_swarm(&segments(16.0), &SwarmConfig { n_leechers: 2, ..config() }, 1);
-    let large = run_swarm(&segments(16.0), &SwarmConfig { n_leechers: 8, ..config() }, 1);
+    let small = run_swarm(
+        &segments(16.0),
+        &SwarmConfig {
+            n_leechers: 2,
+            ..config()
+        },
+        1,
+    );
+    let large = run_swarm(
+        &segments(16.0),
+        &SwarmConfig {
+            n_leechers: 8,
+            ..config()
+        },
+        1,
+    );
     assert!(large.net.payload_bytes_delivered > small.net.payload_bytes_delivered);
     assert!(large.net.messages_sent > small.net.messages_sent);
     assert!(large.wire_expansion() >= 1.0);

@@ -23,7 +23,10 @@ fn main() {
     for bandwidth in [120_000.0, 200_000.0, 320_000.0] {
         println!("clients at {:.0} kB/s:", bandwidth / 1e3);
         for algorithm in [
-            AbrAlgorithm::BufferBased { low_secs: 4.0, high_secs: 16.0 },
+            AbrAlgorithm::BufferBased {
+                low_secs: 4.0,
+                high_secs: 16.0,
+            },
             AbrAlgorithm::RateBased { safety: 0.8 },
             AbrAlgorithm::FixedRendition(2),
         ] {

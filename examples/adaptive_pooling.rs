@@ -12,8 +12,10 @@ fn main() {
     println!("Eq. 1 — optimal simultaneous downloads (W = 512 kB segments):");
     println!("  T buffered:   0s  2s  4s  8s  16s");
     for (label, b) in [("128 kB/s", 128_000.0), ("512 kB/s", 512_000.0)] {
-        let row: Vec<usize> =
-            [0.0, 2.0, 4.0, 8.0, 16.0].iter().map(|&t| optimal_pool_size(b, t, 512_000)).collect();
+        let row: Vec<usize> = [0.0, 2.0, 4.0, 8.0, 16.0]
+            .iter()
+            .map(|&t| optimal_pool_size(b, t, 512_000))
+            .collect();
         println!("  B={label}: {row:?}");
     }
 
@@ -28,7 +30,10 @@ fn main() {
             .with_bandwidth(256_000.0)
             .with_policy(policy)
             .with_leechers(8);
-        config.video = VideoSpec { duration_secs: 60.0, ..VideoSpec::default() };
+        config.video = VideoSpec {
+            duration_secs: 60.0,
+            ..VideoSpec::default()
+        };
         let avg = run_averaged(&config, &[7, 8]);
         println!(
             "  {name:18} startup {:5.1} s   stalls {:5.1}   stall time {:6.1} s",

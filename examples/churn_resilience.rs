@@ -10,9 +10,13 @@ use splicecast_core::{run_once, ChurnConfig, ExperimentConfig, VideoSpec};
 fn main() {
     println!("streaming a 60 s clip to 10 peers at 256 kB/s under churn:\n");
     for volatile in [0.0, 0.3, 0.6] {
-        let mut config =
-            ExperimentConfig::paper_baseline().with_bandwidth(256_000.0).with_leechers(10);
-        config.video = VideoSpec { duration_secs: 60.0, ..VideoSpec::default() };
+        let mut config = ExperimentConfig::paper_baseline()
+            .with_bandwidth(256_000.0)
+            .with_leechers(10);
+        config.video = VideoSpec {
+            duration_secs: 60.0,
+            ..VideoSpec::default()
+        };
         if volatile > 0.0 {
             config.swarm.churn = Some(ChurnConfig::new(volatile, 30.0));
         }

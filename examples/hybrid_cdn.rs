@@ -15,7 +15,10 @@ fn main() {
     for (label, b) in [("128 kB/s", 128_000.0), ("256 kB/s", 256_000.0)] {
         let bytes = max_cdn_segment_bytes(b, 4.0);
         let secs = max_cdn_segment_secs(b, 4.0, 1_000_000.0);
-        println!("  B = {label}, T = 4 s  →  W ≤ {} kB (≈ {secs:.1} s of 1 Mbps video)", bytes / 1000);
+        println!(
+            "  B = {label}, T = 4 s  →  W ≤ {} kB (≈ {secs:.1} s of 1 Mbps video)",
+            bytes / 1000
+        );
     }
 
     let cdn = CdnConfig {
@@ -34,7 +37,10 @@ fn main() {
             .with_bandwidth(192_000.0)
             .with_splicing(SplicingSpec::Duration(4.0))
             .with_leechers(8);
-        config.video = VideoSpec { duration_secs: 60.0, ..VideoSpec::default() };
+        config.video = VideoSpec {
+            duration_secs: 60.0,
+            ..VideoSpec::default()
+        };
         config.swarm.p2p = p2p;
         config.swarm.cdn = with_cdn.then_some(cdn);
         let result = run_once(&config, 3);
@@ -45,7 +51,11 @@ fn main() {
             m.mean_stalls(),
             m.peer_offload_ratio() * 100.0,
             100.0 * m.reports.iter().map(|r| r.segments_from_cdn).sum::<usize>() as f64
-                / m.reports.iter().map(|r| r.segments_from_cdn + r.segments_from_peers + r.segments_from_seeder).sum::<usize>().max(1) as f64,
+                / m.reports
+                    .iter()
+                    .map(|r| r.segments_from_cdn + r.segments_from_peers + r.segments_from_seeder)
+                    .sum::<usize>()
+                    .max(1) as f64,
         );
     }
 }

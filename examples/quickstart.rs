@@ -12,7 +12,10 @@ fn main() {
     let mut config = ExperimentConfig::paper_baseline()
         .with_bandwidth(256_000.0)
         .with_leechers(8);
-    config.video = VideoSpec { duration_secs: 60.0, ..VideoSpec::default() };
+    config.video = VideoSpec {
+        duration_secs: 60.0,
+        ..VideoSpec::default()
+    };
 
     println!("streaming a 60 s / 1 Mbps clip to 8 peers at 256 kB/s\n");
     for splicing in [SplicingSpec::Gop, SplicingSpec::Duration(4.0)] {
@@ -24,7 +27,10 @@ fn main() {
         println!("  mean startup:    {:.1} s", metrics.mean_startup_secs());
         println!("  mean stalls:     {:.1}", metrics.mean_stalls());
         println!("  mean stall time: {:.1} s", metrics.mean_stall_secs());
-        println!("  peer offload:    {:.0}%", metrics.peer_offload_ratio() * 100.0);
+        println!(
+            "  peer offload:    {:.0}%",
+            metrics.peer_offload_ratio() * 100.0
+        );
         println!();
     }
 }

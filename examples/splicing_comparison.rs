@@ -8,7 +8,11 @@
 use splicecast_core::{run_averaged, ExperimentConfig, SplicingSpec, Table, VideoSpec};
 
 fn main() {
-    let bandwidths = [("128 kB/s", 128_000.0), ("256 kB/s", 256_000.0), ("512 kB/s", 512_000.0)];
+    let bandwidths = [
+        ("128 kB/s", 128_000.0),
+        ("256 kB/s", 256_000.0),
+        ("512 kB/s", 512_000.0),
+    ];
     let variants = [
         ("gop", SplicingSpec::Gop),
         ("2s", SplicingSpec::Duration(2.0)),
@@ -16,10 +20,16 @@ fn main() {
         ("8s", SplicingSpec::Duration(8.0)),
     ];
 
-    let mut stall_table =
-        Table::new("Stalls per viewer (10 peers, 60 s clip)", "bandwidth", &["gop", "2s", "4s", "8s"]);
-    let mut duration_table =
-        Table::new("Total stall seconds per viewer", "bandwidth", &["gop", "2s", "4s", "8s"]);
+    let mut stall_table = Table::new(
+        "Stalls per viewer (10 peers, 60 s clip)",
+        "bandwidth",
+        &["gop", "2s", "4s", "8s"],
+    );
+    let mut duration_table = Table::new(
+        "Total stall seconds per viewer",
+        "bandwidth",
+        &["gop", "2s", "4s", "8s"],
+    );
 
     for (label, bandwidth) in bandwidths {
         let mut stalls = Vec::new();
@@ -29,7 +39,10 @@ fn main() {
                 .with_bandwidth(bandwidth)
                 .with_splicing(*splicing)
                 .with_leechers(10);
-            config.video = VideoSpec { duration_secs: 60.0, ..VideoSpec::default() };
+            config.video = VideoSpec {
+                duration_secs: 60.0,
+                ..VideoSpec::default()
+            };
             let avg = run_averaged(&config, &[1, 2]);
             stalls.push(avg.stalls.mean);
             durations.push(avg.stall_secs.mean);

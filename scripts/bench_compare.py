@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare current perf_microbench numbers against the committed baseline.
+
+Runs `cargo bench --offline --bench perf_microbench` (or reads a saved log
+with --log), parses the `bench: <name> ... <median> ns/iter` lines, and
+prints a per-benchmark speedup table against BENCH_hotpath.json. Exits
+non-zero when a benchmark listed in the baseline's `speedup_gate` falls
+short of the required speedup.
+
+Usage:
+    python3 scripts/bench_compare.py                # run benches and compare
+    python3 scripts/bench_compare.py --log out.txt  # compare a saved log
+    python3 scripts/bench_compare.py --update       # rewrite the baseline
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+BENCH_LINE = re.compile(r"^bench: (?P<name>\S+) \.\.\. (?P<median>[0-9.]+) ns/iter")
+
+
+def run_benches() -> str:
+    cmd = ["cargo", "bench", "--offline", "--bench", "perf_microbench"]
+    print(f"$ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"cargo bench failed with exit code {proc.returncode}")
+    return proc.stdout
+
+
+def parse_log(text: str) -> dict:
+    results = {}
+    for line in text.splitlines():
+        m = BENCH_LINE.match(line.strip())
+        if m:
+            results[m.group("name")] = float(m.group("median"))
+    if not results:
+        sys.exit("no `bench: ... ns/iter` lines found in the bench output")
+    return results
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--log", help="parse a saved bench log instead of running cargo bench")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite BENCH_hotpath.json with the current numbers")
+    args = ap.parse_args()
+
+    if args.log:
+        try:
+            text = Path(args.log).read_text()
+        except OSError as err:
+            sys.exit(f"cannot read --log file: {err}")
+    else:
+        text = run_benches()
+    current = parse_log(text)
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    if args.update:
+        baseline["benches"] = {k: current.get(k, v) for k, v in baseline["benches"].items()}
+        for name, median in current.items():
+            baseline["benches"].setdefault(name, median)
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"updated {BASELINE_PATH}")
+        return 0
+
+    gate = baseline.get("speedup_gate", {})
+    gated = set(gate.get("benches", []))
+    min_speedup = float(gate.get("min_speedup", 1.0))
+
+    width = max(len(n) for n in baseline["benches"])
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'speedup':>8}")
+    failures = []
+    for name, base in baseline["benches"].items():
+        cur = current.get(name)
+        if cur is None:
+            print(f"{name:<{width}}  {base:>12.1f}  {'MISSING':>12}  {'-':>8}")
+            if name in gated:
+                failures.append(f"{name}: missing from bench output")
+            continue
+        speedup = base / cur
+        marker = ""
+        if name in gated:
+            marker = "  [gate]"
+            if speedup < min_speedup:
+                failures.append(
+                    f"{name}: {speedup:.2f}x < required {min_speedup:.1f}x"
+                )
+        print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  {speedup:>7.2f}x{marker}")
+
+    for name in sorted(set(current) - set(baseline["benches"])):
+        print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.1f}  {'-':>8}")
+
+    if failures:
+        print("\nFAIL: hot-path speedup gate not met:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nOK: all gated benchmarks meet the required speedup.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

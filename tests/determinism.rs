@@ -8,7 +8,10 @@ fn config(variant: usize) -> ExperimentConfig {
     let mut config = ExperimentConfig::paper_baseline()
         .with_bandwidth(384_000.0)
         .with_leechers(4);
-    config.video = VideoSpec { duration_secs: 20.0, ..VideoSpec::default() };
+    config.video = VideoSpec {
+        duration_secs: 20.0,
+        ..VideoSpec::default()
+    };
     config.swarm.max_sim_secs = 400.0;
     match variant {
         0 => {}
@@ -77,7 +80,9 @@ fn netsim_traces_are_reproducible() {
         let mut sim = Simulator::new(star.network, seed);
         sim.enable_trace();
         sim.add_node(Box::new(NullBehavior));
-        sim.add_node(Box::new(Chatter { peers: star.leaves[1..].to_vec() }));
+        sim.add_node(Box::new(Chatter {
+            peers: star.leaves[1..].to_vec(),
+        }));
         for _ in 1..4 {
             sim.add_node(Box::new(NullBehavior));
         }

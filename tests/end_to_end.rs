@@ -9,14 +9,21 @@ fn small_config(splicing: SplicingSpec) -> ExperimentConfig {
         .with_bandwidth(512_000.0)
         .with_splicing(splicing)
         .with_leechers(5);
-    config.video = VideoSpec { duration_secs: 30.0, ..VideoSpec::default() };
+    config.video = VideoSpec {
+        duration_secs: 30.0,
+        ..VideoSpec::default()
+    };
     config.swarm.max_sim_secs = 600.0;
     config
 }
 
 #[test]
 fn full_pipeline_streams_and_accounts() {
-    for splicing in [SplicingSpec::Gop, SplicingSpec::Duration(4.0), SplicingSpec::Bytes(250_000)] {
+    for splicing in [
+        SplicingSpec::Gop,
+        SplicingSpec::Duration(4.0),
+        SplicingSpec::Bytes(250_000),
+    ] {
         let config = small_config(splicing);
         let video = config.video.build();
         let segments = config.splicing.splice(&video);
@@ -26,7 +33,11 @@ fn full_pipeline_streams_and_accounts() {
         let metrics = &result.metrics;
         assert_eq!(metrics.reports.len(), 5, "{splicing:?}");
         for report in &metrics.reports {
-            assert!(report.finished, "{splicing:?}: peer {} unfinished", report.peer);
+            assert!(
+                report.finished,
+                "{splicing:?}: peer {} unfinished",
+                report.peer
+            );
             assert!(report.qoe.startup_secs.unwrap() > 0.0);
             // Every viewer moved at least the whole video's bytes.
             assert!(
@@ -69,7 +80,10 @@ fn full_pipeline_streams_and_accounts() {
         // retransmissions) without being absurd.
         assert!(metrics.net.payload_bytes_delivered >= 5 * segments.total_bytes());
         let expansion = metrics.wire_expansion();
-        assert!((1.0..2.5).contains(&expansion), "{splicing:?}: wire expansion {expansion}");
+        assert!(
+            (1.0..2.5).contains(&expansion),
+            "{splicing:?}: wire expansion {expansion}"
+        );
     }
 }
 

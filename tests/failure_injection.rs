@@ -6,7 +6,10 @@ fn base() -> ExperimentConfig {
     let mut config = ExperimentConfig::paper_baseline()
         .with_bandwidth(384_000.0)
         .with_leechers(6);
-    config.video = VideoSpec { duration_secs: 30.0, ..VideoSpec::default() };
+    config.video = VideoSpec {
+        duration_secs: 30.0,
+        ..VideoSpec::default()
+    };
     config.swarm.max_sim_secs = 900.0;
     config
 }
@@ -21,7 +24,11 @@ fn stayers_survive_heavy_churn() {
     let departed = metrics.reports.iter().filter(|r| r.departed).count();
     assert!(departed >= 1, "seeded churn should remove somebody");
     for report in metrics.watching() {
-        assert!(report.finished, "stayer {} must finish despite churn", report.peer);
+        assert!(
+            report.finished,
+            "stayer {} must finish despite churn",
+            report.peer
+        );
     }
 }
 
@@ -47,7 +54,11 @@ fn bandwidth_collapse_stalls_then_recovers() {
     // Collapse every peer link to 8 kB/s between t=20s and t=50s.
     choked.swarm.bandwidth_schedule = vec![(20.0, 8_000.0), (50.0, 384_000.0)];
     let result = run_once(&choked, 7);
-    assert_eq!(result.metrics.completion_rate(), 1.0, "the swarm must recover");
+    assert_eq!(
+        result.metrics.completion_rate(),
+        1.0,
+        "the swarm must recover"
+    );
     assert!(
         result.metrics.mean_stall_secs() > clean.metrics.mean_stall_secs(),
         "a 30 s blackout must show up in stall time ({} vs {})",
@@ -75,7 +86,11 @@ fn cdn_only_mode_survives_total_peer_churn() {
     config.swarm.churn = Some(ChurnConfig::new(0.5, 15.0));
     let result = run_once(&config, 17);
     for report in result.metrics.watching() {
-        assert!(report.finished, "CDN-only stayer {} must finish", report.peer);
+        assert!(
+            report.finished,
+            "CDN-only stayer {} must finish",
+            report.peer
+        );
         assert_eq!(report.segments_from_peers, 0);
     }
 }
@@ -87,5 +102,9 @@ fn extreme_loss_still_converges() {
     config.swarm.max_sim_secs = 1_800.0;
     let result = run_once(&config, 5);
     // At 25% loss the stream crawls but must still finish within the cap.
-    assert!(result.metrics.completion_rate() > 0.9, "{}", result.metrics.completion_rate());
+    assert!(
+        result.metrics.completion_rate() > 0.9,
+        "{}",
+        result.metrics.completion_rate()
+    );
 }

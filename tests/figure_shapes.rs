@@ -41,8 +41,14 @@ fn fig2_two_second_splicing_converges_to_four_second() {
         / stalls(128_000.0, SplicingSpec::Duration(4.0));
     let high_gap = stalls(768_000.0, SplicingSpec::Duration(2.0))
         / stalls(768_000.0, SplicingSpec::Duration(4.0));
-    assert!(low_gap > 1.3, "2s must clearly lose at 128 kB/s (ratio {low_gap})");
-    assert!(high_gap < low_gap, "the gap must shrink with bandwidth ({high_gap} vs {low_gap})");
+    assert!(
+        low_gap > 1.3,
+        "2s must clearly lose at 128 kB/s (ratio {low_gap})"
+    );
+    assert!(
+        high_gap < low_gap,
+        "the gap must shrink with bandwidth ({high_gap} vs {low_gap})"
+    );
 }
 
 #[test]
@@ -50,11 +56,20 @@ fn fig2_two_second_splicing_converges_to_four_second() {
 fn fig3_gop_splicing_has_longest_stall_duration() {
     for bandwidth in [128_000.0, 256_000.0, 768_000.0] {
         let config = |s| {
-            ExperimentConfig::paper_baseline().with_bandwidth(bandwidth).with_splicing(s)
+            ExperimentConfig::paper_baseline()
+                .with_bandwidth(bandwidth)
+                .with_splicing(s)
         };
-        let gop = run_averaged(&config(SplicingSpec::Gop), &SEEDS).stall_secs.mean;
-        let four = run_averaged(&config(SplicingSpec::Duration(4.0)), &SEEDS).stall_secs.mean;
-        assert!(gop > four, "at {bandwidth} B/s: gop {gop} s must exceed 4s {four} s");
+        let gop = run_averaged(&config(SplicingSpec::Gop), &SEEDS)
+            .stall_secs
+            .mean;
+        let four = run_averaged(&config(SplicingSpec::Duration(4.0)), &SEEDS)
+            .stall_secs
+            .mean;
+        assert!(
+            gop > four,
+            "at {bandwidth} B/s: gop {gop} s must exceed 4s {four} s"
+        );
     }
 }
 
@@ -82,8 +97,9 @@ fn fig4_startup_orders_by_segment_size_and_bandwidth() {
 fn fig5_adaptive_pooling_starts_fastest() {
     for bandwidth in [128_000.0, 768_000.0] {
         let startup = |policy| {
-            let config =
-                ExperimentConfig::paper_baseline().with_bandwidth(bandwidth).with_policy(policy);
+            let config = ExperimentConfig::paper_baseline()
+                .with_bandwidth(bandwidth)
+                .with_policy(policy);
             run_averaged(&config, &SEEDS).startup_secs.mean
         };
         let adaptive = startup(PolicyConfig::Adaptive);

@@ -43,9 +43,16 @@ fn eq1_monotonicity_grid() {
 #[test]
 fn policy_objects_agree_with_the_free_function() {
     let adaptive = AdaptivePooling::new();
-    for (b, t, w) in [(128_000.0, 6.0, 256_000u64), (1e6, 30.0, 100_000), (5.0, 0.1, 10)] {
-        let input =
-            PolicyInput { bandwidth_bytes_per_sec: b, buffered_secs: t, next_segment_bytes: w };
+    for (b, t, w) in [
+        (128_000.0, 6.0, 256_000u64),
+        (1e6, 30.0, 100_000),
+        (5.0, 0.1, 10),
+    ] {
+        let input = PolicyInput {
+            bandwidth_bytes_per_sec: b,
+            buffered_secs: t,
+            next_segment_bytes: w,
+        };
         assert_eq!(adaptive.pool_size(&input), optimal_pool_size(b, t, w));
     }
     let fixed = FixedPool(6);
@@ -62,7 +69,10 @@ fn swarm_with(policy: PolicyConfig, bandwidth: f64) -> splicecast_core::Averaged
         .with_bandwidth(bandwidth)
         .with_policy(policy)
         .with_leechers(8);
-    config.video = VideoSpec { duration_secs: 60.0, ..VideoSpec::default() };
+    config.video = VideoSpec {
+        duration_secs: 60.0,
+        ..VideoSpec::default()
+    };
     config.swarm.max_sim_secs = 900.0;
     run_averaged(&config, &[4, 5, 6])
 }
@@ -98,7 +108,11 @@ fn adaptive_beats_sequential_downloading_at_high_bandwidth() {
 
 #[test]
 fn every_policy_still_completes_the_stream() {
-    for policy in [PolicyConfig::Adaptive, PolicyConfig::Fixed(1), PolicyConfig::Fixed(8)] {
+    for policy in [
+        PolicyConfig::Adaptive,
+        PolicyConfig::Fixed(1),
+        PolicyConfig::Fixed(8),
+    ] {
         let avg = swarm_with(policy, 256_000.0);
         assert_eq!(avg.completion_rate, 1.0, "{policy:?}");
     }

@@ -9,7 +9,10 @@ fn averaged(bandwidth: f64, splicing: SplicingSpec) -> AveragedMetrics {
         .with_bandwidth(bandwidth)
         .with_splicing(splicing)
         .with_leechers(8);
-    config.video = VideoSpec { duration_secs: 60.0, ..VideoSpec::default() };
+    config.video = VideoSpec {
+        duration_secs: 60.0,
+        ..VideoSpec::default()
+    };
     config.swarm.max_sim_secs = 900.0;
     run_averaged(&config, &[1, 2])
 }
@@ -96,7 +99,10 @@ fn splicing_overhead_orders_by_segment_duration() {
         .map(|&d| SplicingSpec::Duration(d).splice(&video).overhead_ratio())
         .collect();
     for pair in ratios.windows(2) {
-        assert!(pair[0] > pair[1], "shorter segments must carry more overhead: {ratios:?}");
+        assert!(
+            pair[0] > pair[1],
+            "shorter segments must carry more overhead: {ratios:?}"
+        );
     }
     assert_eq!(SplicingSpec::Gop.splice(&video).overhead_ratio(), 0.0);
 }

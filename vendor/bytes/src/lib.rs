@@ -1,0 +1,393 @@
+//! Minimal vendored stand-in for the `bytes` crate.
+//!
+//! Implements exactly the API surface this workspace uses: a cheaply
+//! clonable, reference-counted immutable byte buffer ([`Bytes`]), a growable
+//! buffer with a read cursor ([`BytesMut`]), and the [`Buf`]/[`BufMut`]
+//! accessor traits. Written from the public API documentation; no upstream
+//! code is copied.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable slice of bytes.
+///
+/// Backed by an `Arc<[u8]>` plus a sub-range, so `clone` is a reference
+/// count bump and `slice`-style consumption never copies.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Creates `Bytes` from a static slice (copies once into shared storage).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from_vec(data.to_vec())
+    }
+
+    /// Copies `data` into a new shared buffer (a single allocation).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    fn from_vec(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes::from_vec(data)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Self {
+        Bytes::from_vec(data.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Self {
+        Bytes::from_static(data)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer with a read cursor at the front.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read offset: everything before it has been consumed.
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Unconsumed length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True when all written bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.data.reserve(additional);
+    }
+
+    /// Appends `data` to the buffer.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.data.extend_from_slice(data);
+    }
+
+    /// Drops all content, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+
+    /// Splits off the first `n` unconsumed bytes into their own buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` exceeds the unconsumed length.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of range");
+        let piece = self.data[self.start..self.start + n].to_vec();
+        self.start += n;
+        self.maybe_compact();
+        BytesMut {
+            data: piece,
+            start: 0,
+        }
+    }
+
+    /// Freezes the unconsumed bytes into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        self.compact();
+        Bytes::from_vec(self.data)
+    }
+
+    /// Iterates over the unconsumed bytes.
+    pub fn iter(&self) -> std::slice::Iter<'_, u8> {
+        self.as_slice().iter()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Reclaims consumed space once it dominates the buffer.
+    fn maybe_compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.data.len() {
+            self.compact();
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for BytesMut {}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BytesMut")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// A view of the remaining bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    /// Fills `dst` from the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of range");
+        self.start += n;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of range");
+        self.start += n;
+        self.maybe_compact();
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_and_cheap_clone() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        assert_eq!(b, c);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bytes_buf_reads() {
+        let mut b = Bytes::from(vec![7, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0, 9]);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 5);
+        assert_eq!(b.get_u64(), 9);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_mut_write_split_freeze() {
+        let mut m = BytesMut::new();
+        m.put_u32(8);
+        m.put_u8(1);
+        m.extend_from_slice(b"abc");
+        assert_eq!(m.len(), 8);
+        let head = m.split_to(4);
+        assert_eq!(&head[..], &[0, 0, 0, 8]);
+        assert_eq!(m.len(), 4);
+        m.advance(1);
+        assert_eq!(&m.freeze()[..], b"abc");
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&vec![42u8; 10_000]);
+        m.advance(9_000);
+        m.extend_from_slice(&[7]);
+        assert_eq!(m.len(), 1_001);
+        assert_eq!(m[m.len() - 1], 7);
+    }
+}

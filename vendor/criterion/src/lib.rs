@@ -1,0 +1,191 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! Supports the subset the bench crate uses: `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Under `cargo bench` it runs
+//! a calibrated multi-sample measurement and prints one machine-parseable
+//! line per benchmark:
+//!
+//! ```text
+//! bench: <name> ... <median> ns/iter (min <min>, max <max>, samples <n>)
+//! ```
+//!
+//! Under `cargo test` (no `--bench` flag) each benchmark body runs once as
+//! a smoke test and no timing line is printed.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so callers may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, quick: bool, samples: usize, mut f: F) {
+    let mut sample = |iters: u64| -> Duration {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.elapsed
+    };
+
+    if quick {
+        sample(1);
+        return;
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes roughly TARGET_SAMPLE.
+    let mut iters: u64 = 1;
+    loop {
+        let t = sample(iters);
+        if t >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        if t < Duration::from_micros(50) {
+            iters = iters.saturating_mul(100);
+        } else {
+            let scale = TARGET_SAMPLE.as_secs_f64() / t.as_secs_f64().max(1e-9);
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| sample(iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "bench: {name} ... {median:.1} ns/iter (min {min:.1}, max {max:.1}, samples {samples})"
+    );
+}
+
+/// Entry point for a benchmark binary.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments: full measurement
+    /// under `cargo bench` (which passes `--bench`), smoke-test mode
+    /// otherwise.
+    pub fn from_args() -> Self {
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Criterion { quick }
+    }
+
+    /// Measures one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.quick, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            quick: self.quick,
+            samples: DEFAULT_SAMPLES,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-count override.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    quick: bool,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Measures one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.prefix, name),
+            self.quick,
+            self.samples,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_body_once() {
+        let mut calls = 0u32;
+        run_bench("t", true, DEFAULT_SAMPLES, |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut total = 0u64;
+        let mut b = Bencher {
+            iters: 37,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| total += 1);
+        assert_eq!(total, 37);
+    }
+}

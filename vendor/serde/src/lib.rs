@@ -1,0 +1,14 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing is
+//! actually serialized — so marker traits plus no-op derive macros are enough
+//! to keep the annotations compiling offline.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

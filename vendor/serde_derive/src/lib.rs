@@ -1,0 +1,100 @@
+//! No-op stand-ins for serde's derive macros (offline build).
+//!
+//! The workspace never serializes anything, so the derives only need to
+//! emit marker-trait impls. We parse just enough of the item — its name and
+//! generic parameter names — to emit a well-formed `impl`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generic_params)` from a struct/enum definition.
+///
+/// Returns e.g. `("Foo", ["T", "U"])` for `struct Foo<T, U: Clone> { .. }`.
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct`/`enum` keyword.
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    // Collect top-level generic parameter names from `<...>`, if present.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while let Some(tt) = iter.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let s = id.to_string();
+                        if s != "const" {
+                            generics.push(s);
+                            expect_param = false;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        // Lifetime parameter: grab the following ident.
+                        if let Some(TokenTree::Ident(id)) = iter.next() {
+                            generics.push(format!("'{id}"));
+                            expect_param = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, trait_generics: &str) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let params = generics.join(", ");
+    let code = if generics.is_empty() {
+        format!("impl{trait_generics} {trait_path} for {name} {{}}")
+    } else {
+        let open = trait_generics.trim_start_matches('<').trim_end_matches('>');
+        let lead = if open.is_empty() {
+            params.clone()
+        } else {
+            format!("{open}, {params}")
+        };
+        format!("impl<{lead}> {trait_path} for {name}<{params}> {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits only the marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", "")
+}
+
+/// No-op `Deserialize` derive: emits only the marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'de>", "<'de>")
+}
