@@ -2,35 +2,72 @@
 
 use std::collections::BTreeMap;
 
+/// The stored form of one option: its value plus whether the value was
+/// implied (a bare flag) rather than written by the user. Accessors that
+/// need a real value reject implicit ones instead of silently parsing the
+/// stand-in `"true"` — a trailing `--peers` or a `--splicing --peers 4`
+/// typo surfaces as a clear error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OptionValue {
+    value: String,
+    implicit: bool,
+}
+
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     /// The first non-flag argument.
     pub command: String,
-    options: BTreeMap<String, String>,
+    options: BTreeMap<String, OptionValue>,
 }
 
 impl Args {
     /// Parses raw arguments.
     ///
-    /// Flags take exactly one value (`--peers 8`). Bare flags are written
-    /// `--cdn true` style or given the implicit value `"true"` when the
-    /// next token is another flag or the end of input.
+    /// Flags take exactly one value, written `--peers 8` or `--peers=8`.
+    /// Bare flags (`--cdn`) get the implicit value `"true"` when the next
+    /// token is another flag or the end of input; options that require a
+    /// value report an error in that case instead of mis-parsing. A value
+    /// that itself starts with `--` must use the `=` form.
     ///
     /// # Errors
     ///
-    /// Returns a message when no subcommand is present or an option is
-    /// repeated.
+    /// Returns a message when no subcommand is present, an option is
+    /// repeated, or an option name is empty.
     pub fn parse(raw: &[String]) -> Result<Args, String> {
         let mut args = Args::default();
         let mut iter = raw.iter().peekable();
         while let Some(token) = iter.next() {
             if let Some(key) = token.strip_prefix("--") {
-                let value = match iter.peek() {
-                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked").clone(),
-                    _ => "true".to_owned(),
+                let (key, opt) = match key.split_once('=') {
+                    Some((key, value)) => (
+                        key,
+                        OptionValue {
+                            value: value.to_owned(),
+                            implicit: false,
+                        },
+                    ),
+                    None => match iter.peek() {
+                        Some(next) if !next.starts_with("--") => (
+                            key,
+                            OptionValue {
+                                value: iter.next().expect("peeked").clone(),
+                                implicit: false,
+                            },
+                        ),
+                        _ => (
+                            key,
+                            OptionValue {
+                                value: "true".to_owned(),
+                                implicit: true,
+                            },
+                        ),
+                    },
                 };
-                if args.options.insert(key.to_owned(), value).is_some() {
+                if key.is_empty() {
+                    return Err(format!("empty option name in `{token}`"));
+                }
+                if args.options.insert(key.to_owned(), opt).is_some() {
                     return Err(format!("option --{key} given twice"));
                 }
             } else if args.command.is_empty() {
@@ -45,9 +82,29 @@ impl Args {
         Ok(args)
     }
 
-    /// The raw value of an option, if present.
+    /// The raw value of an option, if present. Bare flags read as
+    /// `"true"`; use [`Args::value`] for options that require an explicit
+    /// value.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
+        self.options.get(key).map(|opt| opt.value.as_str())
+    }
+
+    fn missing_value(key: &str) -> String {
+        format!("--{key} needs a value (use --{key}=<value> if it starts with `--`)")
+    }
+
+    /// The explicit value of an option, if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the option was passed as a bare flag (no
+    /// value, or the would-be value was another `--flag`).
+    pub fn value(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(opt) if opt.implicit => Err(Self::missing_value(key)),
+            Some(opt) => Ok(Some(opt.value.as_str())),
+        }
     }
 
     /// Whether a bare flag was passed.
@@ -59,9 +116,9 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message when the value does not parse.
+    /// Returns a message when the value is missing or does not parse.
     pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.get(key) {
+        match self.value(key)? {
             None => Ok(default),
             Some(raw) => raw
                 .parse()
@@ -73,12 +130,13 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message when any element does not parse.
+    /// Returns a message when the value is missing or any element does not
+    /// parse.
     pub fn num_list<T>(&self, key: &str, default: &[T]) -> Result<Vec<T>, String>
     where
         T: std::str::FromStr + Clone,
     {
-        match self.get(key) {
+        match self.value(key)? {
             None => Ok(default.to_vec()),
             Some(raw) => raw
                 .split(',')
@@ -142,5 +200,51 @@ mod tests {
         let args = parse(&["run", "--cdn", "--peers", "4"]).unwrap();
         assert!(args.flag("cdn"));
         assert_eq!(args.get("peers"), Some("4"));
+    }
+
+    #[test]
+    fn equals_form_is_accepted() {
+        let args = parse(&["run", "--peers=8", "--splicing=4s"]).unwrap();
+        assert_eq!(args.num("peers", 1usize).unwrap(), 8);
+        assert_eq!(args.value("splicing").unwrap(), Some("4s"));
+        // The `=` form carries values that start with `--`.
+        let args = parse(&["run", "--label=--weird"]).unwrap();
+        assert_eq!(args.value("label").unwrap(), Some("--weird"));
+    }
+
+    #[test]
+    fn trailing_valueless_option_is_an_error_when_a_value_is_needed() {
+        let args = parse(&["run", "--peers"]).unwrap();
+        let err = args.num("peers", 1usize).unwrap_err();
+        assert!(err.contains("--peers needs a value"), "{err}");
+    }
+
+    #[test]
+    fn option_swallowing_a_flag_is_an_error_when_a_value_is_needed() {
+        // `--splicing` forgot its value; the next token is another flag.
+        let args = parse(&["run", "--splicing", "--peers", "4"]).unwrap();
+        let err = args.value("splicing").unwrap_err();
+        assert!(err.contains("--splicing needs a value"), "{err}");
+        // The following flag still parsed normally.
+        assert_eq!(args.num("peers", 1usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn bare_flags_still_read_as_flags() {
+        let args = parse(&["run", "--cdn"]).unwrap();
+        assert!(args.flag("cdn"));
+        assert!(
+            args.value("cdn").is_err(),
+            "bare flag has no explicit value"
+        );
+        let args = parse(&["run", "--cdn=true"]).unwrap();
+        assert!(args.flag("cdn"));
+        assert_eq!(args.value("cdn").unwrap(), Some("true"));
+    }
+
+    #[test]
+    fn empty_option_name_is_rejected() {
+        assert!(parse(&["run", "--"]).is_err());
+        assert!(parse(&["run", "--=5"]).is_err());
     }
 }

@@ -37,6 +37,7 @@ COMMON OPTIONS (run / sweep):
     --cdn                 add a CDN node (hybrid mode)
     --cdn-only            serve from the CDN only (implies --cdn)
     --tracker             tracker-based peer discovery
+    --flow-model M        network model: rounds | fluid         [rounds]
     --metric M            sweep metric: stalls|stallsecs|startup  [stalls]
     --chart               draw the sweep as an ASCII chart
     --csv                 also print machine-readable rows
@@ -87,9 +88,14 @@ fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
     };
     let bandwidth_kb: f64 = args.num("bandwidth", 128.0)?;
     config = config.with_bandwidth(bandwidth_kb * 1_000.0);
-    config = config.with_splicing(parse_splicing(args.get("splicing").unwrap_or("4s"))?);
-    config = config.with_policy(parse_policy(args.get("policy").unwrap_or("adaptive"))?);
+    config = config.with_splicing(parse_splicing(args.value("splicing")?.unwrap_or("4s"))?);
+    config = config.with_policy(parse_policy(args.value("policy")?.unwrap_or("adaptive"))?);
     config = config.with_leechers(args.num("peers", 19usize)?);
+    config = config.with_flow_model(
+        args.value("flow-model")?
+            .unwrap_or("rounds")
+            .parse::<splicecast_core::netsim::FlowModel>()?,
+    );
     let churn: f64 = args.num("churn", 0.0)?;
     if churn > 0.0 {
         config.swarm.churn = Some(ChurnConfig::new(churn, 45.0));
@@ -175,11 +181,11 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
 /// `splicecast sweep`.
 pub fn sweep_command(args: &Args) -> Result<String, String> {
     let bandwidths = args.num_list("bandwidths", &[128.0f64, 256.0, 512.0, 768.0])?;
-    let splicing_names: Vec<String> = match args.get("splicings") {
+    let splicing_names: Vec<String> = match args.value("splicings")? {
         None => vec!["gop".into(), "2s".into(), "4s".into(), "8s".into()],
         Some(raw) => raw.split(',').map(|s| s.trim().to_owned()).collect(),
     };
-    let metric = args.get("metric").unwrap_or("stalls");
+    let metric = args.value("metric")?.unwrap_or("stalls");
     let seeds = seeds(args)?;
 
     let mut table = Table::new(
@@ -285,7 +291,7 @@ pub fn formula_command(args: &Args) -> Result<String, String> {
 
 /// `splicecast abr`.
 pub fn abr_command(args: &Args) -> Result<String, String> {
-    let algorithm = match args.get("algorithm").unwrap_or("buffer") {
+    let algorithm = match args.value("algorithm")?.unwrap_or("buffer") {
         "buffer" => AbrAlgorithm::BufferBased {
             low_secs: 4.0,
             high_secs: 16.0,

@@ -110,6 +110,13 @@ impl ExperimentConfig {
         self.swarm.n_leechers = n;
         self
     }
+
+    /// Selects the network flow model: per-RTT rounds (default) or the
+    /// event-driven fluid rate model for large swarms.
+    pub fn with_flow_model(mut self, model: splicecast_netsim::FlowModel) -> Self {
+        self.swarm.flow_model = model;
+        self
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
-use crate::runner::{run_once, RunResult};
+use crate::runner::{PreparedExperiment, RunResult};
 use crate::stats::{rounded_mean, Summary};
 
 /// Seeds used when the caller does not supply their own (three runs, like
@@ -88,8 +88,18 @@ impl AveragedMetrics {
 ///
 /// Panics when `seeds` is empty.
 pub fn run_averaged(config: &ExperimentConfig, seeds: &[u64]) -> AveragedMetrics {
+    run_prepared_averaged(&PreparedExperiment::new(config), seeds)
+}
+
+/// [`run_averaged`] over an experiment whose media is already built —
+/// the video is encoded and spliced once, not once per seed.
+///
+/// # Panics
+///
+/// Panics when `seeds` is empty.
+pub fn run_prepared_averaged(prepared: &PreparedExperiment, seeds: &[u64]) -> AveragedMetrics {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let results: Vec<RunResult> = seeds.iter().map(|&s| run_once(config, s)).collect();
+    let results: Vec<RunResult> = seeds.iter().map(|&s| prepared.run(s)).collect();
     AveragedMetrics::from_runs(&results)
 }
 
@@ -109,30 +119,85 @@ pub struct SweepPoint {
 ///
 /// Panics when `seeds` is empty or any worker run panics.
 pub fn sweep(points: &[SweepPoint], seeds: &[u64]) -> Vec<(String, AveragedMetrics)> {
-    assert!(!seeds.is_empty(), "need at least one seed");
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    sweep_with_workers(points, seeds, workers)
+}
+
+/// [`sweep`] with an explicit worker-thread count. Results are identical
+/// for any count ≥ 1 (every point is an independent deterministic run).
+///
+/// # Panics
+///
+/// Panics when `seeds` is empty, `workers` is zero, or any worker run
+/// panics (the worker's panic message is propagated).
+pub fn sweep_with_workers(
+    points: &[SweepPoint],
+    seeds: &[u64],
+    workers: usize,
+) -> Vec<(String, AveragedMetrics)> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    assert!(workers >= 1, "need at least one worker");
+
+    // Build each point's media up front, serially: points that stream the
+    // identical video with the identical splicing (a bandwidth or policy
+    // sweep) share one built segment list instead of re-encoding per point.
+    let prepared: Vec<PreparedExperiment> =
+        points
+            .iter()
+            .fold(Vec::with_capacity(points.len()), |mut done, point| {
+                let p = done
+                    .iter()
+                    .find_map(|q: &PreparedExperiment| q.try_share(&point.config))
+                    .unwrap_or_else(|| PreparedExperiment::new(&point.config));
+                done.push(p);
+                done
+            });
+
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let failed = std::sync::atomic::AtomicBool::new(false);
     let mut slots: Vec<Option<(String, AveragedMetrics)>> = Vec::new();
     slots.resize_with(points.len(), || None);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
+    let failure_msg = std::sync::Mutex::new(None::<String>);
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(points.len().max(1)) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= points.len() {
+                if i >= points.len() || failed.load(std::sync::atomic::Ordering::Relaxed) {
                     break;
                 }
-                let point = &points[i];
-                let averaged = run_averaged(&point.config, seeds);
-                let mut guard = slots_mutex.lock().expect("sweep slot lock");
-                guard[i] = Some((point.label.clone(), averaged));
+                // Clone the label before taking the slot lock: the lock
+                // guards only the brief writes into `slots`.
+                let label = points[i].label.clone();
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_prepared_averaged(&prepared[i], seeds)
+                })) {
+                    Ok(averaged) => {
+                        let mut guard = slots_mutex.lock().unwrap_or_else(|e| e.into_inner());
+                        guard[i] = Some((label, averaged));
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        *failure_msg.lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(format!("sweep point '{label}' panicked: {msg}"));
+                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
 
+    if let Some(msg) = failure_msg.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        panic!("{msg}");
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every sweep point filled"))
@@ -143,6 +208,7 @@ pub fn sweep(points: &[SweepPoint], seeds: &[u64]) -> Vec<(String, AveragedMetri
 mod tests {
     use super::*;
     use crate::config::VideoSpec;
+    use crate::runner::run_once;
     use crate::splicing::SplicingSpec;
 
     fn quick_config(bandwidth: f64) -> ExperimentConfig {
@@ -210,5 +276,65 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn empty_seeds_panic() {
         let _ = run_averaged(&quick_config(512_000.0), &[]);
+    }
+
+    #[test]
+    fn sweep_is_identical_across_worker_counts() {
+        let points: Vec<SweepPoint> = [512_000.0, 640_000.0, 768_000.0]
+            .iter()
+            .map(|&bw| SweepPoint {
+                label: format!("{bw}"),
+                config: quick_config(bw),
+            })
+            .collect();
+        let seeds = [3, 4];
+        let one = sweep_with_workers(&points, &seeds, 1);
+        let four = sweep_with_workers(&points, &seeds, 4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn sweep_propagates_worker_panics() {
+        // An invalid configuration makes the worker panic inside the run;
+        // the sweep must report it instead of dying on a poisoned lock.
+        let mut bad = quick_config(512_000.0);
+        bad.swarm.n_leechers = 0;
+        let points = vec![SweepPoint {
+            label: "bad".into(),
+            config: bad,
+        }];
+        let result = std::panic::catch_unwind(|| sweep_with_workers(&points, &[1], 2));
+        let payload = result.expect_err("sweep should propagate the panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("sweep point 'bad' panicked"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn fluid_sweep_is_identical_across_worker_counts() {
+        let make = |bw: f64| {
+            let mut cfg = quick_config(bw);
+            cfg.swarm.flow_model = splicecast_netsim::FlowModel::Fluid;
+            cfg
+        };
+        let points: Vec<SweepPoint> = [512_000.0, 640_000.0]
+            .iter()
+            .map(|&bw| SweepPoint {
+                label: format!("{bw}"),
+                config: make(bw),
+            })
+            .collect();
+        let seeds = [7];
+        let serial = sweep_with_workers(&points, &seeds, 1);
+        let parallel = sweep_with_workers(&points, &seeds, 3);
+        assert_eq!(serial, parallel);
+        for (point, (_, metrics)) in points.iter().zip(&serial) {
+            assert_eq!(*metrics, run_averaged(&point.config, &seeds));
+        }
     }
 }

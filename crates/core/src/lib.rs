@@ -46,10 +46,13 @@ mod splicing;
 mod stats;
 
 pub use config::{ExperimentConfig, VideoSpec};
-pub use experiment::{run_averaged, sweep, AveragedMetrics, SweepPoint, DEFAULT_SEEDS};
+pub use experiment::{
+    run_averaged, run_prepared_averaged, sweep, sweep_with_workers, AveragedMetrics, SweepPoint,
+    DEFAULT_SEEDS,
+};
 pub use formula::{max_cdn_segment_bytes, max_cdn_segment_secs, optimal_pool_size};
 pub use report::Table;
-pub use runner::{run_once, RunResult};
+pub use runner::{run_once, PreparedExperiment, RunResult};
 pub use splicing::SplicingSpec;
 pub use stats::{rounded_mean, Summary};
 

@@ -12,8 +12,13 @@ use crate::time::SimTime;
 pub(crate) enum Scheduled {
     /// Deliver an application-visible event to a node.
     Node { target: NodeId, event: NodeEvent },
-    /// Advance one RTT round of a TCP flow.
+    /// Advance one RTT round of a TCP flow (round model), or activate a
+    /// freshly-handshaken flow (fluid model).
     FlowRound { flow: u64 },
+    /// Complete a fluid-model flow, if its rate epoch is still current (a
+    /// rebalance that changed the flow's rate bumps the epoch, leaving the
+    /// previously-scheduled completion stale).
+    FlowDone { flow: u64, epoch: u32 },
     /// Apply a scheduled link-capacity change (bandwidth modulation).
     Capacity { dir: DirLinkId, capacity_bps: f64 },
 }

@@ -1,0 +1,269 @@
+//! The fluid flow model's rate solver.
+//!
+//! Instead of stepping every flow once per RTT ([`crate::tcp`]'s round
+//! model), the fluid model treats each active flow as a constant-rate pipe
+//! and recomputes rates only when the flow set changes (start, completion,
+//! cancellation, churn, capacity change). Rates come from **progressive
+//! filling**: the classic max–min fair water-filling over the directed
+//! links of the network, extended with a per-flow rate ceiling that folds
+//! loss and window limits in (Mathis-style), so the allocation stays close
+//! to what the round model converges to.
+//!
+//! The solver is a plain function over flat arrays — no allocation on the
+//! steady path (scratch buffers are reused between rebalances) and fully
+//! deterministic: flows are processed in slot order and all floating-point
+//! reductions are sequential.
+
+/// Relative slack below which a link is considered saturated and a flow is
+/// considered to have reached its ceiling.
+const REL_EPS: f64 = 1e-9;
+
+/// One flow as the solver sees it: the directed links it crosses (indices
+/// into the capacity array) and its intrinsic rate ceiling in bits/sec.
+#[derive(Debug, Clone)]
+pub(crate) struct FillFlow {
+    /// Offsets into [`FillProblem::path_links`].
+    pub path_start: u32,
+    pub path_len: u32,
+    /// Per-flow ceiling (Mathis / window limit), bits per second.
+    pub cap_bps: f64,
+}
+
+/// Scratch-buffer bundle for [`progressive_fill`]; reuse one instance
+/// across rebalances to keep the steady path allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct FillProblem {
+    /// Flows, in deterministic (slot) order.
+    pub flows: Vec<FillFlow>,
+    /// Concatenated directed-link indices of every flow's path.
+    pub path_links: Vec<u32>,
+    /// Capacity of each directed link, bits per second.
+    pub link_capacity: Vec<f64>,
+    /// Output: the max–min fair rate of each flow, bits per second.
+    pub rates: Vec<f64>,
+    /// Output: aggregate assigned rate per directed link, bits per second.
+    pub link_rate: Vec<f64>,
+    // Internal scratch.
+    remaining: Vec<f64>,
+    count: Vec<u32>,
+    frozen: Vec<bool>,
+    /// Directed links actually crossed by some flow (count > 0 at start);
+    /// iteration sticks to these instead of every link in the network.
+    active_links: Vec<u32>,
+}
+
+impl FillProblem {
+    /// Clears the flow set, keeping buffers. Call before re-describing the
+    /// problem for a new rebalance.
+    pub fn reset(&mut self, dir_link_count: usize) {
+        self.flows.clear();
+        self.path_links.clear();
+        self.link_capacity.clear();
+        self.link_capacity.resize(dir_link_count, 0.0);
+    }
+
+    /// Registers one flow; `path` holds directed-link indices.
+    pub fn push_flow(&mut self, path: impl IntoIterator<Item = u32>, cap_bps: f64) {
+        let start = self.path_links.len() as u32;
+        self.path_links.extend(path);
+        self.flows.push(FillFlow {
+            path_start: start,
+            path_len: self.path_links.len() as u32 - start,
+            cap_bps,
+        });
+    }
+
+    /// Runs progressive filling, writing [`FillProblem::rates`] and
+    /// [`FillProblem::link_rate`].
+    ///
+    /// Water level rises uniformly across all unfrozen flows; a flow
+    /// freezes when it hits its own ceiling or when any link on its path
+    /// saturates. Each iteration freezes at least one flow, so the loop
+    /// runs at most `flows` times at `O(flows + links)` per pass.
+    pub fn progressive_fill(&mut self) {
+        let n = self.flows.len();
+        let links = self.link_capacity.len();
+        self.rates.clear();
+        self.rates.resize(n, 0.0);
+        self.link_rate.clear();
+        self.link_rate.resize(links, 0.0);
+        self.frozen.clear();
+        self.frozen.resize(n, false);
+        self.remaining.clear();
+        self.remaining.extend_from_slice(&self.link_capacity);
+        self.count.clear();
+        self.count.resize(links, 0);
+        self.active_links.clear();
+        for i in 0..n {
+            for l in 0..self.flows[i].path_len {
+                let link = self.path_links[(self.flows[i].path_start + l) as usize];
+                if self.count[link as usize] == 0 {
+                    self.active_links.push(link);
+                }
+                self.count[link as usize] += 1;
+            }
+        }
+
+        let mut unfrozen = n;
+        let mut level = 0.0_f64;
+        while unfrozen > 0 {
+            // The next event: a link's fair share exhausts, or a flow's
+            // ceiling is reached, whichever is nearer.
+            let mut delta = f64::INFINITY;
+            for &l in &self.active_links {
+                if self.count[l as usize] > 0 {
+                    delta = delta
+                        .min(self.remaining[l as usize].max(0.0) / self.count[l as usize] as f64);
+                }
+            }
+            for i in 0..n {
+                if !self.frozen[i] {
+                    delta = delta.min((self.flows[i].cap_bps - level).max(0.0));
+                }
+            }
+            if !delta.is_finite() {
+                // No unfrozen flow crosses any counted link (cannot happen
+                // for well-formed paths); bail rather than spin.
+                delta = 0.0;
+            }
+            level += delta;
+            for &l in &self.active_links {
+                if self.count[l as usize] > 0 {
+                    self.remaining[l as usize] -= delta * self.count[l as usize] as f64;
+                }
+            }
+            // Freeze flows at their ceiling or behind a saturated link.
+            let mut froze_any = false;
+            for i in 0..n {
+                if self.frozen[i] {
+                    continue;
+                }
+                let capped = level >= self.flows[i].cap_bps * (1.0 - REL_EPS);
+                let blocked = {
+                    let f = &self.flows[i];
+                    let path = &self.path_links
+                        [f.path_start as usize..(f.path_start + f.path_len) as usize];
+                    path.iter().any(|&l| {
+                        self.remaining[l as usize]
+                            <= self.link_capacity[l as usize].max(1.0) * REL_EPS
+                    })
+                };
+                if capped || blocked {
+                    self.frozen[i] = true;
+                    self.rates[i] = level;
+                    unfrozen -= 1;
+                    froze_any = true;
+                    for off in 0..self.flows[i].path_len {
+                        let link = self.path_links[(self.flows[i].path_start + off) as usize];
+                        self.count[link as usize] -= 1;
+                    }
+                }
+            }
+            if !froze_any {
+                // Numerical stall (all deltas rounded to zero without a
+                // freeze): freeze everything at the current level.
+                for i in 0..n {
+                    if !self.frozen[i] {
+                        self.frozen[i] = true;
+                        self.rates[i] = level;
+                        unfrozen -= 1;
+                    }
+                }
+            }
+        }
+
+        for i in 0..n {
+            let f = &self.flows[i];
+            for off in 0..f.path_len {
+                let l = self.path_links[(f.path_start + off) as usize];
+                self.link_rate[l as usize] += self.rates[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(problem: &mut FillProblem) -> Vec<f64> {
+        problem.progressive_fill();
+        problem.rates.clone()
+    }
+
+    #[test]
+    fn single_flow_takes_the_bottleneck() {
+        let mut p = FillProblem::default();
+        p.reset(2);
+        p.link_capacity[0] = 1_000_000.0;
+        p.link_capacity[1] = 250_000.0;
+        p.push_flow([0u32, 1], f64::INFINITY);
+        assert_eq!(rates(&mut p), vec![250_000.0]);
+        assert_eq!(p.link_rate[1], 250_000.0);
+    }
+
+    #[test]
+    fn two_flows_split_a_shared_link_evenly() {
+        let mut p = FillProblem::default();
+        p.reset(1);
+        p.link_capacity[0] = 1_000_000.0;
+        p.push_flow([0u32], f64::INFINITY);
+        p.push_flow([0u32], f64::INFINITY);
+        let r = rates(&mut p);
+        assert!((r[0] - 500_000.0).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 500_000.0).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn capped_flow_leaves_headroom_to_the_other() {
+        let mut p = FillProblem::default();
+        p.reset(1);
+        p.link_capacity[0] = 1_000_000.0;
+        p.push_flow([0u32], 200_000.0); // loss-limited flow
+        p.push_flow([0u32], f64::INFINITY);
+        let r = rates(&mut p);
+        assert!((r[0] - 200_000.0).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 800_000.0).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn max_min_is_bottleneck_local() {
+        // Flow A crosses a thin link; flow B shares only the fat link with
+        // A and should soak up what A cannot use.
+        let mut p = FillProblem::default();
+        p.reset(2);
+        p.link_capacity[0] = 100_000.0; // thin
+        p.link_capacity[1] = 1_000_000.0; // fat, shared
+        p.push_flow([0u32, 1], f64::INFINITY);
+        p.push_flow([1u32], f64::INFINITY);
+        let r = rates(&mut p);
+        assert!((r[0] - 100_000.0).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 900_000.0).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn empty_problem_is_fine() {
+        let mut p = FillProblem::default();
+        p.reset(3);
+        p.progressive_fill();
+        assert!(p.rates.is_empty());
+        assert_eq!(p.link_rate, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn fill_is_deterministic() {
+        let build = || {
+            let mut p = FillProblem::default();
+            p.reset(4);
+            for l in 0..4 {
+                p.link_capacity[l] = 1_000_000.0 / (l + 1) as f64;
+            }
+            for i in 0..16u32 {
+                p.push_flow([i % 4, (i + 1) % 4], 300_000.0 + 10_000.0 * i as f64);
+            }
+            p.progressive_fill();
+            p.rates
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -38,6 +38,7 @@
 mod error;
 mod event;
 mod fasthash;
+mod fluid;
 mod id;
 mod link;
 mod node;
@@ -54,7 +55,7 @@ pub use id::{DirLinkId, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkSpec};
 pub use node::{NodeBehavior, NodeEvent, NullBehavior};
 pub use sim::{Ctx, SimStats, Simulator};
-pub use tcp::TcpConfig;
+pub use tcp::{FlowModel, TcpConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{dumbbell, full_mesh, star, Network, PathProperties, Star};
 pub use trace::{Trace, TraceRecord, TraceSummary};

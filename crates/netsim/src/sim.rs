@@ -8,10 +8,11 @@ use rand::SeedableRng;
 
 use crate::error::NetError;
 use crate::event::{EventQueue, Scheduled};
+use crate::fluid::FillProblem;
 use crate::id::{DirLinkId, FlowId, NodeId};
 use crate::node::{NodeBehavior, NodeEvent};
 use crate::rng::geometric_failures;
-use crate::tcp::{Flow, FlowTable, LinkUsage, RoundOutcome, TcpConfig};
+use crate::tcp::{Flow, FlowModel, FlowTable, LinkUsage, RoundOutcome, TcpConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Network;
 use crate::trace::{Trace, TraceRecord};
@@ -60,13 +61,56 @@ pub(crate) struct World {
     /// Scratch for `step_flow`: per-link decayed rates, computed once per
     /// round and reused for both the utilization read and the usage update.
     scratch_rates: Vec<f64>,
+    /// Fluid model: the rate solver and its reusable buffers. Its
+    /// `link_rate` output doubles as the utilization source for
+    /// [`Ctx::path_utilization`] under the fluid model.
+    fluid: FillProblem,
+    /// Fluid model: active-flow ids of the last rebalance (scratch).
+    fluid_ids: Vec<FlowId>,
+    /// Fluid model: per-flow effective loss of the last rebalance (scratch).
+    fluid_eff: Vec<f64>,
+}
+
+/// The fluid model's per-flow rate ceiling: the Mathis loss-limited rate
+/// under the same shaped/overload effective loss the round model applies,
+/// bounded by the receive-window limit. Returns `(ceiling_bps, eff_loss)`.
+fn fluid_ceiling(
+    tcp: &TcpConfig,
+    rtt_secs: f64,
+    loss: f64,
+    utilization: f64,
+    pressure: f64,
+) -> (f64, f64) {
+    let floor = tcp.loss_utilization_floor;
+    let shaped = loss * (floor + (1.0 - floor) * utilization);
+    let overload = (tcp.overload_loss_coeff
+        * (pressure - tcp.overload_pressure_threshold).max(0.0))
+    .min(tcp.overload_loss_max);
+    let eff = 1.0 - (1.0 - shaped) * (1.0 - overload);
+    let mss_bps = tcp.mss as f64 * 8.0 / rtt_secs;
+    let window_bps = tcp.max_cwnd * mss_bps;
+    let mathis_bps = if eff > 1e-12 {
+        mss_bps * (1.5 / eff).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    (mathis_bps.min(window_bps), eff)
 }
 
 impl World {
     fn fail_flow(&mut self, id: FlowId, notify: &[NodeId]) {
+        let fluid = self.tcp.flow_model == FlowModel::Fluid;
+        if fluid {
+            // Fold progress to now so the failure notice reports accurate
+            // delivered bytes, then (after removal) re-solve rates.
+            self.fluid_fold(id);
+        }
         let Some(flow) = self.flows.remove(id) else {
             return;
         };
+        if fluid {
+            self.fluid_rebalance();
+        }
         self.stats.flows_failed += 1;
         if let Some(trace) = &mut self.trace {
             trace.push(TraceRecord::FlowFailed {
@@ -98,6 +142,22 @@ impl World {
     /// The highest recent utilization (estimated send rate over capacity)
     /// along a path.
     fn path_utilization(&self, path: &[crate::id::DirLinkId]) -> f64 {
+        if self.tcp.flow_model == FlowModel::Fluid {
+            // Fluid mode keeps exact per-link allocated rates, so the
+            // utilization is instantaneous rather than decay-averaged.
+            let mut util: f64 = 0.0;
+            for dir in path {
+                let cap = self.net.dir_spec(*dir).capacity_bps;
+                let rate = self
+                    .fluid
+                    .link_rate
+                    .get(dir.index())
+                    .copied()
+                    .unwrap_or(0.0);
+                util = util.max(rate / cap);
+            }
+            return util;
+        }
         let now = self.now;
         let tau = self.tcp.utilization_tau_secs;
         let mut util: f64 = 0.0;
@@ -110,6 +170,12 @@ impl World {
     }
 
     fn step_flow(&mut self, raw: u64) {
+        if self.tcp.flow_model == FlowModel::Fluid {
+            // Under the fluid model the first (and only) FlowRound event
+            // marks the end of the handshake: the flow joins the solver.
+            self.fluid_activate(raw);
+            return;
+        }
         let id = FlowId(raw);
         // A stale round event for a flow that was cancelled or failed.
         let Some(flow) = self.flows.get(id) else {
@@ -218,6 +284,200 @@ impl World {
                 );
             }
         }
+    }
+
+    /// Fluid model: a flow's handshake finished — join the rate solver.
+    fn fluid_activate(&mut self, raw: u64) {
+        let id = FlowId(raw);
+        let now = self.now;
+        // The flow may have been cancelled before the handshake completed.
+        let Some(f) = self.flows.get_mut(id) else {
+            return;
+        };
+        debug_assert!(!f.fluid.active, "flow activated twice");
+        f.fluid.active = true;
+        f.fluid.rate_since = now;
+        self.fluid_rebalance();
+    }
+
+    /// Fluid model: integrates an active flow's progress up to now and
+    /// brings the wire/link byte counters in line (goodput scaled by the
+    /// epoch's effective loss, modelling retransmission waste).
+    fn fluid_fold(&mut self, id: FlowId) {
+        let now = self.now;
+        let Some(f) = self.flows.get_mut(id) else {
+            return;
+        };
+        if !f.fluid.active {
+            return;
+        }
+        let dt = now.saturating_since(f.fluid.rate_since).as_secs_f64();
+        if dt > 0.0 && f.fluid.rate_bps > 0.0 {
+            f.fluid.delivered =
+                (f.fluid.delivered + f.fluid.rate_bps * dt / 8.0).min(f.total as f64);
+        }
+        f.delivered = f.fluid.delivered as u64;
+        f.fluid.rate_since = now;
+        let eff = f.fluid.eff_loss.min(0.95);
+        let wire_total = (f.fluid.delivered / (1.0 - eff)) as u64;
+        let delta = wire_total.saturating_sub(f.fluid.wire_emitted);
+        if delta > 0 {
+            f.fluid.wire_emitted = wire_total;
+            self.stats.wire_bytes_sent += delta;
+            for dir in &f.path {
+                self.link_bytes[dir.index()] += delta;
+            }
+        }
+    }
+
+    /// Fluid model: a flow's scheduled completion instant arrived. Ignored
+    /// when stale (the flow is gone, still handshaking, or its rate changed
+    /// since the event was scheduled).
+    fn fluid_done(&mut self, raw: u64, epoch: u32) {
+        let id = FlowId(raw);
+        let Some(f) = self.flows.get(id) else {
+            return;
+        };
+        if !f.fluid.active || f.fluid.epoch != epoch {
+            return;
+        }
+        // The event time is the analytic completion instant; snap the
+        // integrated progress to exactly done before the final fold so the
+        // last few bits of float error cannot leave the flow short.
+        let f = self.flows.get_mut(id).expect("flow just resolved");
+        f.fluid.delivered = f.total as f64;
+        self.fluid_fold(id);
+        let f = self.flows.get(id).expect("flow just resolved");
+        let (src, dst, tag, total, started, rtt) = (f.src, f.dst, f.tag, f.total, f.started, f.rtt);
+        self.flows.remove(id);
+        self.stats.flows_completed += 1;
+        self.stats.payload_bytes_delivered += total;
+        // As in the round model: the receiver sees the last data half an
+        // RTT after the sender finishes; the sender sees the final ack a
+        // full RTT after.
+        let recv_at = self.now + rtt / 2;
+        let ack_at = self.now + rtt;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceRecord::FlowCompleted {
+                at: recv_at,
+                flow: id,
+            });
+        }
+        self.queue.push(
+            recv_at,
+            Scheduled::Node {
+                target: dst,
+                event: NodeEvent::TransferComplete {
+                    flow: id,
+                    from: src,
+                    tag,
+                    bytes: total,
+                    started,
+                },
+            },
+        );
+        self.queue.push(
+            ack_at,
+            Scheduled::Node {
+                target: src,
+                event: NodeEvent::UploadComplete {
+                    flow: id,
+                    to: dst,
+                    tag,
+                },
+            },
+        );
+        self.fluid_rebalance();
+    }
+
+    /// Fluid model: re-solves max–min fair rates for every active flow.
+    ///
+    /// Called on every flow-set change (activation, completion, failure,
+    /// churn) and on capacity changes. Two solver passes: the first assumes
+    /// saturated links when shaping loss (utilization 1), the second
+    /// refines the ceilings with the utilization the first pass implies —
+    /// mirroring the round model's utilization-shaped loss without its
+    /// per-round feedback loop. Flows whose rate actually changed get a
+    /// bumped epoch and a freshly scheduled [`Scheduled::FlowDone`]; the
+    /// rest keep their existing completion event.
+    fn fluid_rebalance(&mut self) {
+        let tcp = self.tcp;
+        let now = self.now;
+        let mut ids = std::mem::take(&mut self.fluid_ids);
+        self.flows.collect_fluid_active(&mut ids);
+        let dir_links = self.link_bytes.len();
+        self.fluid.reset(dir_links);
+        for l in 0..dir_links {
+            self.fluid.link_capacity[l] = self.net.dir_spec(DirLinkId(l as u32)).capacity_bps;
+        }
+        self.fluid_eff.clear();
+        for &id in &ids {
+            let f = self.flows.get(id).expect("active flow id");
+            let rtt_secs = f.rtt.as_secs_f64();
+            let mut pressure = 0.0_f64;
+            for dir in &f.path {
+                let cap = self.net.dir_spec(*dir).capacity_bps;
+                let competing = self.flows.load(*dir).saturating_sub(1) as f64;
+                let bdp_bytes = cap / 8.0 * rtt_secs;
+                pressure = pressure.max(competing * tcp.min_cwnd * tcp.mss as f64 / bdp_bytes);
+            }
+            let (cap, eff) = fluid_ceiling(&tcp, rtt_secs, f.loss, 1.0, pressure);
+            self.fluid
+                .push_flow(f.path.iter().map(|d| d.index() as u32), cap);
+            self.fluid_eff.push(eff);
+        }
+        self.fluid.progressive_fill();
+        // Second pass: refine ceilings with the implied utilization.
+        for (i, &id) in ids.iter().enumerate() {
+            let f = self.flows.get(id).expect("active flow id");
+            let rtt_secs = f.rtt.as_secs_f64();
+            let mut utilization = 0.0_f64;
+            let mut pressure = 0.0_f64;
+            for dir in &f.path {
+                let cap = self.net.dir_spec(*dir).capacity_bps;
+                utilization = utilization.max(self.fluid.link_rate[dir.index()] / cap);
+                let competing = self.flows.load(*dir).saturating_sub(1) as f64;
+                let bdp_bytes = cap / 8.0 * rtt_secs;
+                pressure = pressure.max(competing * tcp.min_cwnd * tcp.mss as f64 / bdp_bytes);
+            }
+            let (cap, eff) = fluid_ceiling(&tcp, rtt_secs, f.loss, utilization.min(1.0), pressure);
+            self.fluid.flows[i].cap_bps = cap;
+            self.fluid_eff[i] = eff;
+        }
+        self.fluid.progressive_fill();
+        for (i, &id) in ids.iter().enumerate() {
+            self.fluid_fold(id);
+            let eff = self.fluid_eff[i];
+            let f = self.flows.get_mut(id).expect("active flow id");
+            // Like the round model's one-packet-per-RTT minimum budget, a
+            // flow never stalls entirely, even on an oversubscribed link.
+            let rate_floor = tcp.mss as f64 * 8.0 / f.rtt.as_secs_f64();
+            let rate = self.fluid.rates[i].max(rate_floor);
+            f.fluid.eff_loss = eff;
+            // Reschedule only on a material rate change. Utilization-shaped
+            // ceilings wobble a little on every rebalance; rescheduling a
+            // FlowDone for each wobble would push O(flows) fresh events per
+            // flow-set change and drown the queue in stale ones. A flow that
+            // keeps its rate keeps its already-scheduled completion, so the
+            // bound on the completion-time error is the epsilon itself.
+            const FLUID_RATE_EPS: f64 = 1e-3;
+            let changed =
+                (rate - f.fluid.rate_bps).abs() > rate.max(f.fluid.rate_bps) * FLUID_RATE_EPS;
+            if changed {
+                f.fluid.rate_bps = rate;
+                f.fluid.epoch += 1;
+                let remaining = (f.total as f64 - f.fluid.delivered).max(0.0);
+                let done_at = now + SimDuration::from_secs_f64(remaining * 8.0 / rate);
+                self.queue.push(
+                    done_at,
+                    Scheduled::FlowDone {
+                        flow: id.raw(),
+                        epoch: f.fluid.epoch,
+                    },
+                );
+            }
+        }
+        self.fluid_ids = ids;
     }
 }
 
@@ -401,6 +661,7 @@ impl Ctx<'_> {
             ssthresh: w.tcp.initial_ssthresh,
             tag,
             started: w.now,
+            fluid: Default::default(),
         };
         let id = w.flows.insert(flow);
         w.stats.flows_started += 1;
@@ -498,7 +759,22 @@ impl Ctx<'_> {
     /// Bytes already delivered for an in-flight transfer, if it is still
     /// active. Useful for progress-aware policies.
     pub fn transfer_progress(&self, flow: FlowId) -> Option<(u64, u64)> {
-        self.world.flows.get(flow).map(|f| (f.delivered, f.total))
+        self.world.flows.get(flow).map(|f| {
+            if f.fluid.active && f.fluid.rate_bps > 0.0 {
+                // Fluid flows advance analytically between rebalances;
+                // integrate virtually without mutating the flow.
+                let dt = self
+                    .world
+                    .now
+                    .saturating_since(f.fluid.rate_since)
+                    .as_secs_f64();
+                let delivered =
+                    (f.fluid.delivered + f.fluid.rate_bps * dt / 8.0).min(f.total as f64);
+                (delivered as u64, f.total)
+            } else {
+                (f.delivered, f.total)
+            }
+        })
     }
 
     /// Number of transfers this node is currently sending or receiving.
@@ -568,6 +844,9 @@ impl Simulator {
                 link_bytes: vec![0; dir_links],
                 msg_order: FastHashMap::default(),
                 scratch_rates: Vec::new(),
+                fluid: FillProblem::default(),
+                fluid_ids: Vec::new(),
+                fluid_eff: Vec::new(),
             },
             nodes: Vec::new(),
             started: false,
@@ -688,8 +967,12 @@ impl Simulator {
             match what {
                 Scheduled::Node { target, event } => self.dispatch(target, event),
                 Scheduled::FlowRound { flow } => self.world.step_flow(flow),
+                Scheduled::FlowDone { flow, epoch } => self.world.fluid_done(flow, epoch),
                 Scheduled::Capacity { dir, capacity_bps } => {
                     self.world.net.set_capacity(dir, capacity_bps);
+                    if self.world.tcp.flow_model == FlowModel::Fluid {
+                        self.world.fluid_rebalance();
+                    }
                 }
             }
         }
@@ -1146,5 +1429,276 @@ mod tests {
         sim.add_node(Box::new(Z { to: s.leaves[1] }));
         sim.add_node(Box::new(crate::node::NullBehavior));
         sim.run_until_idle(SimTime::from_secs_f64(1.0));
+    }
+
+    fn fluid_tcp() -> TcpConfig {
+        TcpConfig {
+            flow_model: FlowModel::Fluid,
+            ..TcpConfig::default()
+        }
+    }
+
+    #[test]
+    fn fluid_bulk_transfer_delivers_all_bytes() {
+        let s = two_leaf_star(0.0);
+        let done = Rc::new(RefCell::new(None));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.set_tcp_config(fluid_tcp());
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Sender {
+            to: s.leaves[1],
+            bytes: 500_000,
+        }));
+        sim.add_node(Box::new(Receiver { done: done.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        let (bytes, at) = done.borrow().expect("transfer should complete");
+        assert_eq!(bytes, 500_000);
+        // 500 kB at a 125 kB/s bottleneck is 4 s of serialisation plus the
+        // handshake — the fluid model should land in the same ballpark as
+        // the round model.
+        assert!(at >= 4.0, "completed suspiciously fast at {at}");
+        assert!(at < 10.0, "completed suspiciously slow at {at}");
+        assert_eq!(sim.active_flow_count(), 0);
+        let stats = sim.stats();
+        assert_eq!(stats.flows_completed, 1);
+        assert_eq!(stats.payload_bytes_delivered, 500_000);
+        assert!(stats.wire_bytes_sent >= 500_000, "{stats:?}");
+    }
+
+    #[test]
+    fn fluid_matches_round_model_on_lossy_link() {
+        // Same transfer under both models: completion times must agree
+        // within a modest tolerance (the fluid model folds the round
+        // model's window dynamics into a steady Mathis rate).
+        let run = |model: FlowModel| -> f64 {
+            let s = two_leaf_star(0.02);
+            let done = Rc::new(RefCell::new(None));
+            let mut sim = Simulator::new(s.network, 9);
+            sim.set_tcp_config(TcpConfig {
+                flow_model: model,
+                ..TcpConfig::default()
+            });
+            sim.add_node(Box::new(crate::node::NullBehavior));
+            sim.add_node(Box::new(Sender {
+                to: s.leaves[1],
+                bytes: 2_000_000,
+            }));
+            sim.add_node(Box::new(Receiver { done: done.clone() }));
+            sim.run_until_idle(SimTime::from_secs_f64(600.0));
+            let (bytes, at) = done.borrow().expect("transfer should complete");
+            assert_eq!(bytes, 2_000_000);
+            at
+        };
+        let rounds = run(FlowModel::Rounds);
+        let fluid = run(FlowModel::Fluid);
+        let ratio = fluid / rounds;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "fluid {fluid:.1}s vs rounds {rounds:.1}s (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn fluid_two_flows_share_the_uplink() {
+        // Two simultaneous downloads from the same sender: each should see
+        // roughly half the uplink, so they finish close together and take
+        // about twice the solo time.
+        struct DoubleSender {
+            to: [NodeId; 2],
+        }
+        impl NodeBehavior for DoubleSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.start_transfer(self.to[0], 250_000, 7).unwrap();
+                ctx.start_transfer(self.to[1], 250_000, 7).unwrap();
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+        }
+        let spec = LinkSpec::from_bytes_per_sec(125_000.0, SimDuration::from_millis(25), 0.0);
+        let s = star(&[spec; 3]);
+        let d1 = Rc::new(RefCell::new(None));
+        let d2 = Rc::new(RefCell::new(None));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.set_tcp_config(fluid_tcp());
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(DoubleSender {
+            to: [s.leaves[1], s.leaves[2]],
+        }));
+        sim.add_node(Box::new(Receiver { done: d1.clone() }));
+        sim.add_node(Box::new(Receiver { done: d2.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        let (_, t1) = d1.borrow().expect("first transfer completes");
+        let (_, t2) = d2.borrow().expect("second transfer completes");
+        // 500 kB total through a 125 kB/s uplink: at least 4 s.
+        assert!(t1 >= 3.9 && t2 >= 3.9, "{t1} {t2}");
+        assert!(
+            (t1 - t2).abs() < 0.5,
+            "fair shares finish together: {t1} {t2}"
+        );
+    }
+
+    #[test]
+    fn fluid_cancel_invalidates_scheduled_completion() {
+        // Cancel a fluid transfer before its FlowDone fires: the stale
+        // event must be ignored and the receiver must see a failure, not a
+        // completion.
+        struct CancellingSender {
+            to: NodeId,
+        }
+        impl NodeBehavior for CancellingSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let flow = ctx.start_transfer(self.to, 1_000_000, 0).unwrap();
+                ctx.set_timer(SimDuration::from_secs(2), flow.raw());
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Timer { token } = event {
+                    ctx.cancel_transfer(FlowId(token));
+                }
+            }
+        }
+        #[derive(Default)]
+        struct FailWatcher {
+            failed: Rc<RefCell<bool>>,
+            completed: Rc<RefCell<bool>>,
+        }
+        impl NodeBehavior for FailWatcher {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: NodeEvent) {
+                match event {
+                    NodeEvent::TransferFailed { .. } => *self.failed.borrow_mut() = true,
+                    NodeEvent::TransferComplete { .. } => *self.completed.borrow_mut() = true,
+                    _ => {}
+                }
+            }
+        }
+        let s = two_leaf_star(0.0);
+        let failed = Rc::new(RefCell::new(false));
+        let completed = Rc::new(RefCell::new(false));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.set_tcp_config(fluid_tcp());
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(CancellingSender { to: s.leaves[1] }));
+        sim.add_node(Box::new(FailWatcher {
+            failed: failed.clone(),
+            completed: completed.clone(),
+        }));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        assert!(*failed.borrow(), "receiver should see the failure");
+        assert!(!*completed.borrow(), "stale FlowDone must not complete");
+        assert_eq!(sim.active_flow_count(), 0);
+        // Partial progress still hit the wire.
+        let stats = sim.stats();
+        assert_eq!(stats.flows_failed, 1);
+        assert!(stats.wire_bytes_sent > 0, "{stats:?}");
+        assert!(stats.wire_bytes_sent < 1_000_000, "{stats:?}");
+    }
+
+    #[test]
+    fn fluid_churn_rebalances_survivors() {
+        // Three flows share the hub; one endpoint goes offline mid-run and
+        // the survivors' rates must rise (they finish earlier than 3-way
+        // sharing would allow).
+        struct TriSender {
+            to: [NodeId; 3],
+        }
+        impl NodeBehavior for TriSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for to in &self.to {
+                    ctx.start_transfer(*to, 400_000, 7).unwrap();
+                }
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: NodeEvent) {}
+        }
+        struct EarlyQuitter;
+        impl NodeBehavior for EarlyQuitter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Timer { .. } = event {
+                    ctx.go_offline();
+                }
+            }
+        }
+        let spec = LinkSpec::from_bytes_per_sec(125_000.0, SimDuration::from_millis(25), 0.0);
+        let s = star(&[spec; 4]);
+        let d1 = Rc::new(RefCell::new(None));
+        let d2 = Rc::new(RefCell::new(None));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.set_tcp_config(fluid_tcp());
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(TriSender {
+            to: [s.leaves[1], s.leaves[2], s.leaves[3]],
+        }));
+        sim.add_node(Box::new(Receiver { done: d1.clone() }));
+        sim.add_node(Box::new(Receiver { done: d2.clone() }));
+        sim.add_node(Box::new(EarlyQuitter));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        let (_, t1) = d1.borrow().expect("first survivor completes");
+        let (_, t2) = d2.borrow().expect("second survivor completes");
+        // Full 3-way sharing would put each survivor past 9.6 s; dropping
+        // the third flow at t=1 s must pull them clearly below that.
+        assert!(t1 < 9.0 && t2 < 9.0, "{t1} {t2}");
+        assert_eq!(sim.stats().flows_failed, 1);
+        assert_eq!(sim.stats().flows_completed, 2);
+    }
+
+    #[test]
+    fn fluid_runs_are_deterministic() {
+        let run = || {
+            let s = two_leaf_star(0.01);
+            let done = Rc::new(RefCell::new(None));
+            let mut sim = Simulator::new(s.network, 3);
+            sim.set_tcp_config(fluid_tcp());
+            sim.add_node(Box::new(crate::node::NullBehavior));
+            sim.add_node(Box::new(Sender {
+                to: s.leaves[1],
+                bytes: 750_000,
+            }));
+            sim.add_node(Box::new(Receiver { done: done.clone() }));
+            sim.run_until_idle(SimTime::from_secs_f64(120.0));
+            let at = done.borrow().expect("completes").1;
+            (at, sim.stats().wire_bytes_sent)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fluid_progress_tracks_between_rebalances() {
+        struct ProgressProbe {
+            to: NodeId,
+            seen: Rc<RefCell<Vec<u64>>>,
+        }
+        impl NodeBehavior for ProgressProbe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let flow = ctx.start_transfer(self.to, 500_000, 0).unwrap();
+                for i in 1..=3u64 {
+                    ctx.set_timer(SimDuration::from_secs(i), flow.raw());
+                }
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+                if let NodeEvent::Timer { token } = event {
+                    if let Some((done, _)) = ctx.transfer_progress(FlowId(token)) {
+                        self.seen.borrow_mut().push(done);
+                    }
+                }
+            }
+        }
+        let s = two_leaf_star(0.0);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(s.network, 1);
+        sim.set_tcp_config(fluid_tcp());
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(ProgressProbe {
+            to: s.leaves[1],
+            seen: seen.clone(),
+        }));
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 3, "{seen:?}");
+        // Progress advances between probes even with no rebalance events.
+        assert!(
+            seen[0] > 0 && seen[0] < seen[1] && seen[1] < seen[2],
+            "{seen:?}"
+        );
     }
 }

@@ -28,6 +28,38 @@ use crate::id::{DirLinkId, FlowId, NodeId};
 use crate::rng::binomial;
 use crate::time::{SimDuration, SimTime};
 
+/// Which bulk-transfer model the simulator advances flows with.
+///
+/// * [`FlowModel::Rounds`] steps every flow once per RTT — faithful to the
+///   paper's window dynamics (handshake, slow start, AIMD, Bernoulli loss)
+///   but `O(flows × rounds)` events, which caps feasible swarm sizes.
+/// * [`FlowModel::Fluid`] treats each flow as a constant-rate pipe: max–min
+///   fair shares are recomputed only when the flow set changes and exactly
+///   one completion event is scheduled per rate epoch — `O(flow-set
+///   changes)` events, making 100×-larger swarms tractable. Loss and
+///   window limits are folded in as a Mathis-style rate ceiling so
+///   aggregate metrics stay close to the round model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FlowModel {
+    /// Per-RTT window rounds (the default; bit-identical to historic runs).
+    #[default]
+    Rounds,
+    /// Event-driven fluid rates for large-swarm experiments.
+    Fluid,
+}
+
+impl std::str::FromStr for FlowModel {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "rounds" => Ok(FlowModel::Rounds),
+            "fluid" => Ok(FlowModel::Fluid),
+            other => Err(format!("unknown flow model `{other}` (rounds | fluid)")),
+        }
+    }
+}
+
 /// Tunables of the TCP model.
 ///
 /// The defaults follow modern TCP practice (MSS 1460, IW10 per RFC 6928).
@@ -73,6 +105,9 @@ pub struct TcpConfig {
     pub overload_pressure_threshold: f64,
     /// Ceiling on the overload-induced extra loss.
     pub overload_loss_max: f64,
+    /// How bulk transfers are advanced (per-RTT rounds or fluid rates).
+    #[serde(default)]
+    pub flow_model: FlowModel,
 }
 
 impl Default for TcpConfig {
@@ -91,6 +126,7 @@ impl Default for TcpConfig {
             overload_loss_coeff: 0.9,
             overload_pressure_threshold: 0.6,
             overload_loss_max: 0.85,
+            flow_model: FlowModel::Rounds,
         }
     }
 }
@@ -121,6 +157,34 @@ pub(crate) struct Flow {
     pub tag: u64,
     /// When the transfer was requested.
     pub started: SimTime,
+    /// Fluid-model bookkeeping (inert under the round model).
+    pub fluid: FluidFlowState,
+}
+
+/// Per-flow state of the fluid model. Zero/default until the flow's
+/// handshake completes and it joins the rate solver.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FluidFlowState {
+    /// The flow has finished its handshake and participates in rate
+    /// solving. Always false under the round model.
+    pub active: bool,
+    /// Goodput rate assigned by the last rebalance, bits/sec.
+    pub rate_bps: f64,
+    /// When `rate_bps` took effect (progress is integrated lazily from
+    /// this instant).
+    pub rate_since: SimTime,
+    /// Precise bytes delivered (kept in f64 so repeated epoch folds do not
+    /// accumulate rounding error); `Flow::delivered` is its floor.
+    pub delivered: f64,
+    /// Effective loss of the current epoch, used to account retransmission
+    /// waste in the wire-byte counters.
+    pub eff_loss: f64,
+    /// Wire bytes already credited to the stats/link counters.
+    pub wire_emitted: u64,
+    /// Bumped whenever the assigned rate changes; a
+    /// [`crate::event::Scheduled::FlowDone`] carrying an older epoch is
+    /// stale and ignored.
+    pub epoch: u32,
 }
 
 /// What a round of the flow produced.
@@ -323,6 +387,21 @@ impl FlowTable {
         self.link_load[dir.index()]
     }
 
+    /// Collects the ids of all flows the fluid solver should rate (active
+    /// flows past their handshake), in slot order — deterministic for a
+    /// given event history. Clears and fills `out` to keep the rebalance
+    /// path allocation-free.
+    pub fn collect_fluid_active(&self, out: &mut Vec<FlowId>) {
+        out.clear();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Some(flow) = &slot.flow {
+                if flow.fluid.active {
+                    out.push(Self::pack(idx as u32, slot.gen));
+                }
+            }
+        }
+    }
+
     /// Ids of all flows that have `node` as an endpoint, in insertion order.
     pub fn flows_touching(&self, node: NodeId) -> &[FlowId] {
         self.by_node
@@ -356,6 +435,7 @@ mod tests {
             ssthresh: 64.0,
             tag: 0,
             started: SimTime::ZERO,
+            fluid: FluidFlowState::default(),
         }
     }
 

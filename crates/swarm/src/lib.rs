@@ -58,5 +58,5 @@ pub use policy::{
 };
 pub use scheduler::{next_wanted, pick_source, SourceCandidate};
 pub use seeder::{info_hash_of, SeederNode};
-pub use swarm::{run_swarm, DiscoveryMode, SwarmConfig};
+pub use swarm::{run_swarm, run_swarm_shared, DiscoveryMode, SwarmConfig};
 pub use upload::UploadSide;

@@ -9,7 +9,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use splicecast_media::SegmentList;
-use splicecast_netsim::{star, LinkSpec, NullBehavior, SimDuration, SimTime, Simulator};
+use splicecast_netsim::{
+    star, FlowModel, LinkSpec, NullBehavior, SimDuration, SimTime, Simulator, TcpConfig,
+};
 
 use crate::cdn::CdnConfig;
 use crate::churn::ChurnConfig;
@@ -84,6 +86,11 @@ pub struct SwarmConfig {
     /// the variable-bandwidth environment of the paper's future work
     /// (§VIII). The seeder and CDN links are unaffected.
     pub bandwidth_schedule: Vec<(f64, f64)>,
+    /// Which network model drives the transfers: per-RTT rounds (the
+    /// default, full window dynamics) or the event-driven fluid rate model
+    /// (scales to hundreds of leechers).
+    #[serde(default)]
+    pub flow_model: FlowModel,
     /// Hard cap on simulated time, seconds.
     pub max_sim_secs: f64,
 }
@@ -112,6 +119,7 @@ impl Default for SwarmConfig {
             w_estimate: crate::policy::WEstimate::MeanSegment,
             discovery: DiscoveryMode::Full,
             bandwidth_schedule: Vec::new(),
+            flow_model: FlowModel::Rounds,
             max_sim_secs: 1_800.0,
         }
     }
@@ -192,11 +200,23 @@ impl SwarmConfig {
 /// println!("mean stalls: {}", metrics.mean_stalls());
 /// ```
 pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> SwarmMetrics {
-    config.validate();
-    assert!(!segments.is_empty(), "cannot stream an empty segment list");
     // One deep copy for the whole swarm: every node shares the same
     // immutable segment metadata through the `Arc`.
-    let segments = std::sync::Arc::new(segments.clone());
+    run_swarm_shared(&std::sync::Arc::new(segments.clone()), config, seed)
+}
+
+/// Like [`run_swarm`], but the caller supplies the segment list already
+/// wrapped in an [`Arc`](std::sync::Arc), so repeated runs over the same
+/// media (averaging seeds, sweep points) share one allocation instead of
+/// deep-copying per run.
+pub fn run_swarm_shared(
+    segments: &std::sync::Arc<SegmentList>,
+    config: &SwarmConfig,
+    seed: u64,
+) -> SwarmMetrics {
+    config.validate();
+    assert!(!segments.is_empty(), "cannot stream an empty segment list");
+    let segments = std::sync::Arc::clone(segments);
 
     let per_link_loss = config.per_link_loss();
     let peer_link_latency = SimDuration::from_secs_f64(config.peer_one_way_latency_secs / 2.0);
@@ -256,6 +276,10 @@ pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> Swa
 
     let sink = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Simulator::new(star.network, seed);
+    sim.set_tcp_config(TcpConfig {
+        flow_model: config.flow_model,
+        ..TcpConfig::default()
+    });
     sim.add_node(Box::new(NullBehavior)); // the hub
     sim.add_node(Box::new(SeederNode::new(
         segments.clone(),
@@ -396,6 +420,42 @@ mod tests {
             "offload ratio {} suspiciously low",
             metrics.peer_offload_ratio()
         );
+    }
+
+    #[test]
+    fn fluid_swarm_streams_to_completion() {
+        let config = SwarmConfig {
+            flow_model: FlowModel::Fluid,
+            ..tiny_config()
+        };
+        let metrics = run_swarm(&tiny_segments(), &config, 7);
+        assert_eq!(metrics.reports.len(), 3);
+        assert_eq!(metrics.completion_rate(), 1.0);
+        for report in &metrics.reports {
+            assert!(report.qoe.startup_secs.is_some());
+            assert!(report.bytes_downloaded > 0);
+        }
+    }
+
+    #[test]
+    fn fluid_runs_are_deterministic() {
+        let segments = tiny_segments();
+        let config = SwarmConfig {
+            flow_model: FlowModel::Fluid,
+            ..tiny_config()
+        };
+        let a = run_swarm(&segments, &config, 11);
+        let b = run_swarm(&segments, &config, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_segments_match_owned_segments() {
+        let segments = tiny_segments();
+        let config = tiny_config();
+        let owned = run_swarm(&segments, &config, 5);
+        let shared = run_swarm_shared(&std::sync::Arc::new(segments), &config, 5);
+        assert_eq!(owned, shared);
     }
 
     #[test]

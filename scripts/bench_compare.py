@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Compare current perf_microbench numbers against the committed baseline.
+"""Compare current benchmark numbers against a committed baseline.
 
-Runs `cargo bench --offline --bench perf_microbench` (or reads a saved log
-with --log), parses the `bench: <name> ... <median> ns/iter` lines, and
-prints a per-benchmark speedup table against BENCH_hotpath.json. Exits
-non-zero when a benchmark listed in the baseline's `speedup_gate` falls
-short of the required speedup.
+Runs the baseline's `command` (default: `cargo bench --offline --bench
+perf_microbench`), parses the `bench: <name> ... <median> ns/iter` lines,
+and prints a per-benchmark speedup table against the baseline JSON. Two
+kinds of gate can be declared in the baseline file:
+
+- `speedup_gate`: {"benches": [...], "min_speedup": X} — each listed
+  benchmark's current median must be at least X times faster than the
+  committed baseline median (regression gate).
+- `ratio_gate`: {"pairs": [[slow, fast], ...], "min_ratio": X} — within
+  the *current* run, the `slow` benchmark must be at least X times the
+  `fast` one. This gates a relative property (e.g. the fluid flow model
+  being >= 10x faster than the round model at scale) independently of the
+  machine the benches run on.
 
 Usage:
-    python3 scripts/bench_compare.py                # run benches and compare
+    python3 scripts/bench_compare.py                # hot-path baseline
+    python3 scripts/bench_compare.py --baseline BENCH_scale.json
     python3 scripts/bench_compare.py --log out.txt  # compare a saved log
     python3 scripts/bench_compare.py --update       # rewrite the baseline
 """
@@ -16,23 +25,25 @@ Usage:
 import argparse
 import json
 import re
+import shlex
 import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_hotpath.json"
+DEFAULT_COMMAND = "cargo bench --offline --bench perf_microbench"
 BENCH_LINE = re.compile(r"^bench: (?P<name>\S+) \.\.\. (?P<median>[0-9.]+) ns/iter")
 
 
-def run_benches() -> str:
-    cmd = ["cargo", "bench", "--offline", "--bench", "perf_microbench"]
-    print(f"$ {' '.join(cmd)}", file=sys.stderr)
+def run_benches(command: str) -> str:
+    cmd = shlex.split(command)
+    print(f"$ {command}", file=sys.stderr)
     proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True)
     if proc.returncode != 0:
         sys.stderr.write(proc.stdout)
         sys.stderr.write(proc.stderr)
-        sys.exit(f"cargo bench failed with exit code {proc.returncode}")
+        sys.exit(f"bench command failed with exit code {proc.returncode}")
     return proc.stdout
 
 
@@ -47,31 +58,8 @@ def parse_log(text: str) -> dict:
     return results
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--log", help="parse a saved bench log instead of running cargo bench")
-    ap.add_argument("--update", action="store_true",
-                    help="rewrite BENCH_hotpath.json with the current numbers")
-    args = ap.parse_args()
-
-    if args.log:
-        try:
-            text = Path(args.log).read_text()
-        except OSError as err:
-            sys.exit(f"cannot read --log file: {err}")
-    else:
-        text = run_benches()
-    current = parse_log(text)
-    baseline = json.loads(BASELINE_PATH.read_text())
-
-    if args.update:
-        baseline["benches"] = {k: current.get(k, v) for k, v in baseline["benches"].items()}
-        for name, median in current.items():
-            baseline["benches"].setdefault(name, median)
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-        print(f"updated {BASELINE_PATH}")
-        return 0
-
+def check_speedup_gate(baseline: dict, current: dict) -> list:
+    """Prints the baseline-vs-current table; returns gate failures."""
     gate = baseline.get("speedup_gate", {})
     gated = set(gate.get("benches", []))
     min_speedup = float(gate.get("min_speedup", 1.0))
@@ -98,13 +86,73 @@ def main() -> int:
 
     for name in sorted(set(current) - set(baseline["benches"])):
         print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.1f}  {'-':>8}")
+    return failures
+
+
+def check_ratio_gate(baseline: dict, current: dict) -> list:
+    """Checks slow/fast pairs within the current run; returns failures."""
+    gate = baseline.get("ratio_gate")
+    if not gate:
+        return []
+    min_ratio = float(gate.get("min_ratio", 1.0))
+    failures = []
+    print(f"\nratio gate (within this run, required >= {min_ratio:.1f}x):")
+    for slow, fast in gate.get("pairs", []):
+        missing = [n for n in (slow, fast) if n not in current]
+        if missing:
+            failures.append(f"{slow} / {fast}: missing {', '.join(missing)}")
+            print(f"  {slow} / {fast}: MISSING")
+            continue
+        ratio = current[slow] / current[fast]
+        ok = ratio >= min_ratio
+        print(f"  {slow} / {fast}: {ratio:.2f}x {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{slow} / {fast}: {ratio:.2f}x < required {min_ratio:.1f}x"
+            )
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                    help="baseline JSON file (default: BENCH_hotpath.json)")
+    ap.add_argument("--log", help="parse a saved bench log instead of running cargo bench")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline file with the current numbers")
+    args = ap.parse_args()
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = REPO_ROOT / baseline_path
+    baseline = json.loads(baseline_path.read_text())
+
+    if args.log:
+        try:
+            text = Path(args.log).read_text()
+        except OSError as err:
+            sys.exit(f"cannot read --log file: {err}")
+    else:
+        text = run_benches(baseline.get("command", DEFAULT_COMMAND))
+    current = parse_log(text)
+
+    if args.update:
+        baseline["benches"] = {k: current.get(k, v) for k, v in baseline["benches"].items()}
+        for name, median in current.items():
+            baseline["benches"].setdefault(name, median)
+        baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"updated {baseline_path}")
+        return 0
+
+    failures = check_speedup_gate(baseline, current)
+    failures += check_ratio_gate(baseline, current)
 
     if failures:
-        print("\nFAIL: hot-path speedup gate not met:")
+        print("\nFAIL: benchmark gate not met:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nOK: all gated benchmarks meet the required speedup.")
+    print("\nOK: all gated benchmarks meet their requirements.")
     return 0
 
 
