@@ -1,0 +1,116 @@
+//! `fig_controlplane`: control-message volume and wall-clock cost of the
+//! two swarm control planes at 100 / 250 / 500 leechers.
+//!
+//! The legacy control plane broadcasts one `Have` per completed segment to
+//! every peer and polls a fixed 2 Hz pump per leecher, so a GoP-grained
+//! stream (a 2-minute clip cut at 0.5 s) costs O(peers² × segments)
+//! dissemination messages per run. The eventful plane coalesces
+//! completions into `HaveBundle`s on a 2 s window, suppresses
+//! announcements to peers that already hold the segments or unsubscribed,
+//! and fires pumps only on armed deadlines. `BENCH_controlplane.json`
+//! gates the ratio within one run: at 250 and 500 leechers the eventful
+//! plane must send ≥5× fewer dissemination messages and finish ≥2× faster.
+//!
+//! Unlike the timing benches, each configuration runs exactly once (the
+//! simulation is deterministic and minutes-long at 500 leechers); both the
+//! wall-clock and the message counters of that run are printed in the
+//! standard `bench:` line format so `scripts/bench_compare.py` can parse
+//! them. `controlplane/msgs/*` lines carry message counts, not
+//! nanoseconds — only their ratios are meaningful.
+
+use std::time::Instant;
+
+use splicecast_media::{DurationSplicer, SegmentList, Splicer, Video};
+use splicecast_netsim::FlowModel;
+use splicecast_swarm::{run_swarm, ControlPlane, SwarmConfig, SwarmMetrics};
+
+/// Swarm seed (the video content seed is fixed separately).
+const SEED: u64 = 5;
+/// Have-coalescing window for the eventful plane, seconds. Two windows of
+/// the paper's segment pacing: wide enough to fold several GoP-sized
+/// completions into one bundle, short enough not to starve neighbours.
+const WINDOW_SECS: f64 = 2.0;
+
+fn swarm_config(n_leechers: usize, plane: ControlPlane) -> SwarmConfig {
+    SwarmConfig {
+        n_leechers,
+        // Ample access bandwidth: the regime where data transfer is easy
+        // and the control plane is what limits scale.
+        peer_bandwidth_bytes_per_sec: 16_000_000.0,
+        seeder_bandwidth_bytes_per_sec: 64_000_000.0,
+        seeder_upload_slots: 32,
+        end_to_end_loss: 0.01,
+        max_sim_secs: 900.0,
+        flow_model: FlowModel::Fluid,
+        control_plane: plane,
+        have_coalesce_secs: Some(WINDOW_SECS),
+        ..SwarmConfig::default()
+    }
+}
+
+fn plane_name(plane: ControlPlane) -> &'static str {
+    match plane {
+        ControlPlane::Legacy => "legacy",
+        ControlPlane::Eventful => "eventful",
+    }
+}
+
+fn run_once(segments: &SegmentList, n_leechers: usize, plane: ControlPlane) -> (f64, SwarmMetrics) {
+    let start = Instant::now();
+    let metrics = run_swarm(segments, &swarm_config(n_leechers, plane), SEED);
+    let wall_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        metrics.completion_rate(),
+        1.0,
+        "every {} viewer must finish at n={n_leechers}",
+        plane_name(plane)
+    );
+    (wall_secs, metrics)
+}
+
+fn main() {
+    // Smoke-test mode (no `--bench` flag, i.e. under `cargo test`): run a
+    // tiny swarm through both planes once and print nothing.
+    let full = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::var("SPLICECAST_SCALE").as_deref() == Ok("quick");
+    let (sizes, clip_secs): (&[usize], f64) = if !full || quick {
+        (&[10], 24.0)
+    } else {
+        (&[100, 250, 500], 120.0)
+    };
+
+    // The paper's 2-minute clip cut at GoP granularity (0.5 s segments):
+    // completions arrive several per window, so coalescing has substance.
+    let video = Video::builder().duration_secs(clip_secs).seed(6).build();
+    let segments = DurationSplicer::new(0.5).splice(&video);
+
+    for &n in sizes {
+        for plane in [ControlPlane::Legacy, ControlPlane::Eventful] {
+            let (wall_secs, metrics) = run_once(&segments, n, plane);
+            if !full {
+                continue;
+            }
+            let name = plane_name(plane);
+            let control = metrics.control_totals();
+            let dissemination = control.haves_sent + control.have_bundles_sent;
+            let wall_ns = wall_secs * 1e9;
+            println!(
+                "bench: controlplane/wall/{name}/{n} ... {wall_ns:.1} ns/iter \
+                 (min {wall_ns:.1}, max {wall_ns:.1}, samples 1)"
+            );
+            println!(
+                "bench: controlplane/msgs/{name}/{n} ... {dissemination}.0 ns/iter \
+                 (min {dissemination}.0, max {dissemination}.0, samples 1)"
+            );
+            println!(
+                "info: controlplane/{name}/{n} total-msgs {} suppressed {} \
+                 mean-bundle {:.2} pumps {} stalls {:.2}",
+                metrics.net.messages_sent,
+                control.haves_suppressed,
+                control.mean_bundle_size(),
+                control.pumps(),
+                metrics.mean_stalls(),
+            );
+        }
+    }
+}

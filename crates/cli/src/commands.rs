@@ -38,6 +38,8 @@ COMMON OPTIONS (run / sweep):
     --cdn-only            serve from the CDN only (implies --cdn)
     --tracker             tracker-based peer discovery
     --flow-model M        network model: rounds | fluid         [rounds]
+    --control-plane C     swarm control plane: legacy | eventful  [legacy]
+    --have-window SECS    eventful Have-coalescing window     [pump interval]
     --metric M            sweep metric: stalls|stallsecs|startup  [stalls]
     --chart               draw the sweep as an ASCII chart
     --csv                 also print machine-readable rows
@@ -96,6 +98,17 @@ fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
             .unwrap_or("rounds")
             .parse::<splicecast_core::netsim::FlowModel>()?,
     );
+    config = config.with_control_plane(
+        args.value("control-plane")?
+            .unwrap_or("legacy")
+            .parse::<splicecast_core::ControlPlane>()?,
+    );
+    if let Some(raw) = args.value("have-window")? {
+        let secs: f64 = raw
+            .parse()
+            .map_err(|_| format!("bad --have-window `{raw}`"))?;
+        config.swarm.have_coalesce_secs = Some(secs);
+    }
     let churn: f64 = args.num("churn", 0.0)?;
     if churn > 0.0 {
         config.swarm.churn = Some(ChurnConfig::new(churn, 45.0));
@@ -165,6 +178,28 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
         "  peer offload:      {:.0}%\n",
         averaged.peer_offload * 100.0
     ));
+    let runs = averaged.runs as f64;
+    let control = averaged.control;
+    out.push_str(&format!(
+        "  have traffic:      {:.0} haves, {:.0} bundles, {:.0} suppressed (per run)\n",
+        control.haves_sent as f64 / runs,
+        control.have_bundles_sent as f64 / runs,
+        control.haves_suppressed as f64 / runs,
+    ));
+    if control.have_bundles_sent > 0 {
+        out.push_str(&format!(
+            "  coalescing:        {:.1} haves per bundle\n",
+            control.mean_bundle_size()
+        ));
+    }
+    if control.pumps() > 0 {
+        out.push_str(&format!(
+            "  pump fires:        {:.0} per run ({:.0} armed, {:.0} heartbeat)\n",
+            control.pumps() as f64 / runs,
+            control.pumps_armed as f64 / runs,
+            control.pumps_heartbeat as f64 / runs,
+        ));
+    }
     if args.flag("csv") {
         out.push_str(&format!(
             "\ncsv:\nstalls,stall_secs,startup_secs,completion,offload\n{:.2},{:.2},{:.2},{:.3},{:.3}\n",

@@ -117,6 +117,14 @@ impl ExperimentConfig {
         self.swarm.flow_model = model;
         self
     }
+
+    /// Selects the swarm control plane: per-segment `Have` broadcasts with
+    /// a fixed-rate pump (default), or coalesced `HaveBundle` dissemination
+    /// with demand-driven pumps for large swarms.
+    pub fn with_control_plane(mut self, plane: splicecast_swarm::ControlPlane) -> Self {
+        self.swarm.control_plane = plane;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -141,11 +149,16 @@ mod tests {
             .with_bandwidth(256_000.0)
             .with_splicing(SplicingSpec::Gop)
             .with_policy(splicecast_swarm::PolicyConfig::Fixed(2))
-            .with_leechers(5);
+            .with_leechers(5)
+            .with_control_plane(splicecast_swarm::ControlPlane::Eventful);
         assert_eq!(cfg.swarm.peer_bandwidth_bytes_per_sec, 256_000.0);
         assert_eq!(cfg.swarm.seeder_bandwidth_bytes_per_sec, 256_000.0);
         assert_eq!(cfg.splicing, SplicingSpec::Gop);
         assert_eq!(cfg.swarm.n_leechers, 5);
+        assert_eq!(
+            cfg.swarm.control_plane,
+            splicecast_swarm::ControlPlane::Eventful
+        );
     }
 
     #[test]

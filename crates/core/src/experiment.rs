@@ -36,6 +36,10 @@ pub struct AveragedMetrics {
     pub overhead_ratio: f64,
     /// Number of segments (identical across runs).
     pub segment_count: usize,
+    /// Control-plane counters summed over every run (divide by `runs` for
+    /// a per-run view).
+    #[serde(default)]
+    pub control: splicecast_swarm::ControlPlaneStats,
 }
 
 impl AveragedMetrics {
@@ -55,6 +59,10 @@ impl AveragedMetrics {
             .iter()
             .map(|r| r.metrics.mean_startup_secs())
             .collect();
+        let mut control = splicecast_swarm::ControlPlaneStats::default();
+        for r in results {
+            control.absorb(&r.metrics.control_totals());
+        }
         AveragedMetrics {
             runs: results.len(),
             rounded_stalls: rounded_mean(&stalls),
@@ -77,6 +85,7 @@ impl AveragedMetrics {
             .mean,
             overhead_ratio: results[0].overhead_ratio,
             segment_count: results[0].segment_count,
+            control,
         }
     }
 }
@@ -270,6 +279,40 @@ mod tests {
         );
         assert_eq!(gop.overhead_ratio, 0.0);
         assert!(dur.overhead_ratio > 0.0);
+    }
+
+    #[test]
+    fn eventful_control_plane_preserves_qoe_on_the_paper_baseline() {
+        // The eventful control plane is a transport optimisation, not a
+        // policy change: on the paper's baseline swarm it must deliver the
+        // same viewer experience as the legacy plane — equal rounded stall
+        // counts, stall time within a fifth — while replacing per-segment
+        // `Have` floods with coalesced bundles.
+        let legacy_cfg = ExperimentConfig::paper_baseline();
+        let eventful_cfg = ExperimentConfig::paper_baseline()
+            .with_control_plane(splicecast_swarm::ControlPlane::Eventful);
+        let legacy = run_averaged(&legacy_cfg, &DEFAULT_SEEDS);
+        let eventful = run_averaged(&eventful_cfg, &DEFAULT_SEEDS);
+
+        assert_eq!(legacy.completion_rate, 1.0);
+        assert_eq!(eventful.completion_rate, 1.0);
+        assert_eq!(
+            legacy.rounded_stalls, eventful.rounded_stalls,
+            "stall counts diverged: legacy {:.2} vs eventful {:.2}",
+            legacy.stalls.mean, eventful.stalls.mean
+        );
+        let (lt, et) = (legacy.stall_secs.mean, eventful.stall_secs.mean);
+        assert!(
+            (et - lt).abs() <= (lt * 0.2).max(1.0),
+            "stall time diverged: legacy {lt:.1} s vs eventful {et:.1} s"
+        );
+
+        // The equivalence is not vacuous: the eventful plane really did
+        // swap the dissemination mechanism and shrink the message volume.
+        assert_eq!(eventful.control.haves_sent, 0);
+        assert!(eventful.control.have_bundles_sent > 0);
+        assert!(eventful.control.pumps() > 0);
+        assert!(legacy.control.haves_sent > eventful.control.have_bundles_sent);
     }
 
     #[test]

@@ -65,6 +65,6 @@ pub use splicecast_swarm as swarm;
 // Commonly-used types, re-exported flat for convenience.
 pub use splicecast_media::{ContentProfile, Ladder, SegmentList, Video};
 pub use splicecast_swarm::{
-    run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, CdnConfig, ChurnConfig, DiscoveryMode,
-    EstimatorKind, PolicyConfig, SwarmConfig, SwarmMetrics,
+    run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, CdnConfig, ChurnConfig, ControlPlane,
+    ControlPlaneStats, DiscoveryMode, EstimatorKind, PolicyConfig, SwarmConfig, SwarmMetrics,
 };

@@ -56,6 +56,12 @@ pub fn encode(msg: &Message, dst: &mut BytesMut) {
                 dst.put_u32(*p);
             }
         }
+        Message::HaveBundle { indices } => {
+            dst.put_u32(indices.len() as u32);
+            for i in indices {
+                dst.put_u32(*i);
+            }
+        }
         Message::SegmentHeader { index, bytes } => {
             dst.put_u32(*index);
             dst.put_u64(*bytes);
@@ -135,6 +141,7 @@ fn body_len(msg: &Message) -> usize {
         Message::Have { .. } | Message::Request { .. } | Message::Cancel { .. } => 4,
         Message::RequestRendition { .. } => 5,
         Message::PeerList { peers } => 4 + 4 * peers.len(),
+        Message::HaveBundle { indices } => 4 + 4 * indices.len(),
         Message::SegmentHeader { .. } => 12,
         Message::Bitfield(bf) => 4 + bf.as_bytes().len(),
         Message::ManifestData { payload } => payload.len(),
@@ -375,6 +382,23 @@ fn decode_body_slice(kind: u8, mut body: &[u8]) -> Result<Message, ProtocolError
             let peers = (0..count).map(|_| read_u32(&mut body)).collect();
             Message::PeerList { peers }
         }
+        15 => {
+            if body.len() < 4 {
+                return Err(ProtocolError::BadBody {
+                    kind,
+                    len: body.len(),
+                });
+            }
+            let count = read_u32(&mut body) as usize;
+            if body.len() != count * 4 {
+                return Err(ProtocolError::BadBody {
+                    kind,
+                    len: body.len(),
+                });
+            }
+            let indices = (0..count).map(|_| read_u32(&mut body)).collect();
+            Message::HaveBundle { indices }
+        }
         20 => {
             fixed(body, 37)?;
             if split(&mut body, 8) != PROTOCOL_MAGIC.as_slice() {
@@ -415,6 +439,10 @@ mod tests {
             Message::Interested,
             Message::NotInterested,
             Message::Have { index: 42 },
+            Message::HaveBundle {
+                indices: vec![0, 7, 42, u32::MAX],
+            },
+            Message::HaveBundle { indices: vec![] },
             Message::Bitfield(bf),
             Message::Request { index: u32::MAX },
             Message::RequestRendition {

@@ -42,6 +42,13 @@ pub enum Message {
         /// Segment index.
         index: u32,
     },
+    /// Several completions announced at once — the coalesced form of
+    /// [`Message::Have`] used by the event-driven control plane. Indices
+    /// are sorted ascending and deduplicated on the wire.
+    HaveBundle {
+        /// Completed segment indices, ascending.
+        indices: Vec<u32>,
+    },
     /// Full availability map of the sender (sent after handshake).
     Bitfield(crate::Bitfield),
     /// Ask the receiver to upload one segment.
@@ -108,6 +115,7 @@ impl Message {
             Message::RequestRendition { .. } => 12,
             Message::PeerListRequest => 13,
             Message::PeerList { .. } => 14,
+            Message::HaveBundle { .. } => 15,
             Message::Handshake { .. } => 20,
         })
     }
@@ -122,6 +130,7 @@ impl Message {
             Message::Interested => "interested",
             Message::NotInterested => "not-interested",
             Message::Have { .. } => "have",
+            Message::HaveBundle { .. } => "have-bundle",
             Message::Bitfield(_) => "bitfield",
             Message::Request { .. } => "request",
             Message::RequestRendition { .. } => "request-rendition",
@@ -148,6 +157,7 @@ mod tests {
             Message::Interested,
             Message::NotInterested,
             Message::Have { index: 0 },
+            Message::HaveBundle { indices: vec![0] },
             Message::Bitfield(crate::Bitfield::new(1)),
             Message::Request { index: 0 },
             Message::SegmentHeader { index: 0, bytes: 0 },

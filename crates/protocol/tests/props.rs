@@ -36,6 +36,8 @@ fn arbitrary_message() -> impl Strategy<Value = Message> {
         prop::collection::vec(any::<u8>(), 0..500).prop_map(|data| Message::ManifestData {
             payload: data.into()
         }),
+        prop::collection::vec(any::<u32>(), 0..64)
+            .prop_map(|indices| Message::HaveBundle { indices }),
     ]
 }
 

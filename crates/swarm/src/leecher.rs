@@ -13,11 +13,22 @@ use crate::metrics::{MetricsSink, PeerReport};
 use crate::peer::PeerView;
 use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
 use crate::scheduler::{next_wanted_from, pick_source, SourceCandidate};
+use crate::swarm::ControlPlane;
 use crate::upload::UploadSide;
 
 const TOKEN_BOOT: u64 = 1;
 const TOKEN_PUMP: u64 = 2;
 const TOKEN_DEPART: u64 = 3;
+
+/// Fallback-heartbeat cadence of the eventful control plane, in pump
+/// intervals: with nothing armed, a pump still fires this often to keep
+/// playback accounting alive and catch sources that vanished silently.
+const HEARTBEAT_PUMPS: f64 = 8.0;
+
+/// Tracker re-announce cadence, in pump intervals. The legacy pump
+/// re-announces every 10th fire; the eventful plane schedules the same
+/// cadence on absolute time so it is independent of pump activity.
+const ANNOUNCE_PUMPS: f64 = 10.0;
 
 /// Everything a leecher needs to operate.
 pub struct LeecherConfig {
@@ -55,6 +66,11 @@ pub struct LeecherConfig {
     pub p2p: bool,
     /// How this leecher learns about other peers.
     pub discovery: crate::swarm::DiscoveryMode,
+    /// Which control plane disseminates availability and schedules pumps.
+    pub control_plane: ControlPlane,
+    /// How long completions may wait before a coalesced `HaveBundle`
+    /// flush (eventful mode only).
+    pub coalesce_window: SimDuration,
     /// Where the final [`PeerReport`] is written.
     pub sink: MetricsSink,
 }
@@ -97,6 +113,18 @@ pub struct LeecherNode {
     mean_segment_bytes: u64,
     pumping: bool,
     pumps: u64,
+    /// Completions awaiting a coalesced flush (eventful mode).
+    pending_haves: Vec<u32>,
+    /// Deadline of the pending flush, if one is open.
+    flush_at: Option<SimTime>,
+    /// Absolute time of the next tracker re-announce (eventful mode).
+    next_announce_at: SimTime,
+    /// Earliest deadline a pump timer is already set for. Timers cannot be
+    /// cancelled, so arming only sets a timer when it beats this mark;
+    /// stale fires are harmless no-op pumps.
+    earliest_armed: SimTime,
+    /// Whether peers were told we are complete (`NotInterested`).
+    complete_notified: bool,
     report: PeerReport,
     reported: bool,
     /// Scratch buffer for outgoing frames (reused across sends).
@@ -140,6 +168,11 @@ impl LeecherNode {
             mean_segment_bytes: cfg.segments.mean_segment_bytes().round() as u64,
             pumping: false,
             pumps: 0,
+            pending_haves: Vec::new(),
+            flush_at: None,
+            next_announce_at: SimTime::MAX,
+            earliest_armed: SimTime::MAX,
+            complete_notified: false,
             report,
             reported: false,
             wire_buf: EncodeBuf::new(),
@@ -212,7 +245,65 @@ impl LeecherNode {
             ctx.set_timer(depart, TOKEN_DEPART);
         }
         self.pumping = true;
-        ctx.set_timer(self.cfg.pump_interval, TOKEN_PUMP);
+        match self.cfg.control_plane {
+            ControlPlane::Legacy => ctx.set_timer(self.cfg.pump_interval, TOKEN_PUMP),
+            ControlPlane::Eventful => {
+                self.next_announce_at = ctx.now() + self.cfg.pump_interval.mul_f64(ANNOUNCE_PUMPS);
+                let first = ctx.now() + self.cfg.pump_interval;
+                self.arm_pump(ctx, first);
+            }
+        }
+    }
+
+    /// Sets a pump timer for `at` unless one at least as early is already
+    /// pending. The simulator cannot cancel timers, so over-arming is the
+    /// failure mode to avoid; a pump that fires with nothing due simply
+    /// re-arms.
+    fn arm_pump(&mut self, ctx: &mut Ctx<'_>, at: SimTime) {
+        if at < self.earliest_armed {
+            self.earliest_armed = at;
+            ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_PUMP);
+        }
+    }
+
+    /// Whether this leecher still re-announces to the tracker.
+    fn announces(&self) -> bool {
+        self.cfg.p2p
+            && self.cfg.discovery == crate::swarm::DiscoveryMode::Tracker
+            && !self.holdings.is_complete()
+    }
+
+    /// Encodes `message` once and sends it to every view `include` admits,
+    /// evicting peers that became unreachable. Returns the number of
+    /// successful sends.
+    fn broadcast(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        message: &Message,
+        mut include: impl FnMut(NodeId, &PeerView) -> bool,
+    ) -> u64 {
+        let mut peers = std::mem::take(&mut self.scratch_peers);
+        peers.clear();
+        peers.extend(
+            self.views
+                .iter()
+                .filter(|&(&peer, view)| include(peer, view))
+                .map(|(&peer, _)| peer),
+        );
+        // One encode for the whole broadcast: a `Bytes` clone is a
+        // reference-count bump, not a copy.
+        let wire = self.wire_buf.wire(message);
+        let mut sent = 0;
+        for &peer in &peers {
+            if ctx.send(peer, wire.clone()).is_ok() {
+                sent += 1;
+            } else {
+                self.views.remove(&peer);
+                self.uploads.forget_peer(peer);
+            }
+        }
+        self.scratch_peers = peers;
+        sent
     }
 
     /// The heart of §III: keep the download pool filled to the policy's
@@ -320,6 +411,11 @@ impl LeecherNode {
             if let Some(view) = self.views.get_mut(&source) {
                 view.outstanding += 1;
             }
+            if self.cfg.control_plane == ControlPlane::Eventful {
+                // A pump must run when this request's timeout expires.
+                let deadline = ctx.now() + self.cfg.request_timeout;
+                self.arm_pump(ctx, deadline);
+            }
         }
     }
 
@@ -426,28 +522,94 @@ impl LeecherNode {
         }
         self.playback.on_segment(index as usize, now.as_secs_f64());
         if self.cfg.p2p {
-            let seeder = self.cfg.seeder;
-            let cdn = self.cfg.cdn;
-            let mut peers = std::mem::take(&mut self.scratch_peers);
-            peers.clear();
-            peers.extend(
-                self.views
-                    .keys()
-                    .copied()
-                    .filter(|&p| p != seeder && Some(p) != cdn),
-            );
-            // One encode for the whole broadcast: a `Bytes` clone is a
-            // reference-count bump, not a copy.
-            let wire = self.wire_buf.wire(&Message::Have { index });
-            for &peer in &peers {
-                if ctx.send(peer, wire.clone()).is_err() {
-                    self.views.remove(&peer);
-                    self.uploads.forget_peer(peer);
+            match self.cfg.control_plane {
+                ControlPlane::Legacy => {
+                    let seeder = self.cfg.seeder;
+                    let cdn = self.cfg.cdn;
+                    let mut suppressed = 0u64;
+                    let sent = self.broadcast(ctx, &Message::Have { index }, |peer, view| {
+                        if peer == seeder || Some(peer) == cdn {
+                            return false;
+                        }
+                        // A peer that already shows the segment, or that
+                        // never completed a handshake (its view of us is
+                        // seeded by the bitfield we send then), learns
+                        // nothing from this Have.
+                        if !view.handshaken || view.holdings.get(index) {
+                            suppressed += 1;
+                            return false;
+                        }
+                        true
+                    });
+                    self.report.control.haves_sent += sent;
+                    self.report.control.haves_suppressed += suppressed;
+                }
+                ControlPlane::Eventful => {
+                    self.pending_haves.push(index);
+                    if self.flush_at.is_none() {
+                        let at = now + self.cfg.coalesce_window;
+                        self.flush_at = Some(at);
+                        self.arm_pump(ctx, at);
+                    }
+                    self.maybe_announce_complete(ctx);
                 }
             }
-            self.scratch_peers = peers;
         }
         self.schedule(ctx);
+    }
+
+    /// Flushes the pending completions as one `HaveBundle`, skipping peers
+    /// that already hold every index, unsubscribed, or never handshook.
+    fn flush_haves(&mut self, ctx: &mut Ctx<'_>) {
+        self.flush_at = None;
+        if self.pending_haves.is_empty() {
+            return;
+        }
+        let mut indices = std::mem::take(&mut self.pending_haves);
+        indices.sort_unstable();
+        indices.dedup();
+        let n = indices.len() as u64;
+        let seeder = self.cfg.seeder;
+        let cdn = self.cfg.cdn;
+        let message = Message::HaveBundle { indices };
+        let Message::HaveBundle { indices } = &message else {
+            unreachable!()
+        };
+        let mut suppressed = 0u64;
+        let sent = self.broadcast(ctx, &message, |peer, view| {
+            if peer == seeder || Some(peer) == cdn {
+                return false;
+            }
+            if !view.handshaken
+                || !view.peer_interested
+                || indices.iter().all(|&i| view.holdings.get(i))
+            {
+                suppressed += n;
+                return false;
+            }
+            true
+        });
+        self.report.control.have_bundles_sent += sent;
+        self.report.control.haves_coalesced += sent * n;
+        self.report.control.haves_suppressed += suppressed;
+    }
+
+    /// Once complete, tells every handshaken peer we no longer want
+    /// availability announcements (eventful mode's unsubscribe).
+    fn maybe_announce_complete(&mut self, ctx: &mut Ctx<'_>) {
+        if self.complete_notified
+            || self.cfg.control_plane != ControlPlane::Eventful
+            || !self.cfg.p2p
+            || !self.holdings.is_complete()
+        {
+            return;
+        }
+        self.complete_notified = true;
+        let seeder = self.cfg.seeder;
+        let cdn = self.cfg.cdn;
+        self.broadcast(ctx, &Message::NotInterested, |peer, view| {
+            peer != seeder && Some(peer) != cdn && view.handshaken
+        });
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
@@ -492,6 +654,27 @@ impl LeecherNode {
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
             }
+            Message::HaveBundle { indices } => {
+                if let Some(view) = self.views.get_mut(&from) {
+                    for &index in &indices {
+                        if index < view.holdings.len() {
+                            view.holdings.set(index);
+                        }
+                    }
+                }
+                self.update_interest(ctx, from);
+                self.schedule(ctx);
+            }
+            Message::Interested => {
+                if let Some(view) = self.views.get_mut(&from) {
+                    view.peer_interested = true;
+                }
+            }
+            Message::NotInterested => {
+                if let Some(view) = self.views.get_mut(&from) {
+                    view.peer_interested = false;
+                }
+            }
             Message::ManifestData { payload } => {
                 if self.streaming {
                     return;
@@ -524,6 +707,15 @@ impl LeecherNode {
             Message::Goodbye => {
                 self.views.remove(&from);
                 self.uploads.forget_peer(from);
+                // The departed peer may hold our pending requests; an
+                // immediate pump re-points them instead of waiting for
+                // their timeout deadline.
+                if self.cfg.control_plane == ControlPlane::Eventful
+                    && self.in_flight.values().any(|f| f.source == from)
+                {
+                    let now = ctx.now();
+                    self.arm_pump(ctx, now);
+                }
             }
             Message::PeerList { peers } => {
                 if !self.cfg.p2p {
@@ -546,6 +738,96 @@ impl LeecherNode {
             // informational in this client.
             _ => {}
         }
+    }
+
+    /// The legacy maintenance pump: fixed cadence, polls everything.
+    fn legacy_pump(&mut self, ctx: &mut Ctx<'_>) {
+        self.playback.advance(ctx.now().as_secs_f64());
+        self.check_timeouts(ctx);
+        self.schedule(ctx);
+        // Under tracker discovery, re-announce periodically so late
+        // joiners become visible.
+        self.pumps += 1;
+        if self.cfg.p2p
+            && self.cfg.discovery == crate::swarm::DiscoveryMode::Tracker
+            && self.pumps.is_multiple_of(10)
+            && !self.holdings.is_complete()
+        {
+            self.say(ctx, self.cfg.seeder, &Message::PeerListRequest);
+        }
+        if self.playback.state() != PlaybackState::Finished {
+            ctx.set_timer(self.cfg.pump_interval, TOKEN_PUMP);
+        } else {
+            self.pumping = false;
+        }
+    }
+
+    /// The eventful pump: runs only when a deadline is due (bundle flush,
+    /// request timeout, tracker re-announce) or as a low-rate heartbeat,
+    /// then re-arms for the earliest outstanding deadline.
+    fn eventful_pump(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        if now < self.earliest_armed {
+            // A stale timer: the pump it was set for was superseded by an
+            // earlier-armed fire that already ran and re-armed. Dropping
+            // it (no pump, no re-arm) is what retires surplus timers.
+            return;
+        }
+        self.earliest_armed = SimTime::MAX;
+        self.pumps += 1;
+        let due_flush = self.flush_at.is_some_and(|t| t <= now);
+        let due_timeout = self.in_flight.values().any(|f| {
+            !ctx.is_online(f.source)
+                || (!f.serving && now.saturating_since(f.requested_at) >= self.cfg.request_timeout)
+        });
+        let due_announce = self.announces() && self.next_announce_at <= now;
+        if due_flush || due_timeout || due_announce {
+            self.report.control.pumps_armed += 1;
+        } else {
+            self.report.control.pumps_heartbeat += 1;
+        }
+        self.playback.advance(now.as_secs_f64());
+        self.check_timeouts(ctx);
+        if due_flush {
+            self.flush_haves(ctx);
+        }
+        if due_announce {
+            self.say(ctx, self.cfg.seeder, &Message::PeerListRequest);
+            self.next_announce_at = now + self.cfg.pump_interval.mul_f64(ANNOUNCE_PUMPS);
+        }
+        self.schedule(ctx);
+        self.rearm_pump(ctx);
+    }
+
+    /// Arms the next pump at the earliest outstanding deadline, falling
+    /// back to the heartbeat while playback is unfinished. With playback
+    /// done and nothing pending, no timer is set and the simulation may
+    /// drain.
+    fn rearm_pump(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut next = SimTime::MAX;
+        if let Some(at) = self.flush_at {
+            next = next.min(at);
+        }
+        for f in self.in_flight.values() {
+            if !f.serving {
+                next = next.min(f.requested_at + self.cfg.request_timeout);
+            }
+        }
+        if self.announces() {
+            next = next.min(self.next_announce_at);
+        }
+        if self.playback.state() != PlaybackState::Finished {
+            // The heartbeat keeps stall/finish accounting moving and is
+            // the safety net for anything no deadline covers.
+            next = next.min(now + self.cfg.pump_interval.mul_f64(HEARTBEAT_PUMPS));
+        }
+        if next == SimTime::MAX {
+            self.pumping = false;
+            return;
+        }
+        let at = next.max(now);
+        self.arm_pump(ctx, at);
     }
 
     fn write_report(&mut self, ctx: &mut Ctx<'_>, departed: bool) {
@@ -572,41 +854,15 @@ impl NodeBehavior for LeecherNode {
         match event {
             NodeEvent::Message { from, payload } => self.on_message(ctx, from, &payload),
             NodeEvent::Timer { token: TOKEN_BOOT } => self.boot(ctx),
-            NodeEvent::Timer { token: TOKEN_PUMP } => {
-                self.playback.advance(ctx.now().as_secs_f64());
-                self.check_timeouts(ctx);
-                self.schedule(ctx);
-                // Under tracker discovery, re-announce periodically so
-                // late joiners become visible.
-                self.pumps += 1;
-                if self.cfg.p2p
-                    && self.cfg.discovery == crate::swarm::DiscoveryMode::Tracker
-                    && self.pumps.is_multiple_of(10)
-                    && !self.holdings.is_complete()
-                {
-                    self.say(ctx, self.cfg.seeder, &Message::PeerListRequest);
-                }
-                if self.playback.state() != PlaybackState::Finished {
-                    ctx.set_timer(self.cfg.pump_interval, TOKEN_PUMP);
-                } else {
-                    self.pumping = false;
-                }
-            }
+            NodeEvent::Timer { token: TOKEN_PUMP } => match self.cfg.control_plane {
+                ControlPlane::Legacy => self.legacy_pump(ctx),
+                ControlPlane::Eventful => self.eventful_pump(ctx),
+            },
             NodeEvent::Timer {
                 token: TOKEN_DEPART,
             } => {
                 self.write_report(ctx, true);
-                let mut peers = std::mem::take(&mut self.scratch_peers);
-                peers.clear();
-                peers.extend(self.views.keys().copied());
-                let wire = self.wire_buf.wire(&Message::Goodbye);
-                for &peer in &peers {
-                    if ctx.send(peer, wire.clone()).is_err() {
-                        self.views.remove(&peer);
-                        self.uploads.forget_peer(peer);
-                    }
-                }
-                self.scratch_peers = peers;
+                self.broadcast(ctx, &Message::Goodbye, |_, _| true);
                 ctx.go_offline();
             }
             NodeEvent::Timer { .. } => {}
@@ -729,6 +985,8 @@ mod tests {
             w_estimate: WEstimate::MeanSegment,
             p2p: true,
             discovery,
+            control_plane: ControlPlane::Legacy,
+            coalesce_window: SimDuration::from_secs_f64(1.0),
             sink: Rc::new(RefCell::new(Vec::new())),
         }
     }

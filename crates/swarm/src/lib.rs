@@ -50,7 +50,7 @@ pub use cdn::{max_cdn_segment_bytes, CdnConfig};
 pub use churn::ChurnConfig;
 pub use cross::{CrossTrafficConfig, CrossTrafficNode};
 pub use leecher::{LeecherConfig, LeecherNode};
-pub use metrics::{MetricsSink, PeerReport, SwarmMetrics};
+pub use metrics::{ControlPlaneStats, MetricsSink, PeerReport, SwarmMetrics};
 pub use peer::{PeerView, UploadManager, UploadRequest};
 pub use policy::{
     optimal_pool_size, AdaptivePooling, BandwidthEstimator, DownloadPolicy, EstimatorKind,
@@ -58,5 +58,5 @@ pub use policy::{
 };
 pub use scheduler::{next_wanted, pick_source, SourceCandidate};
 pub use seeder::{info_hash_of, SeederNode};
-pub use swarm::{run_swarm, run_swarm_shared, DiscoveryMode, SwarmConfig};
+pub use swarm::{run_swarm, run_swarm_shared, ControlPlane, DiscoveryMode, SwarmConfig};
 pub use upload::UploadSide;

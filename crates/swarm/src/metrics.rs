@@ -6,6 +6,53 @@ use std::rc::Rc;
 use serde::{Deserialize, Serialize};
 use splicecast_player::{QoeMetrics, StallEvent};
 
+/// Control-plane traffic counters for one leecher: how segment
+/// availability was disseminated and how often the maintenance pump ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlPlaneStats {
+    /// Individual `Have` messages sent (legacy dissemination).
+    pub haves_sent: u64,
+    /// Per-peer availability announcements skipped because the peer
+    /// already held the segment, never completed a handshake, or
+    /// unsubscribed with `NotInterested`.
+    pub haves_suppressed: u64,
+    /// `HaveBundle` messages sent (eventful dissemination).
+    pub have_bundles_sent: u64,
+    /// Announcements carried inside bundles (indices × receiving peers).
+    pub haves_coalesced: u64,
+    /// Pump fires triggered by a due deadline (flush, request timeout,
+    /// tracker re-announce).
+    pub pumps_armed: u64,
+    /// Pump fires from the fallback heartbeat with nothing due.
+    pub pumps_heartbeat: u64,
+}
+
+impl ControlPlaneStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &ControlPlaneStats) {
+        self.haves_sent += other.haves_sent;
+        self.haves_suppressed += other.haves_suppressed;
+        self.have_bundles_sent += other.have_bundles_sent;
+        self.haves_coalesced += other.haves_coalesced;
+        self.pumps_armed += other.pumps_armed;
+        self.pumps_heartbeat += other.pumps_heartbeat;
+    }
+
+    /// Mean number of indices per sent bundle (0 when none were sent).
+    pub fn mean_bundle_size(&self) -> f64 {
+        if self.have_bundles_sent == 0 {
+            0.0
+        } else {
+            self.haves_coalesced as f64 / self.have_bundles_sent as f64
+        }
+    }
+
+    /// Total pump fires, armed and heartbeat alike.
+    pub fn pumps(&self) -> u64 {
+        self.pumps_armed + self.pumps_heartbeat
+    }
+}
+
 /// Final accounting for one leecher.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PeerReport {
@@ -29,6 +76,9 @@ pub struct PeerReport {
     pub finished: bool,
     /// Whether the peer churned out before finishing.
     pub departed: bool,
+    /// Control-plane traffic this peer generated.
+    #[serde(default)]
+    pub control: ControlPlaneStats,
 }
 
 /// Shared sink the leechers report into. Single-threaded by design: one
@@ -94,6 +144,16 @@ impl SwarmMetrics {
         } else {
             self.net.wire_bytes_sent as f64 / self.net.payload_bytes_delivered as f64
         }
+    }
+
+    /// Summed control-plane counters over every report (churners
+    /// included: their control traffic was real).
+    pub fn control_totals(&self) -> ControlPlaneStats {
+        let mut total = ControlPlaneStats::default();
+        for report in &self.reports {
+            total.absorb(&report.control);
+        }
+        total
     }
 
     /// Fraction of segment deliveries that came from other leechers rather
@@ -186,6 +246,28 @@ mod tests {
         assert_eq!(m.completion_rate(), 0.0);
         assert_eq!(m.total_bytes_downloaded(), 0);
         assert_eq!(m.wire_expansion(), 0.0);
+    }
+
+    #[test]
+    fn control_totals_sum_over_all_reports() {
+        let mut a = report(0, 0, 0.0, false);
+        a.control.haves_sent = 5;
+        a.control.have_bundles_sent = 2;
+        a.control.haves_coalesced = 6;
+        let mut b = report(1, 0, 0.0, true); // churners count too
+        b.control.haves_sent = 3;
+        b.control.pumps_heartbeat = 4;
+        let m = SwarmMetrics {
+            reports: vec![a, b],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+        };
+        let total = m.control_totals();
+        assert_eq!(total.haves_sent, 8);
+        assert_eq!(total.have_bundles_sent, 2);
+        assert_eq!(total.pumps(), 4);
+        assert!((total.mean_bundle_size() - 3.0).abs() < 1e-12);
+        assert_eq!(ControlPlaneStats::default().mean_bundle_size(), 0.0);
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct PeerView {
     pub handshaken: bool,
     /// Whether we have told them we are interested.
     pub interested_sent: bool,
+    /// Whether the peer wants our availability announcements. Peers are
+    /// subscribed by default; a `NotInterested` from them (the eventful
+    /// control plane's unsubscribe) clears it, an `Interested` restores it.
+    pub peer_interested: bool,
     /// Requests we have sent them that have not completed or failed.
     pub outstanding: u32,
 }
@@ -28,6 +32,7 @@ impl PeerView {
             greeted: false,
             handshaken: false,
             interested_sent: false,
+            peer_interested: true,
             outstanding: 0,
         }
     }
@@ -236,6 +241,7 @@ mod tests {
         let v = PeerView::new(10);
         assert!(!v.handshaken);
         assert!(!v.interested_sent);
+        assert!(v.peer_interested, "peers are subscribed until they opt out");
         assert_eq!(v.outstanding, 0);
         assert_eq!(v.holdings.count_ones(), 0);
     }

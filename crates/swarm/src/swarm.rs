@@ -31,6 +31,34 @@ pub enum DiscoveryMode {
     Tracker,
 }
 
+/// Which control-plane implementation drives availability dissemination
+/// and the maintenance pump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlPlane {
+    /// Every completion broadcasts an immediate `Have` and a fixed-cadence
+    /// pump timer polls for work: O(peers²) messages per run.
+    #[default]
+    Legacy,
+    /// Completions coalesce into `HaveBundle`s flushed on a short window,
+    /// pumps fire on armed deadlines with a low-rate fallback heartbeat,
+    /// and completed peers unsubscribe from announcements.
+    Eventful,
+}
+
+impl std::str::FromStr for ControlPlane {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "legacy" => Ok(ControlPlane::Legacy),
+            "eventful" => Ok(ControlPlane::Eventful),
+            other => Err(format!(
+                "unknown control plane `{other}` (legacy | eventful)"
+            )),
+        }
+    }
+}
+
 /// Configuration of one swarm run. The defaults are the paper's GENI
 /// setup: 20 nodes (one seeder + 19 peers) in a star, 50 ms latency and
 /// 5 % loss between peers, 500 ms latency to the seeder, 128 kB/s links.
@@ -91,6 +119,14 @@ pub struct SwarmConfig {
     /// (scales to hundreds of leechers).
     #[serde(default)]
     pub flow_model: FlowModel,
+    /// Which control plane disseminates availability and schedules pumps.
+    #[serde(default)]
+    pub control_plane: ControlPlane,
+    /// Coalescing window of the eventful control plane, seconds: how long
+    /// completions may wait before a `HaveBundle` flush. Defaults to one
+    /// pump interval when unset.
+    #[serde(default)]
+    pub have_coalesce_secs: Option<f64>,
     /// Hard cap on simulated time, seconds.
     pub max_sim_secs: f64,
 }
@@ -120,6 +156,8 @@ impl Default for SwarmConfig {
             discovery: DiscoveryMode::Full,
             bandwidth_schedule: Vec::new(),
             flow_model: FlowModel::Rounds,
+            control_plane: ControlPlane::Legacy,
+            have_coalesce_secs: None,
             max_sim_secs: 1_800.0,
         }
     }
@@ -169,6 +207,12 @@ impl SwarmConfig {
             self.request_timeout_secs > 0.0,
             "request timeout must be positive"
         );
+        if let Some(window) = self.have_coalesce_secs {
+            assert!(
+                window.is_finite() && window >= 0.0,
+                "coalesce window must be a non-negative number"
+            );
+        }
         assert!(self.max_sim_secs > 0.0, "sim cap must be positive");
     }
 
@@ -309,6 +353,12 @@ pub fn run_swarm_shared(
             w_estimate: config.w_estimate,
             p2p: config.p2p,
             discovery: config.discovery,
+            control_plane: config.control_plane,
+            coalesce_window: SimDuration::from_secs_f64(
+                config
+                    .have_coalesce_secs
+                    .unwrap_or(config.pump_interval_secs),
+            ),
             sink: sink.clone(),
         });
         sim.add_node(Box::new(leecher));
@@ -405,6 +455,24 @@ mod tests {
         assert_ne!(a, c, "different seeds should differ somewhere");
     }
 
+    /// Pins the legacy control plane's exact output. Any change to
+    /// legacy-mode behaviour — message order, timer cadence, RNG draws —
+    /// shows up here as a digest mismatch, keeping the default path
+    /// bit-identical while the eventful plane evolves beside it.
+    #[test]
+    fn legacy_output_digest_is_pinned() {
+        let metrics = run_swarm(&tiny_segments(), &tiny_config(), 11);
+        // FNV-1a over the full Debug rendering of the run.
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{metrics:?}").bytes() {
+            digest = (digest ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+        assert_eq!(
+            digest, 0x872b_2cf8_82a8_6794,
+            "legacy run output changed; if intentional, update the pinned digest"
+        );
+    }
+
     #[test]
     fn peers_offload_the_seeder() {
         // Plenty of peers and segments: most deliveries should be P2P.
@@ -447,6 +515,90 @@ mod tests {
         let a = run_swarm(&segments, &config, 11);
         let b = run_swarm(&segments, &config, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eventful_swarm_streams_to_completion() {
+        let config = SwarmConfig {
+            control_plane: ControlPlane::Eventful,
+            ..tiny_config()
+        };
+        let metrics = run_swarm(&tiny_segments(), &config, 7);
+        assert_eq!(metrics.reports.len(), 3);
+        assert_eq!(metrics.completion_rate(), 1.0);
+        let control = metrics.control_totals();
+        assert_eq!(
+            control.haves_sent, 0,
+            "eventful mode must not send single Haves"
+        );
+        assert!(control.have_bundles_sent > 0, "completions must be bundled");
+        assert!(control.pumps() > 0);
+    }
+
+    #[test]
+    fn eventful_runs_are_deterministic() {
+        let segments = tiny_segments();
+        let config = SwarmConfig {
+            control_plane: ControlPlane::Eventful,
+            ..tiny_config()
+        };
+        let a = run_swarm(&segments, &config, 11);
+        let b = run_swarm(&segments, &config, 11);
+        assert_eq!(a, b);
+    }
+
+    /// The message-count regression gate in miniature: on a 20-peer swarm
+    /// the eventful control plane must send far fewer control messages
+    /// than the legacy one while still delivering the stream.
+    #[test]
+    fn eventful_control_plane_sends_asymptotically_fewer_messages() {
+        let video = Video::builder().duration_secs(48.0).seed(6).build();
+        // GoP-grained segments: completions arrive about once a second, so
+        // a 2 s coalescing window folds several into each bundle.
+        let segments = DurationSplicer::new(1.0).splice(&video);
+        let base = SwarmConfig {
+            n_leechers: 19,
+            peer_bandwidth_bytes_per_sec: 16_000_000.0,
+            seeder_bandwidth_bytes_per_sec: 16_000_000.0,
+            flow_model: FlowModel::Fluid,
+            have_coalesce_secs: Some(2.0),
+            ..tiny_config()
+        };
+        let legacy = run_swarm(&segments, &base, 5);
+        let eventful = run_swarm(
+            &segments,
+            &SwarmConfig {
+                control_plane: ControlPlane::Eventful,
+                ..base
+            },
+            5,
+        );
+        assert_eq!(legacy.completion_rate(), 1.0);
+        assert_eq!(eventful.completion_rate(), 1.0);
+
+        let lc = legacy.control_totals();
+        let ec = eventful.control_totals();
+        // Availability dissemination: every legacy Have is one message;
+        // eventful announces the same completions in far fewer bundles.
+        assert!(lc.haves_sent > 0);
+        assert!(
+            ec.have_bundles_sent * 3 < lc.haves_sent,
+            "bundles {} vs legacy haves {}",
+            ec.have_bundles_sent,
+            lc.haves_sent
+        );
+        assert!(
+            ec.mean_bundle_size() > 2.0,
+            "bundles barely coalesce: mean size {:.2}",
+            ec.mean_bundle_size()
+        );
+        // And the total control-message volume on the wire shrinks too.
+        assert!(
+            eventful.net.messages_sent * 3 < legacy.net.messages_sent * 2,
+            "eventful sent {} messages, legacy {}",
+            eventful.net.messages_sent,
+            legacy.net.messages_sent
+        );
     }
 
     #[test]

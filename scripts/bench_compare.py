@@ -13,7 +13,9 @@ kinds of gate can be declared in the baseline file:
   the *current* run, the `slow` benchmark must be at least X times the
   `fast` one. This gates a relative property (e.g. the fluid flow model
   being >= 10x faster than the round model at scale) independently of the
-  machine the benches run on.
+  machine the benches run on. A baseline may also declare a *list* of such
+  objects to gate several properties at different thresholds (e.g. message
+  volume at >= 5x and wall clock at >= 2x).
 
 Usage:
     python3 scripts/bench_compare.py                # hot-path baseline
@@ -90,26 +92,33 @@ def check_speedup_gate(baseline: dict, current: dict) -> list:
 
 
 def check_ratio_gate(baseline: dict, current: dict) -> list:
-    """Checks slow/fast pairs within the current run; returns failures."""
-    gate = baseline.get("ratio_gate")
-    if not gate:
+    """Checks slow/fast pairs within the current run; returns failures.
+
+    `ratio_gate` may be one gate object or a list of them.
+    """
+    gates = baseline.get("ratio_gate")
+    if not gates:
         return []
-    min_ratio = float(gate.get("min_ratio", 1.0))
+    if isinstance(gates, dict):
+        gates = [gates]
     failures = []
-    print(f"\nratio gate (within this run, required >= {min_ratio:.1f}x):")
-    for slow, fast in gate.get("pairs", []):
-        missing = [n for n in (slow, fast) if n not in current]
-        if missing:
-            failures.append(f"{slow} / {fast}: missing {', '.join(missing)}")
-            print(f"  {slow} / {fast}: MISSING")
-            continue
-        ratio = current[slow] / current[fast]
-        ok = ratio >= min_ratio
-        print(f"  {slow} / {fast}: {ratio:.2f}x {'ok' if ok else 'FAIL'}")
-        if not ok:
-            failures.append(
-                f"{slow} / {fast}: {ratio:.2f}x < required {min_ratio:.1f}x"
-            )
+    for gate in gates:
+        min_ratio = float(gate.get("min_ratio", 1.0))
+        label = gate.get("label", "ratio gate")
+        print(f"\n{label} (within this run, required >= {min_ratio:.1f}x):")
+        for slow, fast in gate.get("pairs", []):
+            missing = [n for n in (slow, fast) if n not in current]
+            if missing:
+                failures.append(f"{slow} / {fast}: missing {', '.join(missing)}")
+                print(f"  {slow} / {fast}: MISSING")
+                continue
+            ratio = current[slow] / current[fast]
+            ok = ratio >= min_ratio
+            print(f"  {slow} / {fast}: {ratio:.2f}x {'ok' if ok else 'FAIL'}")
+            if not ok:
+                failures.append(
+                    f"{slow} / {fast}: {ratio:.2f}x < required {min_ratio:.1f}x"
+                )
     return failures
 
 
