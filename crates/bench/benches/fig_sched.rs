@@ -1,0 +1,130 @@
+//! `fig_sched`: wall-clock cost of the two source schedulers at
+//! 100 / 250 / 500 leechers.
+//!
+//! The reference scheduler (`SchedulerMode::Scan`) rebuilds its candidate
+//! list from scratch on every scheduling pass: each pass walks every known
+//! peer view for every wanted segment, and every pass runs even when
+//! nothing changed since the last one — O(peers² × segments) view visits
+//! per run. The incremental scheduler (`SchedulerMode::Indexed`, the
+//! default) maintains a per-segment holder index updated on
+//! `Bitfield`/`Have`/`HaveBundle` arrival and skips passes outright while
+//! the previous outcome (exhausted wants, no eligible source) still holds.
+//!
+//! Both modes produce bit-identical swarm behaviour (same RNG draws, same
+//! message sequence — see `indexed_scheduler_matches_scan_bit_for_bit` in
+//! the swarm crate), so the wall-clock delta between the two runs is pure
+//! scheduling cost. `BENCH_sched.json` gates the ratio: at 250 and 500
+//! leechers the indexed run must finish ≥3× faster than the scan run.
+//!
+//! Everything else is pinned to the cheap/scalable configuration (fluid
+//! flow model, eventful control plane) so scheduling is the dominant cost.
+//! Each configuration runs exactly once — the simulation is deterministic
+//! and the scan runs are minutes-long at 500 leechers — and the wall clock
+//! of that run is printed in the standard `bench:` line format for
+//! `scripts/bench_compare.py`.
+
+use std::time::Instant;
+
+use splicecast_media::{DurationSplicer, SegmentList, Splicer, Video};
+use splicecast_netsim::FlowModel;
+use splicecast_swarm::{
+    reset_sched_wall, run_swarm, sched_wall_ns, ControlPlane, SchedulerMode, SwarmConfig,
+    SwarmMetrics,
+};
+
+/// Swarm seed (the video content seed is fixed separately).
+const SEED: u64 = 5;
+/// Have-coalescing window, seconds (same operating point as
+/// `fig_controlplane`).
+const WINDOW_SECS: f64 = 2.0;
+
+fn swarm_config(n_leechers: usize, scheduler: SchedulerMode) -> SwarmConfig {
+    SwarmConfig {
+        n_leechers,
+        // Ample access bandwidth: the regime where data transfer is easy
+        // and per-pass scheduling work is what limits scale.
+        peer_bandwidth_bytes_per_sec: 16_000_000.0,
+        seeder_bandwidth_bytes_per_sec: 64_000_000.0,
+        seeder_upload_slots: 32,
+        end_to_end_loss: 0.01,
+        max_sim_secs: 900.0,
+        flow_model: FlowModel::Fluid,
+        control_plane: ControlPlane::Eventful,
+        have_coalesce_secs: Some(WINDOW_SECS),
+        scheduler,
+        ..SwarmConfig::default()
+    }
+}
+
+fn mode_name(mode: SchedulerMode) -> &'static str {
+    match mode {
+        SchedulerMode::Scan => "scan",
+        SchedulerMode::Indexed => "indexed",
+    }
+}
+
+/// Runs one swarm and returns `(scheduling wall ns, whole-run wall secs,
+/// metrics)`. The scheduling wall comes from the process-wide probe in the
+/// swarm crate, reset before the run.
+fn run_once(
+    segments: &SegmentList,
+    n_leechers: usize,
+    mode: SchedulerMode,
+) -> (u64, f64, SwarmMetrics) {
+    reset_sched_wall();
+    let start = Instant::now();
+    let metrics = run_swarm(segments, &swarm_config(n_leechers, mode), SEED);
+    let run_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        metrics.completion_rate(),
+        1.0,
+        "every {} viewer must finish at n={n_leechers}",
+        mode_name(mode)
+    );
+    (sched_wall_ns(), run_secs, metrics)
+}
+
+fn main() {
+    // Smoke-test mode (no `--bench` flag, i.e. under `cargo test`): run a
+    // tiny swarm through both schedulers once and print nothing.
+    let full = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::var("SPLICECAST_SCALE").as_deref() == Ok("quick");
+    let (sizes, clip_secs): (&[usize], f64) = if !full || quick {
+        (&[10], 24.0)
+    } else {
+        (&[100, 250, 500], 120.0)
+    };
+
+    // The paper's 2-minute clip cut at GoP granularity (0.5 s segments):
+    // many segments per peer makes the per-pass want walk substantial.
+    let video = Video::builder().duration_secs(clip_secs).seed(6).build();
+    let segments = DurationSplicer::new(0.5).splice(&video);
+
+    for &n in sizes {
+        for mode in [SchedulerMode::Scan, SchedulerMode::Indexed] {
+            let (wall_ns, run_secs, metrics) = run_once(&segments, n, mode);
+            if !full {
+                continue;
+            }
+            let name = mode_name(mode);
+            println!(
+                "bench: sched/wall/{name}/{n} ... {wall_ns}.0 ns/iter \
+                 (min {wall_ns}.0, max {wall_ns}.0, samples 1)"
+            );
+            let sched = metrics.sched_totals();
+            println!(
+                "info: sched/{name}/{n} run {run_secs:.1}s passes {} skips {} \
+                 (full-pool {} no-source {} exhausted {}) holder-adds {} \
+                 holder-removes {} stalls {:.2}",
+                sched.passes,
+                sched.skips,
+                sched.full_pool,
+                sched.no_source,
+                sched.exhausted,
+                sched.holder_adds,
+                sched.holder_removes,
+                metrics.mean_stalls(),
+            );
+        }
+    }
+}

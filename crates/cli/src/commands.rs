@@ -39,6 +39,7 @@ COMMON OPTIONS (run / sweep):
     --tracker             tracker-based peer discovery
     --flow-model M        network model: rounds | fluid         [rounds]
     --control-plane C     swarm control plane: legacy | eventful  [legacy]
+    --scheduler S         source scheduler: scan | indexed      [indexed]
     --have-window SECS    eventful Have-coalescing window     [pump interval]
     --metric M            sweep metric: stalls|stallsecs|startup  [stalls]
     --chart               draw the sweep as an ASCII chart
@@ -102,6 +103,11 @@ fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
         args.value("control-plane")?
             .unwrap_or("legacy")
             .parse::<splicecast_core::ControlPlane>()?,
+    );
+    config = config.with_scheduler(
+        args.value("scheduler")?
+            .unwrap_or("indexed")
+            .parse::<splicecast_core::SchedulerMode>()?,
     );
     if let Some(raw) = args.value("have-window")? {
         let secs: f64 = raw
@@ -198,6 +204,14 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
             control.pumps() as f64 / runs,
             control.pumps_armed as f64 / runs,
             control.pumps_heartbeat as f64 / runs,
+        ));
+    }
+    let sched = averaged.sched;
+    if sched.passes + sched.skips > 0 {
+        out.push_str(&format!(
+            "  scheduling:        {:.0} passes, {:.0} skipped (per run)\n",
+            sched.passes as f64 / runs,
+            sched.skips as f64 / runs,
         ));
     }
     if args.flag("csv") {

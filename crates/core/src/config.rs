@@ -125,6 +125,13 @@ impl ExperimentConfig {
         self.swarm.control_plane = plane;
         self
     }
+
+    /// Selects the download scheduler: the incremental holder index
+    /// (default) or the reference full-rescan implementation.
+    pub fn with_scheduler(mut self, scheduler: splicecast_swarm::SchedulerMode) -> Self {
+        self.swarm.scheduler = scheduler;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +157,8 @@ mod tests {
             .with_splicing(SplicingSpec::Gop)
             .with_policy(splicecast_swarm::PolicyConfig::Fixed(2))
             .with_leechers(5)
-            .with_control_plane(splicecast_swarm::ControlPlane::Eventful);
+            .with_control_plane(splicecast_swarm::ControlPlane::Eventful)
+            .with_scheduler(splicecast_swarm::SchedulerMode::Scan);
         assert_eq!(cfg.swarm.peer_bandwidth_bytes_per_sec, 256_000.0);
         assert_eq!(cfg.swarm.seeder_bandwidth_bytes_per_sec, 256_000.0);
         assert_eq!(cfg.splicing, SplicingSpec::Gop);
@@ -159,6 +167,7 @@ mod tests {
             cfg.swarm.control_plane,
             splicecast_swarm::ControlPlane::Eventful
         );
+        assert_eq!(cfg.swarm.scheduler, splicecast_swarm::SchedulerMode::Scan);
     }
 
     #[test]

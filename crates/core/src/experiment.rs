@@ -40,6 +40,9 @@ pub struct AveragedMetrics {
     /// a per-run view).
     #[serde(default)]
     pub control: splicecast_swarm::ControlPlaneStats,
+    /// Scheduler counters summed over every run.
+    #[serde(default)]
+    pub sched: splicecast_swarm::SchedulerStats,
 }
 
 impl AveragedMetrics {
@@ -60,8 +63,10 @@ impl AveragedMetrics {
             .map(|r| r.metrics.mean_startup_secs())
             .collect();
         let mut control = splicecast_swarm::ControlPlaneStats::default();
+        let mut sched = splicecast_swarm::SchedulerStats::default();
         for r in results {
             control.absorb(&r.metrics.control_totals());
+            sched.absorb(&r.metrics.sched_totals());
         }
         AveragedMetrics {
             runs: results.len(),
@@ -86,6 +91,7 @@ impl AveragedMetrics {
             overhead_ratio: results[0].overhead_ratio,
             segment_count: results[0].segment_count,
             control,
+            sched,
         }
     }
 }

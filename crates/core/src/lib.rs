@@ -66,5 +66,6 @@ pub use splicecast_swarm as swarm;
 pub use splicecast_media::{ContentProfile, Ladder, SegmentList, Video};
 pub use splicecast_swarm::{
     run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, CdnConfig, ChurnConfig, ControlPlane,
-    ControlPlaneStats, DiscoveryMode, EstimatorKind, PolicyConfig, SwarmConfig, SwarmMetrics,
+    ControlPlaneStats, DiscoveryMode, EstimatorKind, PolicyConfig, SchedulerMode, SchedulerStats,
+    SwarmConfig, SwarmMetrics,
 };

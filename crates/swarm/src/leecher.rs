@@ -12,8 +12,8 @@ use splicecast_protocol::{decode_single, Bitfield, EncodeBuf, Message, PROTOCOL_
 use crate::metrics::{MetricsSink, PeerReport};
 use crate::peer::PeerView;
 use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
-use crate::scheduler::{next_wanted_from, pick_source, SourceCandidate};
-use crate::swarm::ControlPlane;
+use crate::scheduler::{next_wanted_from, pick_source, HolderIndex, SourceCandidate};
+use crate::swarm::{ControlPlane, SchedulerMode};
 use crate::upload::UploadSide;
 
 const TOKEN_BOOT: u64 = 1;
@@ -68,6 +68,8 @@ pub struct LeecherConfig {
     pub discovery: crate::swarm::DiscoveryMode,
     /// Which control plane disseminates availability and schedules pumps.
     pub control_plane: ControlPlane,
+    /// How upload sources are found (full rescan vs. incremental index).
+    pub scheduler: SchedulerMode,
     /// How long completions may wait before a coalesced `HaveBundle`
     /// flush (eventful mode only).
     pub coalesce_window: SimDuration,
@@ -93,6 +95,41 @@ struct InFlight {
     serving: bool,
 }
 
+/// Outcome of the last scheduling pass, driving the dirty-flag skip.
+///
+/// A pass that issues no request consumes no RNG and sends nothing
+/// (`pick_source` only draws on a non-empty candidate set, and a non-empty
+/// set always yields a request), so skipping its re-run is bit-identical to
+/// running it — as long as nothing that could change its outcome happened
+/// in between. Every such change marks the state [`SchedState::Dirty`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedState {
+    /// Something relevant changed; the next pass must run.
+    Dirty,
+    /// The last pass found every segment held or in flight. Only freeing a
+    /// segment (`drop_in_flight`) can change that, and it marks dirty.
+    Exhausted,
+    /// The last pass stopped at this wanted segment with no eligible
+    /// source for it. The pass walks segments in order and stops at the
+    /// *first* want it cannot fill, so only events that could fill exactly
+    /// that segment re-dirty the state: a new holder *of that segment*, a
+    /// fresh handshake (may fold in held bits or enable the CDN), a freed
+    /// in-flight slot, or the leecher's own holdings growing (moves the
+    /// frontier). Holder news for other segments cannot change the
+    /// outcome — the pass would stop at the same segment again. (Peers
+    /// going offline only *shrink* the candidate set, so they need no
+    /// mark.)
+    NoSource(u32),
+    /// The last pass stopped at the pool-size cap. Skippable even though
+    /// the adaptive pool size is time-varying: between deliveries the
+    /// buffered lead `T` only *shrinks* (the play head advances, the
+    /// buffer is fixed), so the pool `⌊B·T/W⌋` only shrinks and a full
+    /// pool stays full. Everything that can grow it — a fresh bandwidth
+    /// sample `B`, a freed in-flight slot, a new holding extending the
+    /// buffer — happens inside a delivery or drop, and those mark dirty.
+    PoolFull,
+}
+
 /// The leecher node behaviour.
 #[derive(Debug)]
 pub struct LeecherNode {
@@ -100,7 +137,21 @@ pub struct LeecherNode {
     playback: Playback,
     holdings: Bitfield,
     views: BTreeMap<NodeId, PeerView>,
+    /// Per-segment holder index: for each segment, the sorted handshaken
+    /// peers known to hold it (CDN excluded — its eligibility does not
+    /// depend on holdings). Mirrors the views' bitfields incrementally.
+    holders: HolderIndex,
+    /// Outcome of the last scheduling pass (dirty-flag scheduling).
+    sched_state: SchedState,
     in_flight: BTreeMap<u32, InFlight>,
+    /// One-shot re-pick bans: segment → the source whose request just
+    /// timed out there. Consulted (and consumed) by the next successful
+    /// pick of that segment, so a re-request "moves to a *different*
+    /// source when one exists" instead of letting the random tie-break
+    /// land back on the stale one. Kept out of the pick itself so the
+    /// candidate set — and therefore the RNG draw sequence — is unchanged
+    /// whenever the tie-break behaves.
+    timeout_bans: BTreeMap<u32, NodeId>,
     uploads: UploadSide,
     /// Set once the manifest has arrived; downloads start then.
     streaming: bool,
@@ -161,7 +212,10 @@ impl LeecherNode {
             playback,
             holdings: Bitfield::new(segment_count),
             views,
+            holders: HolderIndex::new(segment_count),
+            sched_state: SchedState::Dirty,
             in_flight: BTreeMap::new(),
+            timeout_bans: BTreeMap::new(),
             uploads,
             streaming: false,
             next_needed: 0,
@@ -192,12 +246,22 @@ impl LeecherNode {
         node == self.cfg.seeder || self.cfg.cdn == Some(node)
     }
 
+    /// Drops a peer's view and its holder-index entries. Evictions only
+    /// shrink the candidate sets, so they never mark the scheduler dirty.
+    fn forget_view(&mut self, peer: NodeId) {
+        if let Some(view) = self.views.remove(&peer) {
+            if view.handshaken && Some(peer) != self.cfg.cdn {
+                self.report.sched.holder_removes += self.holders.remove_peer(peer);
+            }
+        }
+    }
+
     fn say(&mut self, ctx: &mut Ctx<'_>, to: NodeId, message: &Message) -> bool {
         match ctx.send(to, self.wire_buf.wire(message)) {
             Ok(()) => true,
             Err(_) => {
                 // Unreachable peer (churned out): forget it entirely.
-                self.views.remove(&to);
+                self.forget_view(to);
                 self.uploads.forget_peer(to);
                 false
             }
@@ -298,7 +362,7 @@ impl LeecherNode {
             if ctx.send(peer, wire.clone()).is_ok() {
                 sent += 1;
             } else {
-                self.views.remove(&peer);
+                self.forget_view(peer);
                 self.uploads.forget_peer(peer);
             }
         }
@@ -314,9 +378,26 @@ impl LeecherNode {
     /// segment gets `1/k` of the bandwidth while `k` parallel connections
     /// overload the access link (§VI-B).
     fn schedule(&mut self, ctx: &mut Ctx<'_>) {
+        let start = std::time::Instant::now();
+        self.schedule_pass(ctx);
+        crate::scheduler::sched_wall_add(start.elapsed());
+    }
+
+    /// One scheduling pass; only entered via [`Self::schedule`], which
+    /// accounts its wall clock to the process-wide probe.
+    fn schedule_pass(&mut self, ctx: &mut Ctx<'_>) {
         if !self.streaming {
             return;
         }
+        if self.cfg.scheduler == SchedulerMode::Indexed && self.sched_state != SchedState::Dirty {
+            // Dirty-flag skip: the last pass proved no request could be
+            // issued, nothing relevant changed since (see `SchedState`),
+            // and a pass issuing no request touches neither the RNG nor
+            // the wire — so not running it is bit-identical.
+            self.report.sched.skips += 1;
+            return;
+        }
+        self.report.sched.passes += 1;
         let now = ctx.now().as_secs_f64();
         while self.next_needed < self.holdings.len() && self.holdings.get(self.next_needed) {
             self.next_needed += 1;
@@ -328,6 +409,8 @@ impl LeecherNode {
                 |i| self.holdings.get(i),
                 |i| self.in_flight.contains_key(&i),
             ) else {
+                self.sched_state = SchedState::Exhausted;
+                self.report.sched.exhausted += 1;
                 return; // everything held or requested
             };
             let w = match self.cfg.w_estimate {
@@ -340,16 +423,40 @@ impl LeecherNode {
                 next_segment_bytes: w,
             };
             if self.in_flight.len() >= self.cfg.policy.pool_size(&input) {
+                self.sched_state = SchedState::PoolFull;
+                self.report.sched.full_pool += 1;
                 return;
             }
-            let Some(source) = self.pick_source_for(ctx, want) else {
+            let Some(mut source) = self.pick_source_for(ctx, want, None) else {
+                self.sched_state = SchedState::NoSource(want);
+                self.report.sched.no_source += 1;
                 return;
             };
+            if let Some(banned) = self.timeout_bans.remove(&want) {
+                if source == banned {
+                    // The tie-break landed back on the source that just
+                    // timed out here; redraw without it. Falling back to
+                    // the banned source is correct when it is the only
+                    // provider left.
+                    source = self
+                        .pick_source_for(ctx, want, Some(banned))
+                        .unwrap_or(banned);
+                }
+            }
             self.request_from(ctx, source, want);
         }
     }
 
-    fn pick_source_for(&mut self, ctx: &mut Ctx<'_>, index: u32) -> Option<NodeId> {
+    /// Picks the least-loaded eligible source for `index`, skipping
+    /// `exclude` (the timed-out source on a re-request). Both scheduler
+    /// modes build the identical candidate list — ascending `NodeId`
+    /// order, same membership — so the RNG tie-break picks the same peer.
+    fn pick_source_for(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        index: u32,
+        exclude: Option<NodeId>,
+    ) -> Option<NodeId> {
         let cdn_busy = self
             .cfg
             .cdn
@@ -359,14 +466,57 @@ impl LeecherNode {
         let cdn = self.cfg.cdn;
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
         candidates.clear();
+        match self.cfg.scheduler {
+            SchedulerMode::Scan => {
+                self.collect_candidates_scan(ctx, index, exclude, cdn_busy, &mut candidates);
+            }
+            SchedulerMode::Indexed => {
+                self.collect_candidates_indexed(ctx, index, exclude, cdn_busy, &mut candidates);
+                #[cfg(debug_assertions)]
+                {
+                    let mut rescan = Vec::new();
+                    self.collect_candidates_scan(ctx, index, exclude, cdn_busy, &mut rescan);
+                    debug_assert_eq!(
+                        candidates, rescan,
+                        "holder-index candidates diverged from a full rescan \
+                         for segment {index}"
+                    );
+                }
+            }
+        }
+        // Prefer fellow leechers whenever one holds the segment: the origin
+        // is the last resort, so its uplink stays free to push *fresh*
+        // segments into the swarm (classic BitTorrent etiquette, and what
+        // keeps a bandwidth-tight swarm feasible).
+        let is_origin = |c: &SourceCandidate| c.peer == seeder || cdn == Some(c.peer);
+        if candidates.iter().any(|c| !is_origin(c)) {
+            candidates.retain(|c| !is_origin(c));
+        }
+        let picked = pick_source(&candidates, ctx.rng());
+        self.scratch_candidates = candidates;
+        picked
+    }
+
+    /// Reference candidate collection: a full scan of every peer view.
+    /// `views` is a `BTreeMap`, so the pool is in ascending `NodeId` order
+    /// — no sort needed for determinism.
+    fn collect_candidates_scan(
+        &self,
+        ctx: &Ctx<'_>,
+        index: u32,
+        exclude: Option<NodeId>,
+        cdn_busy: bool,
+        out: &mut Vec<SourceCandidate>,
+    ) {
+        let cdn = self.cfg.cdn;
         for (&peer, view) in &self.views {
-            if !view.handshaken || !ctx.is_online(peer) {
+            if Some(peer) == exclude || !view.handshaken || !ctx.is_online(peer) {
                 continue;
             }
             if cdn == Some(peer) {
                 // §IV: downloads from the CDN happen one segment at a time.
                 if !cdn_busy {
-                    candidates.push(SourceCandidate {
+                    out.push(SourceCandidate {
                         peer,
                         outstanding: view.outstanding,
                     });
@@ -377,25 +527,63 @@ impl LeecherNode {
                 continue; // CDN-only mode: neither seeder nor peers serve data
             }
             if view.holdings.get(index) {
-                candidates.push(SourceCandidate {
+                out.push(SourceCandidate {
                     peer,
                     outstanding: view.outstanding,
                 });
             }
         }
-        // Prefer fellow leechers whenever one holds the segment: the origin
-        // is the last resort, so its uplink stays free to push *fresh*
-        // segments into the swarm (classic BitTorrent etiquette, and what
-        // keeps a bandwidth-tight swarm feasible). `views` is a `BTreeMap`,
-        // so the pool is already in ascending `NodeId` order — no sort
-        // needed for determinism.
-        let is_origin = |c: &SourceCandidate| c.peer == seeder || cdn == Some(c.peer);
-        if candidates.iter().any(|c| !is_origin(c)) {
-            candidates.retain(|c| !is_origin(c));
+    }
+
+    /// Indexed candidate collection: walks the holders of one segment
+    /// instead of every view. The index already folds in handshaken-ness
+    /// and excludes the CDN; online-ness stays a live probe (a peer can go
+    /// offline before its departure is observed), and the CDN candidate is
+    /// merged at its sorted `NodeId` position so the order matches the scan.
+    fn collect_candidates_indexed(
+        &self,
+        ctx: &Ctx<'_>,
+        index: u32,
+        exclude: Option<NodeId>,
+        cdn_busy: bool,
+        out: &mut Vec<SourceCandidate>,
+    ) {
+        let cdn_candidate = self.cfg.cdn.filter(|&cdn| {
+            !cdn_busy
+                && Some(cdn) != exclude
+                && self.views.get(&cdn).is_some_and(|v| v.handshaken)
+                && ctx.is_online(cdn)
+        });
+        let mut cdn_pending = cdn_candidate;
+        if self.cfg.p2p {
+            for &peer in self.holders.of(index) {
+                if let Some(cdn) = cdn_pending {
+                    if cdn < peer {
+                        out.push(SourceCandidate {
+                            peer: cdn,
+                            outstanding: self.views[&cdn].outstanding,
+                        });
+                        cdn_pending = None;
+                    }
+                }
+                if Some(peer) == exclude || !ctx.is_online(peer) {
+                    continue;
+                }
+                let Some(view) = self.views.get(&peer) else {
+                    continue; // evicted concurrently; the scan skips it too
+                };
+                out.push(SourceCandidate {
+                    peer,
+                    outstanding: view.outstanding,
+                });
+            }
         }
-        let picked = pick_source(&candidates, ctx.rng());
-        self.scratch_candidates = candidates;
-        picked
+        if let Some(cdn) = cdn_pending {
+            out.push(SourceCandidate {
+                peer: cdn,
+                outstanding: self.views[&cdn].outstanding,
+            });
+        }
     }
 
     fn request_from(&mut self, ctx: &mut Ctx<'_>, source: NodeId, index: u32) {
@@ -424,6 +612,9 @@ impl LeecherNode {
         if let Some(view) = self.views.get_mut(&entry.source) {
             view.outstanding = view.outstanding.saturating_sub(1);
         }
+        // Freeing a segment can turn an exhausted schedule fillable again,
+        // and freeing a CDN slot can give a source-less segment a source.
+        self.sched_state = SchedState::Dirty;
         Some(entry)
     }
 
@@ -447,17 +638,26 @@ impl LeecherNode {
         );
         for &(index, entry) in &stale {
             if !ctx.is_online(entry.source) {
-                self.views.remove(&entry.source);
+                self.forget_view(entry.source);
                 self.drop_in_flight(index);
                 continue;
             }
+            // Exclude the timed-out source from the pick itself: choosing
+            // from the full pool and filtering afterwards would let the
+            // later scheduling pass re-request from the very peer that
+            // just timed out (its random tie-break sees the full pool).
             let alternative = self
-                .pick_source_for(ctx, index)
+                .pick_source_for(ctx, index, None)
                 .filter(|&s| s != entry.source);
             match alternative {
                 Some(_) => {
                     self.say(ctx, entry.source, &Message::Cancel { index });
                     self.drop_in_flight(index);
+                    // The scheduling pass that follows re-picks the source
+                    // for this segment from the full pool; ban the one
+                    // that just timed out so the random tie-break cannot
+                    // land right back on it.
+                    self.timeout_bans.insert(index, entry.source);
                 }
                 None => {
                     if let Some(f) = self.in_flight.get_mut(&index) {
@@ -502,6 +702,10 @@ impl LeecherNode {
         self.cfg
             .estimator
             .observe(bytes, now.saturating_since(started).as_secs_f64());
+        // Every delivery is a scheduling event: the bandwidth sample can
+        // grow the adaptive pool, a freed slot or a new holding changes
+        // what the next pass can request.
+        self.sched_state = SchedState::Dirty;
         // A raced re-request can deliver from the *old* source after the
         // in-flight entry was re-pointed at a new one; only the recorded
         // source may clear the entry, or the new source's outstanding
@@ -510,9 +714,15 @@ impl LeecherNode {
             self.drop_in_flight(index);
         }
         if self.holdings.get(index) {
-            return; // duplicate delivery from a raced re-request
+            // Duplicate delivery from a raced re-request — but the
+            // `drop_in_flight` above may have freed a pool slot, so the
+            // scheduling pass must still run or the slot sits idle until
+            // the next pump (up to 8 intervals in eventful mode).
+            self.schedule(ctx);
+            return;
         }
         self.holdings.set(index);
+        self.timeout_bans.remove(&index); // held: the ban can never apply
         if from == self.cfg.seeder {
             self.report.segments_from_seeder += 1;
         } else if self.cfg.cdn == Some(from) {
@@ -629,38 +839,97 @@ impl LeecherNode {
                         .or_insert_with(|| PeerView::new(segment_count));
                 }
                 self.greet(ctx, from);
+                let mut newly_handshaken = false;
                 if let Some(view) = self.views.get_mut(&from) {
-                    view.handshaken = true;
+                    if !view.handshaken {
+                        view.handshaken = true;
+                        newly_handshaken = true;
+                        if Some(from) != self.cfg.cdn {
+                            // Bits learned before the handshake (e.g. a
+                            // Bitfield that arrived first) become
+                            // candidates now: fold them into the index.
+                            for i in view.holdings.iter_set() {
+                                if self.holders.insert(i, from) {
+                                    self.report.sched.holder_adds += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                if newly_handshaken {
+                    // A fresh handshake can enable candidacy — indexed
+                    // bits above, or the CDN becoming eligible.
+                    self.sched_state = SchedState::Dirty;
                 }
                 let bitfield = Message::Bitfield(self.holdings.clone());
                 self.say(ctx, from, &bitfield);
                 self.schedule(ctx);
             }
             Message::Bitfield(bf) => {
+                let mut dirty = false;
                 if let Some(view) = self.views.get_mut(&from) {
                     if bf.len() == view.holdings.len() {
-                        view.holdings = bf;
+                        let old = std::mem::replace(&mut view.holdings, bf);
+                        if view.handshaken && Some(from) != self.cfg.cdn {
+                            // Diff the replacement into the holder index.
+                            for i in 0..old.len() {
+                                let (was, is) = (old.get(i), view.holdings.get(i));
+                                if !was && is && self.holders.insert(i, from) {
+                                    self.report.sched.holder_adds += 1;
+                                    dirty |= self.sched_state == SchedState::NoSource(i);
+                                } else if was && !is && self.holders.remove(i, from) {
+                                    self.report.sched.holder_removes += 1;
+                                }
+                            }
+                        }
                     }
+                }
+                if dirty {
+                    self.sched_state = SchedState::Dirty;
                 }
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
             }
             Message::Have { index } => {
+                let mut dirty = false;
                 if let Some(view) = self.views.get_mut(&from) {
-                    if index < view.holdings.len() {
+                    if index < view.holdings.len() && !view.holdings.get(index) {
                         view.holdings.set(index);
+                        if view.handshaken
+                            && Some(from) != self.cfg.cdn
+                            && self.holders.insert(index, from)
+                        {
+                            self.report.sched.holder_adds += 1;
+                            // Only a holder of the exact segment the last
+                            // pass was blocked on can change its outcome.
+                            dirty = self.sched_state == SchedState::NoSource(index);
+                        }
                     }
+                }
+                if dirty {
+                    self.sched_state = SchedState::Dirty;
                 }
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
             }
             Message::HaveBundle { indices } => {
+                let mut dirty = false;
                 if let Some(view) = self.views.get_mut(&from) {
                     for &index in &indices {
-                        if index < view.holdings.len() {
+                        if index < view.holdings.len() && !view.holdings.get(index) {
                             view.holdings.set(index);
+                            if view.handshaken
+                                && Some(from) != self.cfg.cdn
+                                && self.holders.insert(index, from)
+                            {
+                                self.report.sched.holder_adds += 1;
+                                dirty |= self.sched_state == SchedState::NoSource(index);
+                            }
                         }
                     }
+                }
+                if dirty {
+                    self.sched_state = SchedState::Dirty;
                 }
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
@@ -705,7 +974,7 @@ impl LeecherNode {
             }
             Message::Cancel { index } => self.uploads.on_cancel(from, index),
             Message::Goodbye => {
-                self.views.remove(&from);
+                self.forget_view(from);
                 self.uploads.forget_peer(from);
                 // The departed peer may hold our pending requests; an
                 // immediate pump re-points them instead of waiting for
@@ -740,8 +1009,36 @@ impl LeecherNode {
         }
     }
 
+    /// Debug-only invariant: the incrementally maintained holder index must
+    /// equal what a full rescan of the peer views would build. Runs on
+    /// every pump in debug builds (CI's test profile), so index drift fails
+    /// the build loudly instead of skewing the schedule silently.
+    #[cfg(debug_assertions)]
+    fn audit_holder_index(&self) {
+        if self.cfg.scheduler != SchedulerMode::Indexed {
+            return;
+        }
+        for segment in 0..self.holdings.len() {
+            let expected: Vec<NodeId> = self
+                .views
+                .iter()
+                .filter(|&(&peer, view)| {
+                    Some(peer) != self.cfg.cdn && view.handshaken && view.holdings.get(segment)
+                })
+                .map(|(&peer, _)| peer)
+                .collect();
+            assert_eq!(
+                self.holders.of(segment),
+                expected.as_slice(),
+                "holder index drifted from the peer views at segment {segment}"
+            );
+        }
+    }
+
     /// The legacy maintenance pump: fixed cadence, polls everything.
     fn legacy_pump(&mut self, ctx: &mut Ctx<'_>) {
+        #[cfg(debug_assertions)]
+        self.audit_holder_index();
         self.playback.advance(ctx.now().as_secs_f64());
         self.check_timeouts(ctx);
         self.schedule(ctx);
@@ -775,6 +1072,8 @@ impl LeecherNode {
         }
         self.earliest_armed = SimTime::MAX;
         self.pumps += 1;
+        #[cfg(debug_assertions)]
+        self.audit_holder_index();
         let due_flush = self.flush_at.is_some_and(|t| t <= now);
         let due_timeout = self.in_flight.values().any(|f| {
             !ctx.is_online(f.source)
@@ -893,14 +1192,24 @@ impl NodeBehavior for LeecherNode {
                 if self.in_flight.get(&index).is_some_and(|f| f.source == peer) {
                     self.drop_in_flight(index);
                     if !ctx.is_online(peer) {
-                        self.views.remove(&peer);
+                        self.forget_view(peer);
                     }
                     if self.in_flight.is_empty() {
                         self.schedule(ctx);
                     } else if !self.holdings.get(index) {
                         // Refill the hole in the current batch directly.
-                        if let Some(source) = self.pick_source_for(ctx, index) {
+                        if let Some(source) = self.pick_source_for(ctx, index, None) {
                             self.request_from(ctx, source, index);
+                        } else if self.cfg.control_plane == ControlPlane::Eventful {
+                            // No source for the hole right now, and the
+                            // remaining in-flight entries are serving —
+                            // nothing would arm a deadline before the
+                            // distant heartbeat. Retry on a near-term pump
+                            // (the dirty flag is set, so a source that
+                            // appears in the meantime fills it even
+                            // sooner).
+                            let at = ctx.now() + self.cfg.pump_interval;
+                            self.arm_pump(ctx, at);
                         }
                     }
                 }
@@ -986,6 +1295,7 @@ mod tests {
             p2p: true,
             discovery,
             control_plane: ControlPlane::Legacy,
+            scheduler: SchedulerMode::Indexed,
             coalesce_window: SimDuration::from_secs_f64(1.0),
             sink: Rc::new(RefCell::new(Vec::new())),
         }
@@ -1077,6 +1387,248 @@ mod tests {
                 + l.report.segments_from_peers
                 + l.report.segments_from_cdn;
             assert_eq!(counted, 1, "the raced duplicate must not be double-counted");
+        }
+    }
+
+    /// Regression test: a timed-out request must move to a *different*
+    /// source when one exists. The old code picked an alternative, cancelled
+    /// and dropped the entry — then discarded the pick and let the next
+    /// scheduling pass re-choose from the full pool, whose random tie-break
+    /// could land right back on the timed-out source.
+    #[test]
+    fn timed_out_request_moves_to_a_different_source() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 4]);
+        let (leecher_id, s_id, a_id, b_id) =
+            (net.leaves[0], net.leaves[1], net.leaves[2], net.leaves[3]);
+
+        let mut cfg = config(s_id, vec![a_id, b_id], DiscoveryMode::Full);
+        cfg.join_delay = SimDuration::from_secs_f64(0.1);
+        let node = Rc::new(RefCell::new(LeecherNode::new(cfg)));
+
+        // A and B introduce themselves and announce segment 0.
+        let announce = |after: f64, to: NodeId| At {
+            after: SimDuration::from_secs_f64(after),
+            action: move |ctx: &mut Ctx<'_>| {
+                let hs = Message::Handshake {
+                    peer_id: 9,
+                    info_hash: crate::seeder::info_hash_of(""),
+                    version: PROTOCOL_VERSION,
+                };
+                ctx.send(to, encode_to_bytes(&hs)).unwrap();
+                ctx.send(to, encode_to_bytes(&Message::Have { index: 0 }))
+                    .unwrap();
+            },
+        };
+
+        let mut sim = Simulator::new(net.network, 3);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+        sim.add_node(Box::new(announce(0.3, leecher_id))); // A
+        sim.add_node(Box::new(announce(0.35, leecher_id))); // B
+
+        // After the introductions: a request to A has sat unserved since
+        // time zero, so the 4 s timeout fires on the pump at t = 4.1.
+        sim.run_until_idle(SimTime::from_secs_f64(0.5));
+        {
+            let mut l = node.borrow_mut();
+            l.streaming = true;
+            l.in_flight.insert(
+                0,
+                InFlight {
+                    source: a_id,
+                    requested_at: SimTime::ZERO,
+                    serving: false,
+                },
+            );
+            l.views.get_mut(&a_id).unwrap().outstanding = 1;
+        }
+        sim.run_until_idle(SimTime::from_secs_f64(6.0));
+
+        let l = node.borrow();
+        let entry = l
+            .in_flight
+            .get(&0)
+            .expect("the timed-out request must be re-requested");
+        assert_eq!(
+            entry.source, b_id,
+            "re-requesting must move off the timed-out source"
+        );
+        assert_eq!(l.views[&a_id].outstanding, 0);
+        assert_eq!(l.views[&b_id].outstanding, 1);
+    }
+
+    /// Regression test: a duplicate delivery from a raced re-request frees
+    /// a pool slot via `drop_in_flight`, so the early return must still run
+    /// the scheduling pass — the old code skipped it and the slot sat idle
+    /// until the next pump.
+    #[test]
+    fn duplicate_delivery_still_schedules() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 4]);
+        let (leecher_id, s_id, a_id, b_id) =
+            (net.leaves[0], net.leaves[1], net.leaves[2], net.leaves[3]);
+
+        let mut cfg = config(s_id, vec![a_id, b_id], DiscoveryMode::Full);
+        cfg.join_delay = SimDuration::from_secs_f64(0.1);
+        // Pumps far out of the picture: only the delivery path may schedule.
+        cfg.pump_interval = SimDuration::from_secs_f64(50.0);
+        let node = Rc::new(RefCell::new(LeecherNode::new(cfg)));
+
+        let mut sim = Simulator::new(net.network, 3);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+                                              // A delivers the raced duplicate of segment 0.
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(1.0),
+            action: move |ctx: &mut Ctx<'_>| {
+                ctx.start_transfer(leecher_id, 10_000, 0).unwrap();
+            },
+        }));
+        // B announces segment 1, the next download the freed slot can take.
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(0.3),
+            action: move |ctx: &mut Ctx<'_>| {
+                let hs = Message::Handshake {
+                    peer_id: 9,
+                    info_hash: crate::seeder::info_hash_of(""),
+                    version: PROTOCOL_VERSION,
+                };
+                ctx.send(leecher_id, encode_to_bytes(&hs)).unwrap();
+                ctx.send(leecher_id, encode_to_bytes(&Message::Have { index: 1 }))
+                    .unwrap();
+            },
+        }));
+
+        // Segment 0 is already held; A's delivery is the raced duplicate.
+        sim.run_until_idle(SimTime::from_secs_f64(0.5));
+        {
+            let mut l = node.borrow_mut();
+            l.streaming = true;
+            l.holdings.set(0);
+            l.in_flight.insert(
+                0,
+                InFlight {
+                    source: a_id,
+                    requested_at: SimTime::ZERO,
+                    serving: true,
+                },
+            );
+            l.views.get_mut(&a_id).unwrap().outstanding = 1;
+        }
+        sim.run_until_idle(SimTime::from_secs_f64(2.0));
+
+        let l = node.borrow();
+        assert_eq!(l.views[&a_id].outstanding, 0, "the duplicate clears A");
+        let entry = l.in_flight.get(&1).expect(
+            "the slot freed by the duplicate delivery must be refilled \
+             by the same event, not left idle until the next pump",
+        );
+        assert_eq!(entry.source, b_id);
+    }
+
+    /// Regression test: when a download dies and no alternative source
+    /// exists while other downloads are still in flight, the hole is
+    /// neither re-requested nor covered by an armed deadline — in eventful
+    /// mode nothing runs until the slow heartbeat. A near-term pump must be
+    /// armed, and the hole must refill as soon as a source appears.
+    #[test]
+    fn failed_transfer_hole_arms_retry_and_refills() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 5]);
+        let (leecher_id, s_id, a_id, b_id, c_id) = (
+            net.leaves[0],
+            net.leaves[1],
+            net.leaves[2],
+            net.leaves[3],
+            net.leaves[4],
+        );
+
+        let mut cfg = config(s_id, vec![a_id, b_id, c_id], DiscoveryMode::Full);
+        cfg.join_delay = SimDuration::from_secs_f64(0.1);
+        cfg.control_plane = ControlPlane::Eventful;
+        let node = Rc::new(RefCell::new(LeecherNode::new(cfg)));
+
+        let mut sim = Simulator::new(net.network, 3);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+                                              // A starts serving segment 0, then churns out mid-transfer.
+        let mut fired = 0u32;
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(1.0),
+            action: move |ctx: &mut Ctx<'_>| {
+                fired += 1;
+                if fired == 1 {
+                    ctx.start_transfer(leecher_id, 5_000_000, 0).unwrap();
+                    ctx.set_timer(SimDuration::from_secs_f64(1.0), 0);
+                } else {
+                    ctx.go_offline();
+                }
+            },
+        }));
+        sim.add_node(Box::new(NullBehavior)); // B: serves segment 1 forever
+                                              // C: the source that appears later.
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(3.5),
+            action: move |ctx: &mut Ctx<'_>| {
+                let hs = Message::Handshake {
+                    peer_id: 9,
+                    info_hash: crate::seeder::info_hash_of(""),
+                    version: PROTOCOL_VERSION,
+                };
+                ctx.send(leecher_id, encode_to_bytes(&hs)).unwrap();
+                ctx.send(leecher_id, encode_to_bytes(&Message::Have { index: 0 }))
+                    .unwrap();
+            },
+        }));
+
+        // Both segments in flight and serving: no timeout deadline is
+        // armed, so only the 8-interval heartbeat (t = 9.1) is pending.
+        sim.run_until_idle(SimTime::from_secs_f64(0.5));
+        {
+            let mut l = node.borrow_mut();
+            l.streaming = true;
+            for (index, source) in [(0, a_id), (1, b_id)] {
+                l.in_flight.insert(
+                    index,
+                    InFlight {
+                        source,
+                        requested_at: SimTime::ZERO,
+                        serving: true,
+                    },
+                );
+                l.views.get_mut(&source).unwrap().outstanding = 1;
+            }
+        }
+
+        // A churns out at t = 2: the transfer fails, no source for the
+        // hole exists, and segment 1 is still in flight.
+        sim.run_until_idle(SimTime::from_secs_f64(2.5));
+        {
+            let l = node.borrow();
+            assert!(!l.in_flight.contains_key(&0), "the dead download is gone");
+            assert!(l.in_flight.contains_key(&1));
+            assert!(!l.views.contains_key(&a_id), "the churned source is gone");
+            assert!(
+                l.earliest_armed.as_secs_f64() < 4.0,
+                "a near-term pump must be armed for the unfilled hole, \
+                 not the distant heartbeat (armed: {:.2} s)",
+                l.earliest_armed.as_secs_f64()
+            );
+        }
+
+        // C announces segment 0 at t = 3.5: the hole refills immediately.
+        sim.run_until_idle(SimTime::from_secs_f64(5.0));
+        {
+            let l = node.borrow();
+            let entry = l
+                .in_flight
+                .get(&0)
+                .expect("the hole must refill once a source appears");
+            assert_eq!(entry.source, c_id);
         }
     }
 

@@ -50,13 +50,17 @@ pub use cdn::{max_cdn_segment_bytes, CdnConfig};
 pub use churn::ChurnConfig;
 pub use cross::{CrossTrafficConfig, CrossTrafficNode};
 pub use leecher::{LeecherConfig, LeecherNode};
-pub use metrics::{ControlPlaneStats, MetricsSink, PeerReport, SwarmMetrics};
+pub use metrics::{ControlPlaneStats, MetricsSink, PeerReport, SchedulerStats, SwarmMetrics};
 pub use peer::{PeerView, UploadManager, UploadRequest};
 pub use policy::{
     optimal_pool_size, AdaptivePooling, BandwidthEstimator, DownloadPolicy, EstimatorKind,
     FixedPool, PolicyConfig, PolicyInput, WEstimate,
 };
-pub use scheduler::{next_wanted, pick_source, SourceCandidate};
+pub use scheduler::{
+    next_wanted, pick_source, reset_sched_wall, sched_wall_ns, HolderIndex, SourceCandidate,
+};
 pub use seeder::{info_hash_of, SeederNode};
-pub use swarm::{run_swarm, run_swarm_shared, ControlPlane, DiscoveryMode, SwarmConfig};
+pub use swarm::{
+    run_swarm, run_swarm_shared, ControlPlane, DiscoveryMode, SchedulerMode, SwarmConfig,
+};
 pub use upload::UploadSide;

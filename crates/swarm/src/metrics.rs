@@ -53,8 +53,44 @@ impl ControlPlaneStats {
     }
 }
 
+/// Scheduler-efficiency counters for one leecher: how often the download
+/// scheduler actually ran versus proved itself unnecessary, and how much
+/// churn the per-segment holder index absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Scheduling passes that ran (walked the wanted segments).
+    pub passes: u64,
+    /// Scheduling passes skipped because nothing changed since a previous
+    /// pass proved no request could be issued (dirty-flag scheduling).
+    pub skips: u64,
+    /// Entries added to the per-segment holder index.
+    pub holder_adds: u64,
+    /// Entries removed from the per-segment holder index (evictions and
+    /// bitfield replacements).
+    pub holder_removes: u64,
+    /// Passes that stopped at the pool-size cap.
+    pub full_pool: u64,
+    /// Passes that stopped on a wanted segment with no eligible source.
+    pub no_source: u64,
+    /// Passes that found every segment held or in flight.
+    pub exhausted: u64,
+}
+
+impl SchedulerStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &SchedulerStats) {
+        self.passes += other.passes;
+        self.skips += other.skips;
+        self.holder_adds += other.holder_adds;
+        self.holder_removes += other.holder_removes;
+        self.full_pool += other.full_pool;
+        self.no_source += other.no_source;
+        self.exhausted += other.exhausted;
+    }
+}
+
 /// Final accounting for one leecher.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PeerReport {
     /// Leecher index (0-based, excluding the seeder).
     pub peer: usize,
@@ -79,6 +115,31 @@ pub struct PeerReport {
     /// Control-plane traffic this peer generated.
     #[serde(default)]
     pub control: ControlPlaneStats,
+    /// Scheduler-efficiency counters for this peer.
+    #[serde(default)]
+    pub sched: SchedulerStats,
+}
+
+/// `Debug` is hand-written to render exactly what the derive produced
+/// before `sched` existed: the legacy-plane digest test pins a hash of the
+/// formatted metrics, and the scheduler counters are an internal efficiency
+/// measure, not observable swarm behaviour.
+impl std::fmt::Debug for PeerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerReport")
+            .field("peer", &self.peer)
+            .field("qoe", &self.qoe)
+            .field("stalls", &self.stalls)
+            .field("bytes_downloaded", &self.bytes_downloaded)
+            .field("bytes_uploaded", &self.bytes_uploaded)
+            .field("segments_from_seeder", &self.segments_from_seeder)
+            .field("segments_from_peers", &self.segments_from_peers)
+            .field("segments_from_cdn", &self.segments_from_cdn)
+            .field("finished", &self.finished)
+            .field("departed", &self.departed)
+            .field("control", &self.control)
+            .finish()
+    }
 }
 
 /// Shared sink the leechers report into. Single-threaded by design: one
@@ -152,6 +213,15 @@ impl SwarmMetrics {
         let mut total = ControlPlaneStats::default();
         for report in &self.reports {
             total.absorb(&report.control);
+        }
+        total
+    }
+
+    /// Summed scheduler counters over every report.
+    pub fn sched_totals(&self) -> SchedulerStats {
+        let mut total = SchedulerStats::default();
+        for report in &self.reports {
+            total.absorb(&report.sched);
         }
         total
     }
@@ -268,6 +338,39 @@ mod tests {
         assert_eq!(total.pumps(), 4);
         assert!((total.mean_bundle_size() - 3.0).abs() < 1e-12);
         assert_eq!(ControlPlaneStats::default().mean_bundle_size(), 0.0);
+    }
+
+    #[test]
+    fn sched_totals_sum_over_all_reports() {
+        let mut a = report(0, 0, 0.0, false);
+        a.sched.passes = 10;
+        a.sched.skips = 90;
+        a.sched.holder_adds = 7;
+        let mut b = report(1, 0, 0.0, true);
+        b.sched.passes = 5;
+        b.sched.holder_removes = 2;
+        let m = SwarmMetrics {
+            reports: vec![a, b],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+        };
+        let total = m.sched_totals();
+        assert_eq!(total.passes, 15);
+        assert_eq!(total.skips, 90);
+        assert_eq!(total.holder_adds, 7);
+        assert_eq!(total.holder_removes, 2);
+    }
+
+    #[test]
+    fn peer_report_debug_excludes_sched_counters() {
+        // The legacy digest test hashes the Debug rendering; the scheduler
+        // counters are diagnostics and must not leak into it.
+        let mut r = report(0, 0, 0.0, false);
+        r.sched.passes = 123_456;
+        let rendered = format!("{r:?}");
+        assert!(!rendered.contains("sched"), "{rendered}");
+        assert!(!rendered.contains("123456"), "{rendered}");
+        assert!(rendered.contains("control"), "{rendered}");
     }
 
     #[test]

@@ -1,8 +1,37 @@
 //! Pure scheduling decisions: which segment next, from which source.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use splicecast_netsim::NodeId;
+
+/// Process-wide accumulator of wall-clock time spent inside scheduling
+/// passes, in nanoseconds. Summed across every leecher of every swarm run
+/// in this process — a benchmarking probe, not a metric: it is
+/// non-deterministic and deliberately kept out of [`SwarmMetrics`]
+/// (which determinism tests compare bit-for-bit).
+///
+/// [`SwarmMetrics`]: crate::SwarmMetrics
+static SCHED_WALL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Resets the process-wide scheduling wall-clock accumulator to zero.
+pub fn reset_sched_wall() {
+    SCHED_WALL_NS.store(0, Ordering::Relaxed);
+}
+
+/// Nanoseconds spent inside scheduling passes since the last
+/// [`reset_sched_wall`], summed across all runs in this process. Callers
+/// comparing configurations (e.g. the `fig_sched` bench) reset between
+/// runs and run them sequentially.
+pub fn sched_wall_ns() -> u64 {
+    SCHED_WALL_NS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn sched_wall_add(elapsed: Duration) {
+    SCHED_WALL_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
 
 /// Picks the next segment to request: streaming is sequential, so it is the
 /// lowest-indexed segment that is neither held nor already in flight.
@@ -23,6 +52,83 @@ where
     F: Fn(u32) -> bool,
 {
     (from..segment_count).find(|&i| !held(i) && !in_flight(i))
+}
+
+/// An incrementally maintained per-segment holder index: for each segment,
+/// the sorted set of handshaken peers known to hold it.
+///
+/// This replaces the O(peers) rescan of every `PeerView` per scheduling
+/// decision with an O(holders-of-one-segment) walk. Maintenance happens at
+/// the points where knowledge changes — `Bitfield`/`Have`/`HaveBundle`
+/// arrival, handshake completion, and peer eviction — which are each cheap
+/// and already O(changed bits).
+///
+/// Determinism contract: each per-segment set is kept sorted by `NodeId`,
+/// so iterating `of(segment)` visits candidates in the same ascending order
+/// as walking the `BTreeMap` of peer views did.
+#[derive(Debug, Clone, Default)]
+pub struct HolderIndex {
+    per_segment: Vec<Vec<NodeId>>,
+}
+
+impl HolderIndex {
+    /// An empty index over `segment_count` segments.
+    pub fn new(segment_count: u32) -> Self {
+        HolderIndex {
+            per_segment: vec![Vec::new(); segment_count as usize],
+        }
+    }
+
+    /// Records `peer` as a holder of `segment`. Returns `true` when the
+    /// entry is new. Out-of-range segments are ignored.
+    pub fn insert(&mut self, segment: u32, peer: NodeId) -> bool {
+        let Some(holders) = self.per_segment.get_mut(segment as usize) else {
+            return false;
+        };
+        match holders.binary_search(&peer) {
+            Ok(_) => false,
+            Err(pos) => {
+                holders.insert(pos, peer);
+                true
+            }
+        }
+    }
+
+    /// Removes `peer` as a holder of `segment`. Returns `true` when an
+    /// entry was removed.
+    pub fn remove(&mut self, segment: u32, peer: NodeId) -> bool {
+        let Some(holders) = self.per_segment.get_mut(segment as usize) else {
+            return false;
+        };
+        match holders.binary_search(&peer) {
+            Ok(pos) => {
+                holders.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes `peer` from every segment's holder set (peer eviction).
+    /// Returns the number of entries removed.
+    pub fn remove_peer(&mut self, peer: NodeId) -> u64 {
+        let mut removed = 0;
+        for holders in &mut self.per_segment {
+            if let Ok(pos) = holders.binary_search(&peer) {
+                holders.remove(pos);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// The holders of `segment`, in ascending `NodeId` order.
+    pub fn of(&self, segment: u32) -> &[NodeId] {
+        self.per_segment
+            .get(segment as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
 }
 
 /// A candidate upload source with its current load (requests we already
@@ -125,5 +231,46 @@ mod tests {
     fn pick_source_empty_is_none() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(pick_source(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn holder_index_insert_is_sorted_and_deduplicated() {
+        let mut idx = HolderIndex::new(3);
+        assert!(idx.insert(0, node(5)));
+        assert!(idx.insert(0, node(2)));
+        assert!(idx.insert(0, node(9)));
+        assert!(!idx.insert(0, node(5)), "duplicate insert is a no-op");
+        assert_eq!(idx.of(0), &[node(2), node(5), node(9)]);
+        assert!(idx.of(1).is_empty());
+    }
+
+    #[test]
+    fn holder_index_remove() {
+        let mut idx = HolderIndex::new(2);
+        idx.insert(1, node(3));
+        idx.insert(1, node(4));
+        assert!(idx.remove(1, node(3)));
+        assert!(!idx.remove(1, node(3)), "double remove is a no-op");
+        assert_eq!(idx.of(1), &[node(4)]);
+    }
+
+    #[test]
+    fn holder_index_remove_peer_sweeps_all_segments() {
+        let mut idx = HolderIndex::new(4);
+        for seg in 0..4 {
+            idx.insert(seg, node(7));
+        }
+        idx.insert(2, node(8));
+        assert_eq!(idx.remove_peer(node(7)), 4);
+        assert_eq!(idx.remove_peer(node(7)), 0);
+        assert_eq!(idx.of(2), &[node(8)]);
+    }
+
+    #[test]
+    fn holder_index_out_of_range_is_ignored() {
+        let mut idx = HolderIndex::new(1);
+        assert!(!idx.insert(5, node(1)));
+        assert!(!idx.remove(5, node(1)));
+        assert!(idx.of(5).is_empty());
     }
 }

@@ -59,6 +59,31 @@ impl std::str::FromStr for ControlPlane {
     }
 }
 
+/// How the leecher finds upload sources for a wanted segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerMode {
+    /// Rescan every `PeerView` per scheduling decision: O(peers) per pass.
+    /// Kept as the reference implementation (and differential-test oracle).
+    Scan,
+    /// Walk an incrementally maintained per-segment holder index and skip
+    /// scheduling passes that provably cannot issue a request. Bit-identical
+    /// to `Scan` by construction (same candidate order, same RNG draws).
+    #[default]
+    Indexed,
+}
+
+impl std::str::FromStr for SchedulerMode {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "scan" => Ok(SchedulerMode::Scan),
+            "indexed" => Ok(SchedulerMode::Indexed),
+            other => Err(format!("unknown scheduler `{other}` (scan | indexed)")),
+        }
+    }
+}
+
 /// Configuration of one swarm run. The defaults are the paper's GENI
 /// setup: 20 nodes (one seeder + 19 peers) in a star, 50 ms latency and
 /// 5 % loss between peers, 500 ms latency to the seeder, 128 kB/s links.
@@ -122,6 +147,9 @@ pub struct SwarmConfig {
     /// Which control plane disseminates availability and schedules pumps.
     #[serde(default)]
     pub control_plane: ControlPlane,
+    /// How upload sources are found (full rescan vs. incremental index).
+    #[serde(default)]
+    pub scheduler: SchedulerMode,
     /// Coalescing window of the eventful control plane, seconds: how long
     /// completions may wait before a `HaveBundle` flush. Defaults to one
     /// pump interval when unset.
@@ -157,6 +185,7 @@ impl Default for SwarmConfig {
             bandwidth_schedule: Vec::new(),
             flow_model: FlowModel::Rounds,
             control_plane: ControlPlane::Legacy,
+            scheduler: SchedulerMode::default(),
             have_coalesce_secs: None,
             max_sim_secs: 1_800.0,
         }
@@ -354,6 +383,7 @@ pub fn run_swarm_shared(
             p2p: config.p2p,
             discovery: config.discovery,
             control_plane: config.control_plane,
+            scheduler: config.scheduler,
             coalesce_window: SimDuration::from_secs_f64(
                 config
                     .have_coalesce_secs
@@ -471,6 +501,79 @@ mod tests {
             digest, 0x872b_2cf8_82a8_6794,
             "legacy run output changed; if intentional, update the pinned digest"
         );
+    }
+
+    /// The indexed scheduler must be bit-identical to the reference scan:
+    /// same candidate order, same RNG draws, same messages — on both
+    /// control planes, under churn, and with tracker discovery (late
+    /// joins, evictions, bundles all exercise the index maintenance).
+    /// Scheduler counters are zeroed before comparing: pass/skip tallies
+    /// are *expected* to differ between the modes.
+    #[test]
+    fn indexed_scheduler_matches_scan_bit_for_bit() {
+        let video = Video::builder().duration_secs(40.0).seed(6).build();
+        let segments = DurationSplicer::new(4.0).splice(&video);
+        let scenarios = [
+            SwarmConfig {
+                n_leechers: 6,
+                churn: Some(ChurnConfig {
+                    volatile_fraction: 0.3,
+                    mean_lifetime_secs: 20.0,
+                }),
+                discovery: DiscoveryMode::Tracker,
+                ..tiny_config()
+            },
+            SwarmConfig {
+                n_leechers: 6,
+                control_plane: ControlPlane::Eventful,
+                flow_model: FlowModel::Fluid,
+                churn: Some(ChurnConfig {
+                    volatile_fraction: 0.3,
+                    mean_lifetime_secs: 20.0,
+                }),
+                ..tiny_config()
+            },
+        ];
+        for (i, base) in scenarios.into_iter().enumerate() {
+            let run = |mode| {
+                let config = SwarmConfig {
+                    scheduler: mode,
+                    ..base.clone()
+                };
+                let mut metrics = run_swarm(&segments, &config, 11);
+                for report in &mut metrics.reports {
+                    report.sched = Default::default();
+                }
+                metrics
+            };
+            let scan = run(SchedulerMode::Scan);
+            let indexed = run(SchedulerMode::Indexed);
+            assert_eq!(scan, indexed, "scenario {i} diverged between modes");
+        }
+    }
+
+    /// The dirty-flag scheduler must actually skip work: in a steady
+    /// swarm most passes re-prove "nothing to do", and the skip counter
+    /// is the direct measure of the saved rescans.
+    #[test]
+    fn indexed_scheduler_skips_redundant_passes() {
+        let config = SwarmConfig {
+            n_leechers: 6,
+            ..tiny_config()
+        };
+        let video = Video::builder().duration_secs(40.0).seed(6).build();
+        let segments = DurationSplicer::new(4.0).splice(&video);
+        let metrics = run_swarm(&segments, &config, 3);
+        let sched = metrics.sched_totals();
+        assert!(sched.passes > 0);
+        assert!(
+            sched.skips * 2 > sched.passes,
+            "a large share of scheduling invocations should be skippable \
+             (passes {}, skips {})",
+            sched.passes,
+            sched.skips
+        );
+        assert!(sched.holder_adds > 0);
     }
 
     #[test]
