@@ -2,7 +2,8 @@
 
 use splicecast_core::{
     max_cdn_segment_bytes, max_cdn_segment_secs, optimal_pool_size, run_abr, run_averaged,
-    AbrAlgorithm, AbrConfig, CdnConfig, ChurnConfig, DiscoveryMode, ExperimentConfig, Ladder,
+    AbrAlgorithm, AbrConfig, CdnConfig, CdnOutageConfig, ChurnConfig, CrashChurnConfig,
+    DefenseConfig, DiscoveryMode, ExperimentConfig, FaultPlanConfig, Ladder, LinkFlapConfig,
     PolicyConfig, SplicingSpec, Table, VideoSpec,
 };
 
@@ -44,6 +45,16 @@ COMMON OPTIONS (run / sweep):
     --metric M            sweep metric: stalls|stallsecs|startup  [stalls]
     --chart               draw the sweep as an ASCII chart
     --csv                 also print machine-readable rows
+
+FAULT / DEFENSE OPTIONS (run / sweep):
+    --crash FRAC          crash-stop fraction (silent, no Goodbye)  [off]
+    --crash-uptime SECS   mean uptime before a crash           [45]
+    --msg-loss P          control-message drop probability     [0]
+    --msg-delay P         control-message delay probability    [0]
+    --msg-delay-max SECS  max injected control delay           [2]
+    --flaps N             degraded-link windows across the run [0]
+    --cdn-outages N       CDN outage windows (needs --cdn)     [0]
+    --defend              enable the peer-side failure defenses
 
 FORMULA OPTIONS:
     --bandwidth KB --buffered SECS --segment-kb KB
@@ -127,6 +138,40 @@ fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
     }
     if args.flag("tracker") {
         config.swarm.discovery = DiscoveryMode::Tracker;
+    }
+    let crash: f64 = args.num("crash", 0.0)?;
+    let crash_uptime: f64 = args.num("crash-uptime", 45.0)?;
+    let msg_loss: f64 = args.num("msg-loss", 0.0)?;
+    let msg_delay: f64 = args.num("msg-delay", 0.0)?;
+    let msg_delay_max: f64 = args.num("msg-delay-max", 2.0)?;
+    let flaps: usize = args.num("flaps", 0usize)?;
+    let outages: usize = args.num("cdn-outages", 0usize)?;
+    if outages > 0 && config.swarm.cdn.is_none() {
+        return Err("--cdn-outages needs --cdn".to_owned());
+    }
+    if crash > 0.0 || msg_loss > 0.0 || msg_delay > 0.0 || flaps > 0 || outages > 0 {
+        let window_secs = config.video.duration_secs;
+        let degraded = config.swarm.peer_bandwidth_bytes_per_sec / 8.0;
+        config = config.with_faults(FaultPlanConfig {
+            crash: (crash > 0.0).then(|| CrashChurnConfig::new(crash, crash_uptime)),
+            message_loss: msg_loss,
+            message_delay_prob: msg_delay,
+            message_delay_max_secs: msg_delay_max,
+            link_flaps: (flaps > 0).then_some(LinkFlapConfig {
+                count: flaps,
+                degraded_bytes_per_sec: degraded,
+                duration_secs: 10.0,
+                window_secs,
+            }),
+            cdn_outages: (outages > 0).then_some(CdnOutageConfig {
+                count: outages,
+                duration_secs: 10.0,
+                window_secs,
+            }),
+        });
+    }
+    if args.flag("defend") {
+        config = config.with_defense(DefenseConfig::default());
     }
     Ok(config)
 }
@@ -212,6 +257,36 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
             "  scheduling:        {:.0} passes, {:.0} skipped (per run)\n",
             sched.passes as f64 / runs,
             sched.skips as f64 / runs,
+        ));
+    }
+    let injected = averaged.injected;
+    let fault = averaged.fault;
+    if injected.messages_dropped + injected.messages_delayed + injected.outages_started > 0
+        || fault.crashes > 0
+    {
+        out.push_str(&format!(
+            "  injected faults:   {:.0} msgs dropped, {:.0} delayed, {:.0} crashes, {:.0} CDN outages (per run)\n",
+            injected.messages_dropped as f64 / runs,
+            injected.messages_delayed as f64 / runs,
+            fault.crashes as f64 / runs,
+            injected.outages_started as f64 / runs,
+        ));
+    }
+    if fault.silent_evictions
+        + fault.backoff_bans
+        + fault.cdn_fallbacks
+        + fault.watchdog_trips
+        + fault.keepalives_sent
+        + fault.manifest_retries
+        > 0
+    {
+        out.push_str(&format!(
+            "  defenses:          {:.0} evictions, {:.0} bans, {:.0} CDN fallbacks, {:.0} watchdog trips, {:.0} keepalives (per run)\n",
+            fault.silent_evictions as f64 / runs,
+            fault.backoff_bans as f64 / runs,
+            fault.cdn_fallbacks as f64 / runs,
+            fault.watchdog_trips as f64 / runs,
+            fault.keepalives_sent as f64 / runs,
         ));
     }
     if args.flag("csv") {

@@ -132,6 +132,20 @@ impl ExperimentConfig {
         self.swarm.scheduler = scheduler;
         self
     }
+
+    /// Installs a deterministic fault-injection plan (crash-stop churn,
+    /// control-message loss/delay, link flaps, CDN outages).
+    pub fn with_faults(mut self, faults: splicecast_swarm::FaultPlanConfig) -> Self {
+        self.swarm.faults = Some(faults);
+        self
+    }
+
+    /// Enables the peer-side failure defenses (inactivity eviction,
+    /// keepalives, source backoff, CDN fallback, watchdog).
+    pub fn with_defense(mut self, defense: splicecast_swarm::DefenseConfig) -> Self {
+        self.swarm.defense = Some(defense);
+        self
+    }
 }
 
 #[cfg(test)]

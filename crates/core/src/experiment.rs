@@ -43,6 +43,12 @@ pub struct AveragedMetrics {
     /// Scheduler counters summed over every run.
     #[serde(default)]
     pub sched: splicecast_swarm::SchedulerStats,
+    /// Peer-side fault/defense counters summed over every run.
+    #[serde(default)]
+    pub fault: splicecast_swarm::PeerFaultStats,
+    /// Netsim-level injected-fault counters summed over every run.
+    #[serde(default)]
+    pub injected: splicecast_netsim::InjectedFaults,
 }
 
 impl AveragedMetrics {
@@ -64,9 +70,13 @@ impl AveragedMetrics {
             .collect();
         let mut control = splicecast_swarm::ControlPlaneStats::default();
         let mut sched = splicecast_swarm::SchedulerStats::default();
+        let mut fault = splicecast_swarm::PeerFaultStats::default();
+        let mut injected = splicecast_netsim::InjectedFaults::default();
         for r in results {
             control.absorb(&r.metrics.control_totals());
             sched.absorb(&r.metrics.sched_totals());
+            fault.absorb(&r.metrics.fault_totals());
+            injected.absorb(&r.metrics.injected);
         }
         AveragedMetrics {
             runs: results.len(),
@@ -92,6 +102,8 @@ impl AveragedMetrics {
             segment_count: results[0].segment_count,
             control,
             sched,
+            fault,
+            injected,
         }
     }
 }

@@ -65,7 +65,8 @@ pub use splicecast_swarm as swarm;
 // Commonly-used types, re-exported flat for convenience.
 pub use splicecast_media::{ContentProfile, Ladder, SegmentList, Video};
 pub use splicecast_swarm::{
-    run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, CdnConfig, ChurnConfig, ControlPlane,
-    ControlPlaneStats, DiscoveryMode, EstimatorKind, PolicyConfig, SchedulerMode, SchedulerStats,
+    run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, CdnConfig, CdnOutageConfig, ChurnConfig,
+    ControlPlane, ControlPlaneStats, CrashChurnConfig, DefenseConfig, DiscoveryMode, EstimatorKind,
+    FaultPlanConfig, LinkFlapConfig, PeerFaultStats, PolicyConfig, SchedulerMode, SchedulerStats,
     SwarmConfig, SwarmMetrics,
 };

@@ -21,6 +21,10 @@ pub(crate) enum Scheduled {
     FlowDone { flow: u64, epoch: u32 },
     /// Apply a scheduled link-capacity change (bandwidth modulation).
     Capacity { dir: DirLinkId, capacity_bps: f64 },
+    /// Flip a node's online flag at a scheduled time (fault-injected outage
+    /// windows). Going offline fails the node's flows exactly like
+    /// [`crate::Ctx::go_offline`]; coming back online only restores the flag.
+    SetOnline { node: NodeId, online: bool },
 }
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.

@@ -38,6 +38,7 @@
 mod error;
 mod event;
 mod fasthash;
+mod fault;
 mod fluid;
 mod id;
 mod link;
@@ -51,6 +52,7 @@ pub mod rng;
 pub mod trace;
 
 pub use error::NetError;
+pub use fault::{InjectedFaults, MessageFaults};
 pub use id::{DirLinkId, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkSpec};
 pub use node::{NodeBehavior, NodeEvent, NullBehavior};

@@ -8,6 +8,7 @@ use rand::SeedableRng;
 
 use crate::error::NetError;
 use crate::event::{EventQueue, Scheduled};
+use crate::fault::{FaultPlane, InjectedFaults, MessageFate, MessageFaults};
 use crate::fluid::FillProblem;
 use crate::id::{DirLinkId, FlowId, NodeId};
 use crate::node::{NodeBehavior, NodeEvent};
@@ -69,6 +70,11 @@ pub(crate) struct World {
     fluid_ids: Vec<FlowId>,
     /// Fluid model: per-flow effective loss of the last rebalance (scratch).
     fluid_eff: Vec<f64>,
+    /// Injected message-fault plane, if any; `None` means `send_faulty`
+    /// degenerates to `send` with no extra RNG draws.
+    faults: Option<FaultPlane>,
+    /// Counters of injected faults (drops, delays, outage windows).
+    fault_stats: InjectedFaults,
 }
 
 /// The fluid model's per-flow rate ceiling: the Mathis loss-limited rate
@@ -136,6 +142,43 @@ impl World {
                     },
                 );
             }
+        }
+    }
+
+    /// Takes a node offline: fails all its flows (counterparts notified)
+    /// and stops event delivery to it. Shared by [`Ctx::go_offline`] and
+    /// scheduled outage windows.
+    fn force_offline(&mut self, node: NodeId) {
+        if !self.online[node.index()] {
+            return;
+        }
+        self.online[node.index()] = false;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceRecord::NodeOffline { at: self.now, node });
+        }
+        // fail_flow removes each flow from the per-node index, so taking
+        // the first id each time walks the list in insertion order.
+        while let Some(&id) = self.flows.flows_touching(node).first() {
+            let Some(f) = self.flows.get(id) else {
+                debug_assert!(false, "per-node flow index held a stale id");
+                break;
+            };
+            let counterpart = if f.src == node { f.dst } else { f.src };
+            self.fail_flow(id, &[counterpart]);
+        }
+    }
+
+    /// Applies a scheduled online-flag flip (fault-injected outage edges).
+    fn set_online(&mut self, node: NodeId, online: bool) {
+        if node.index() >= self.online.len() || self.online[node.index()] == online {
+            return;
+        }
+        if online {
+            self.online[node.index()] = true;
+            self.fault_stats.outages_ended += 1;
+        } else {
+            self.fault_stats.outages_started += 1;
+            self.force_offline(node);
         }
     }
 
@@ -538,12 +581,52 @@ impl Ctx<'_> {
     /// (models a connection reset) and [`NetError::NoRoute`] /
     /// [`NetError::UnknownNode`] for unroutable destinations.
     pub fn send(&mut self, to: NodeId, payload: Bytes) -> Result<(), NetError> {
+        self.send_inner(to, payload, false)
+    }
+
+    /// Like [`Ctx::send`], but subject to the injected message-fault plane
+    /// (see [`Simulator::set_message_faults`]): the message may be silently
+    /// dropped (the sender still sees `Ok`, modelling loss the application
+    /// cannot observe) or delivered with extra delay. With no plane
+    /// installed this is exactly `send` — same code path, same RNG draws.
+    ///
+    /// Applications route their *droppable* traffic classes (periodic
+    /// announcements, requests that have their own timeout) through here and
+    /// keep connection-shaping messages (handshakes, goodbyes) on `send`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::send`]; destination validation happens before the
+    /// fault roll, so an offline destination is still reported.
+    pub fn send_faulty(&mut self, to: NodeId, payload: Bytes) -> Result<(), NetError> {
+        self.send_inner(to, payload, true)
+    }
+
+    fn send_inner(&mut self, to: NodeId, payload: Bytes, faulty: bool) -> Result<(), NetError> {
         let w = &mut *self.world;
         if to.index() >= w.online.len() {
             return Err(NetError::UnknownNode);
         }
         if !w.online[to.index()] {
             return Err(NetError::NodeOffline(to));
+        }
+        let mut extra = SimDuration::ZERO;
+        if faulty {
+            if let Some(plane) = &mut w.faults {
+                match plane.roll() {
+                    MessageFate::Deliver => {}
+                    MessageFate::Drop => {
+                        // The wire ate it; the sender never knows.
+                        w.stats.messages_sent += 1;
+                        w.fault_stats.messages_dropped += 1;
+                        return Ok(());
+                    }
+                    MessageFate::Delay(d) => {
+                        w.fault_stats.messages_delayed += 1;
+                        extra = d;
+                    }
+                }
+            }
         }
         let delay = if to == self.me {
             LOOPBACK_DELAY
@@ -559,7 +642,9 @@ impl Ctx<'_> {
             let retx = geometric_failures(&mut w.rng, props.loss);
             props.latency + tx + (props.latency * 2) * retx
         };
-        let mut deliver_at = w.now + delay;
+        // Injected extra delay lands before the FIFO clamp: a delayed
+        // message still cannot overtake or be overtaken on its connection.
+        let mut deliver_at = w.now + delay + extra;
         // FIFO per (src, dst) pair, like an ordered byte stream.
         let slot = w.msg_order.entry((self.me, to)).or_insert(SimTime::ZERO);
         if deliver_at <= *slot {
@@ -713,27 +798,7 @@ impl Ctx<'_> {
     /// leaving the swarm.
     pub fn go_offline(&mut self) {
         let me = self.me;
-        let w = &mut *self.world;
-        if !w.online[me.index()] {
-            return;
-        }
-        w.online[me.index()] = false;
-        if let Some(trace) = &mut w.trace {
-            trace.push(TraceRecord::NodeOffline {
-                at: w.now,
-                node: me,
-            });
-        }
-        // fail_flow removes each flow from the per-node index, so taking
-        // the first id each time walks the list in insertion order.
-        while let Some(&id) = w.flows.flows_touching(me).first() {
-            let Some(f) = w.flows.get(id) else {
-                debug_assert!(false, "per-node flow index held a stale id");
-                break;
-            };
-            let counterpart = if f.src == me { f.dst } else { f.src };
-            w.fail_flow(id, &[counterpart]);
-        }
+        self.world.force_offline(me);
     }
 
     /// Recent utilization of the path from this node to `to`: the busiest
@@ -847,6 +912,8 @@ impl Simulator {
                 fluid: FillProblem::default(),
                 fluid_ids: Vec::new(),
                 fluid_eff: Vec::new(),
+                faults: None,
+                fault_stats: InjectedFaults::default(),
             },
             nodes: Vec::new(),
             started: false,
@@ -893,6 +960,41 @@ impl Simulator {
         self.world
             .queue
             .push(at, Scheduled::Capacity { dir, capacity_bps });
+    }
+
+    /// Installs the injected message-fault plane (see [`Ctx::send_faulty`]).
+    /// A config with every knob at zero installs nothing, so zero-fault runs
+    /// stay bit-identical to fault-free ones. Must be called before `run`.
+    pub fn set_message_faults(&mut self, cfg: MessageFaults) {
+        self.world.faults = cfg.is_active().then(|| FaultPlane::new(cfg));
+    }
+
+    /// Schedules `node` to be offline for the window `[from, until)`: at
+    /// `from` its flows fail and event delivery stops (exactly like
+    /// [`Ctx::go_offline`]); at `until` it starts receiving events again.
+    /// Models infrastructure outages (e.g. the CDN blinking).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty.
+    pub fn schedule_offline_window(&mut self, node: NodeId, from: SimTime, until: SimTime) {
+        assert!(from < until, "offline window must have positive length");
+        self.world.queue.push(
+            from,
+            Scheduled::SetOnline {
+                node,
+                online: false,
+            },
+        );
+        self.world
+            .queue
+            .push(until, Scheduled::SetOnline { node, online: true });
+    }
+
+    /// Counters of injected faults so far (message drops/delays, outage
+    /// window edges).
+    pub fn fault_stats(&self) -> InjectedFaults {
+        self.world.fault_stats
     }
 
     /// The current simulated time.
@@ -974,6 +1076,7 @@ impl Simulator {
                         self.world.fluid_rebalance();
                     }
                 }
+                Scheduled::SetOnline { node, online } => self.world.set_online(node, online),
             }
         }
         if self.world.queue.is_empty() && self.world.now < deadline {
@@ -1700,5 +1803,166 @@ mod tests {
             seen[0] > 0 && seen[0] < seen[1] && seen[1] < seen[2],
             "{seen:?}"
         );
+    }
+
+    /// Sends one tagged message per timer tick (1 Hz), recording send errors.
+    struct Ticker {
+        to: NodeId,
+        faulty: bool,
+        ticks: u64,
+        errors: Rc<RefCell<Vec<f64>>>,
+    }
+    impl NodeBehavior for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(500), 0);
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            if let NodeEvent::Timer { .. } = event {
+                let result = if self.faulty {
+                    ctx.send_faulty(self.to, Bytes::from_static(b"tick"))
+                } else {
+                    ctx.send(self.to, Bytes::from_static(b"tick"))
+                };
+                if result.is_err() {
+                    self.errors.borrow_mut().push(ctx.now().as_secs_f64());
+                }
+                self.ticks -= 1;
+                if self.ticks > 0 {
+                    ctx.set_timer(SimDuration::from_secs(1), 0);
+                }
+            }
+        }
+    }
+
+    /// Records arrival times of every message.
+    #[derive(Default)]
+    struct Arrivals {
+        at: Rc<RefCell<Vec<f64>>>,
+    }
+    impl NodeBehavior for Arrivals {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            if let NodeEvent::Message { .. } = event {
+                self.at.borrow_mut().push(ctx.now().as_secs_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_offline_window_blocks_and_restores_delivery() {
+        let s = two_leaf_star(0.0);
+        let errors = Rc::new(RefCell::new(Vec::new()));
+        let at = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(s.network, 5);
+        // Sends at 0.5, 1.5, 2.5, 3.5; the receiver is down for [1, 3).
+        sim.schedule_offline_window(
+            s.leaves[1],
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(3.0),
+        );
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Ticker {
+            to: s.leaves[1],
+            faulty: false,
+            ticks: 4,
+            errors: errors.clone(),
+        }));
+        sim.add_node(Box::new(Arrivals { at: at.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(10.0));
+        let errors = errors.borrow();
+        let at = at.borrow();
+        assert_eq!(errors.len(), 2, "sends during the outage error: {errors:?}");
+        assert!(
+            errors.iter().all(|&t| (1.0..3.0).contains(&t)),
+            "{errors:?}"
+        );
+        assert_eq!(at.len(), 2, "sends outside the outage deliver: {at:?}");
+        assert!(at[0] < 1.0 && at[1] > 3.0, "{at:?}");
+        let faults = sim.fault_stats();
+        assert_eq!(faults.outages_started, 1);
+        assert_eq!(faults.outages_ended, 1);
+    }
+
+    #[test]
+    fn send_faulty_without_plane_matches_send() {
+        let run = |faulty: bool| -> (Vec<f64>, SimStats) {
+            let s = two_leaf_star(0.05);
+            let at = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulator::new(s.network, 21);
+            sim.add_node(Box::new(crate::node::NullBehavior));
+            sim.add_node(Box::new(Ticker {
+                to: s.leaves[1],
+                faulty,
+                ticks: 10,
+                errors: Rc::default(),
+            }));
+            sim.add_node(Box::new(Arrivals { at: at.clone() }));
+            sim.run_until_idle(SimTime::from_secs_f64(60.0));
+            let at = at.borrow().clone();
+            (at, sim.stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn send_faulty_with_certain_loss_drops_silently() {
+        let s = two_leaf_star(0.0);
+        let at = Rc::new(RefCell::new(Vec::new()));
+        let errors = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(s.network, 21);
+        sim.set_message_faults(MessageFaults {
+            seed: 77,
+            loss: 1.0,
+            delay_prob: 0.0,
+            delay_max: SimDuration::ZERO,
+        });
+        sim.add_node(Box::new(crate::node::NullBehavior));
+        sim.add_node(Box::new(Ticker {
+            to: s.leaves[1],
+            faulty: true,
+            ticks: 5,
+            errors: errors.clone(),
+        }));
+        sim.add_node(Box::new(Arrivals { at: at.clone() }));
+        sim.run_until_idle(SimTime::from_secs_f64(60.0));
+        assert!(at.borrow().is_empty(), "all messages should be dropped");
+        assert!(errors.borrow().is_empty(), "drops are silent to the sender");
+        assert_eq!(sim.stats().messages_sent, 5);
+        assert_eq!(sim.fault_stats().messages_dropped, 5);
+    }
+
+    #[test]
+    fn injected_delay_defers_delivery_and_keeps_order() {
+        let run = |delay_prob: f64| -> Vec<f64> {
+            let s = two_leaf_star(0.0);
+            let at = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulator::new(s.network, 13);
+            sim.set_message_faults(MessageFaults {
+                seed: 5,
+                loss: 0.0,
+                delay_prob,
+                delay_max: SimDuration::from_secs(4),
+            });
+            sim.add_node(Box::new(crate::node::NullBehavior));
+            sim.add_node(Box::new(Ticker {
+                to: s.leaves[1],
+                faulty: true,
+                ticks: 8,
+                errors: Rc::default(),
+            }));
+            sim.add_node(Box::new(Arrivals { at: at.clone() }));
+            sim.run_until_idle(SimTime::from_secs_f64(120.0));
+            let at = at.borrow().clone();
+            at
+        };
+        let plain = run(0.0);
+        let delayed = run(1.0);
+        assert_eq!(plain.len(), 8);
+        assert_eq!(delayed.len(), 8, "delayed messages still arrive");
+        assert!(
+            delayed.iter().sum::<f64>() > plain.iter().sum::<f64>(),
+            "injected delay should defer deliveries"
+        );
+        // FIFO per connection survives the injected jitter.
+        assert!(delayed.windows(2).all(|w| w[0] <= w[1]), "{delayed:?}");
     }
 }

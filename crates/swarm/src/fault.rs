@@ -1,0 +1,379 @@
+//! Fault-injection plans and peer-side failure defenses.
+//!
+//! Graceful churn ([`crate::ChurnConfig`]) models peers that *announce*
+//! their departure with a Goodbye. Real swarms also fail silently and
+//! partially: peers crash-stop, control messages get lost or delayed,
+//! access links degrade, and the CDN blinks. [`FaultPlanConfig`] describes
+//! a deterministic, seeded schedule of such faults; [`DefenseConfig`]
+//! describes the peer-side countermeasures (inactivity eviction, keepalives,
+//! exponential source backoff, CDN fallback, a liveness watchdog). Both are
+//! optional, and a run with neither configured is bit-identical to one
+//! predating their existence.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Crash-stop churn: a fraction of leechers vanish *without* a Goodbye,
+/// leaving every other peer's view of them stale until defenses (or
+/// timeouts) notice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashChurnConfig {
+    /// Fraction of leechers that will crash-stop before finishing.
+    pub crash_fraction: f64,
+    /// Mean uptime of a crashing peer after joining, seconds
+    /// (exponentially distributed).
+    pub mean_uptime_secs: f64,
+}
+
+impl CrashChurnConfig {
+    /// Creates a crash-churn config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_fraction` is outside `[0, 1]` or the uptime is not
+    /// positive.
+    pub fn new(crash_fraction: f64, mean_uptime_secs: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&crash_fraction),
+            "crash fraction must be in [0,1], got {crash_fraction}"
+        );
+        assert!(mean_uptime_secs > 0.0, "mean uptime must be positive");
+        CrashChurnConfig {
+            crash_fraction,
+            mean_uptime_secs,
+        }
+    }
+
+    /// Samples a crash delay (seconds after joining) for each of `n_peers`
+    /// leechers; `None` means the peer never crashes.
+    pub fn sample_crashes(&self, n_peers: usize, rng: &mut StdRng) -> Vec<Option<f64>> {
+        (0..n_peers)
+            .map(|_| {
+                if rng.gen::<f64>() < self.crash_fraction {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    Some(-u.ln() * self.mean_uptime_secs)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Flapping access links: windows during which a random leecher's access
+/// link runs at a degraded rate before recovering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFlapConfig {
+    /// Number of degradation windows to schedule.
+    pub count: usize,
+    /// Link rate during a window, bytes per second.
+    pub degraded_bytes_per_sec: f64,
+    /// Length of each window, seconds.
+    pub duration_secs: f64,
+    /// Window start times are drawn uniformly from `[0, window_secs)`.
+    pub window_secs: f64,
+}
+
+impl LinkFlapConfig {
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates, durations, or window.
+    pub fn validate(&self) {
+        assert!(
+            self.degraded_bytes_per_sec > 0.0,
+            "degraded rate must be positive"
+        );
+        assert!(self.duration_secs > 0.0, "flap duration must be positive");
+        assert!(self.window_secs > 0.0, "flap window must be positive");
+    }
+
+    /// Samples `(leecher index, start_secs)` for each scheduled flap.
+    pub fn sample_flaps(&self, n_leechers: usize, rng: &mut StdRng) -> Vec<(usize, f64)> {
+        (0..self.count)
+            .map(|_| {
+                let leecher = rng.gen_range(0..n_leechers);
+                let start = rng.gen_range(0.0..self.window_secs);
+                (leecher, start)
+            })
+            .collect()
+    }
+}
+
+/// CDN outage intervals: windows during which the CDN node is offline
+/// (flows fail, requests to it error out).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdnOutageConfig {
+    /// Number of outage windows to schedule.
+    pub count: usize,
+    /// Length of each outage, seconds.
+    pub duration_secs: f64,
+    /// Outage start times are drawn uniformly from `[0, window_secs)`.
+    pub window_secs: f64,
+}
+
+impl CdnOutageConfig {
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive durations or window.
+    pub fn validate(&self) {
+        assert!(self.duration_secs > 0.0, "outage duration must be positive");
+        assert!(self.window_secs > 0.0, "outage window must be positive");
+    }
+
+    /// Samples the start time of each scheduled outage.
+    pub fn sample_outages(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.count)
+            .map(|_| rng.gen_range(0.0..self.window_secs))
+            .collect()
+    }
+}
+
+/// A deterministic fault-injection plan for one scenario. All sampling
+/// derives from the run's setup RNG (and the message-fault plane's own
+/// seeded stream), so the same seed replays the same fault schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Crash-stop departures (no Goodbye), if any.
+    #[serde(default)]
+    pub crash: Option<CrashChurnConfig>,
+    /// Probability that a droppable control message (Have/HaveBundle/
+    /// Bitfield/Request) silently vanishes.
+    #[serde(default)]
+    pub message_loss: f64,
+    /// Probability that a surviving droppable message gets extra delay.
+    #[serde(default)]
+    pub message_delay_prob: f64,
+    /// Upper bound of the injected extra delay, seconds.
+    #[serde(default)]
+    pub message_delay_max_secs: f64,
+    /// Flapping access-link windows, if any.
+    #[serde(default)]
+    pub link_flaps: Option<LinkFlapConfig>,
+    /// CDN outage windows, if any (requires a CDN in the scenario).
+    #[serde(default)]
+    pub cdn_outages: Option<CdnOutageConfig>,
+}
+
+impl FaultPlanConfig {
+    /// Validates the plan against the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range probabilities, invalid sub-configs, or CDN
+    /// outages without a CDN.
+    pub fn validate(&self, has_cdn: bool) {
+        assert!(
+            (0.0..=1.0).contains(&self.message_loss),
+            "message loss must be in [0,1], got {}",
+            self.message_loss
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.message_delay_prob),
+            "message delay probability must be in [0,1], got {}",
+            self.message_delay_prob
+        );
+        assert!(
+            self.message_delay_max_secs >= 0.0,
+            "message delay bound must be non-negative"
+        );
+        if let Some(crash) = &self.crash {
+            // Re-run the constructor checks (the struct is also built via
+            // deserialization and literals).
+            let _ = CrashChurnConfig::new(crash.crash_fraction, crash.mean_uptime_secs);
+        }
+        if let Some(flaps) = &self.link_flaps {
+            flaps.validate();
+        }
+        if let Some(outages) = &self.cdn_outages {
+            outages.validate();
+            assert!(
+                has_cdn || outages.count == 0,
+                "CDN outages require a CDN in the scenario"
+            );
+        }
+    }
+}
+
+/// Peer-side failure defenses. Every deadline is in seconds of simulated
+/// time; all defenses are off unless this config is present on the swarm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// Send a `KeepAlive` to a handshaken peer we have not written to for
+    /// this long (keeps quiet-but-healthy links from tripping the peer's
+    /// inactivity detector).
+    pub keepalive_secs: f64,
+    /// Evict a handshaken non-origin peer we have not heard from for this
+    /// long — exactly like a Goodbye (views, holder index, upload queue).
+    pub inactivity_timeout_secs: f64,
+    /// First backoff-ban window after a source failure; doubles per
+    /// consecutive failure.
+    pub backoff_base_secs: f64,
+    /// Ceiling of the backoff-ban window.
+    pub backoff_max_secs: f64,
+    /// Escalate a segment to the CDN when the download frontier has not
+    /// advanced for this long (graceful degradation: the swarm never
+    /// deadlocks while the CDN is up).
+    pub cdn_fallback_secs: f64,
+    /// Liveness watchdog: a peer making no download progress for this long
+    /// trips a diagnosable counter and forces a fresh scheduling pass.
+    pub watchdog_secs: f64,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            keepalive_secs: 10.0,
+            inactivity_timeout_secs: 30.0,
+            backoff_base_secs: 5.0,
+            backoff_max_secs: 60.0,
+            cdn_fallback_secs: 15.0,
+            watchdog_secs: 45.0,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// Validates the deadlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive deadlines or a keepalive cadence that cannot
+    /// beat the inactivity deadline.
+    pub fn validate(&self) {
+        assert!(
+            self.keepalive_secs > 0.0,
+            "keepalive cadence must be positive"
+        );
+        assert!(
+            self.inactivity_timeout_secs > 0.0,
+            "inactivity timeout must be positive"
+        );
+        assert!(
+            self.keepalive_secs < self.inactivity_timeout_secs,
+            "keepalive cadence ({}) must beat the inactivity timeout ({})",
+            self.keepalive_secs,
+            self.inactivity_timeout_secs
+        );
+        assert!(
+            self.backoff_base_secs > 0.0,
+            "backoff base must be positive"
+        );
+        assert!(
+            self.backoff_max_secs >= self.backoff_base_secs,
+            "backoff ceiling must be at least the base"
+        );
+        assert!(
+            self.cdn_fallback_secs > 0.0,
+            "CDN fallback deadline must be positive"
+        );
+        assert!(
+            self.watchdog_secs > 0.0,
+            "watchdog deadline must be positive"
+        );
+    }
+
+    /// The period at which the defense checks run, derived from the
+    /// tightest deadline (half of it, so no deadline can be missed by more
+    /// than 50%).
+    pub fn tick_secs(&self) -> f64 {
+        let tightest = self
+            .keepalive_secs
+            .min(self.inactivity_timeout_secs)
+            .min(self.cdn_fallback_secs)
+            .min(self.watchdog_secs);
+        tightest / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crash_sampling_is_deterministic_and_bounded() {
+        let cfg = CrashChurnConfig::new(0.5, 20.0);
+        let a = cfg.sample_crashes(40, &mut StdRng::seed_from_u64(3));
+        let b = cfg.sample_crashes(40, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert!(a.iter().flatten().all(|&t| t > 0.0));
+        let crashed = a.iter().filter(|c| c.is_some()).count();
+        assert!(crashed > 0 && crashed < 40, "fraction 0.5 got {crashed}/40");
+    }
+
+    #[test]
+    fn zero_crash_fraction_draws_nobody() {
+        let cfg = CrashChurnConfig::new(0.0, 20.0);
+        let d = cfg.sample_crashes(50, &mut StdRng::seed_from_u64(1));
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn flap_and_outage_windows_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let flaps = LinkFlapConfig {
+            count: 20,
+            degraded_bytes_per_sec: 10_000.0,
+            duration_secs: 5.0,
+            window_secs: 100.0,
+        };
+        flaps.validate();
+        for (leecher, start) in flaps.sample_flaps(7, &mut rng) {
+            assert!(leecher < 7);
+            assert!((0.0..100.0).contains(&start));
+        }
+        let outages = CdnOutageConfig {
+            count: 3,
+            duration_secs: 10.0,
+            window_secs: 60.0,
+        };
+        outages.validate();
+        for start in outages.sample_outages(&mut rng) {
+            assert!((0.0..60.0).contains(&start));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CDN outages require a CDN")]
+    fn outages_without_cdn_panic() {
+        let plan = FaultPlanConfig {
+            cdn_outages: Some(CdnOutageConfig {
+                count: 1,
+                duration_secs: 5.0,
+                window_secs: 30.0,
+            }),
+            ..FaultPlanConfig::default()
+        };
+        plan.validate(false);
+    }
+
+    #[test]
+    fn default_defense_validates() {
+        DefenseConfig::default().validate();
+        // Tightest default deadline is the 10 s keepalive.
+        assert!((DefenseConfig::default().tick_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must beat the inactivity timeout")]
+    fn keepalive_slower_than_inactivity_panics() {
+        DefenseConfig {
+            keepalive_secs: 40.0,
+            ..DefenseConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn zeroed_plan_validates_and_is_default() {
+        let plan = FaultPlanConfig::default();
+        plan.validate(false);
+        assert_eq!(plan.message_loss, 0.0);
+        assert!(plan.crash.is_none());
+    }
+}

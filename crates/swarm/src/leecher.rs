@@ -9,6 +9,7 @@ use splicecast_netsim::{Ctx, NodeBehavior, NodeEvent, NodeId, SimDuration, SimTi
 use splicecast_player::{Playback, PlaybackState};
 use splicecast_protocol::{decode_single, Bitfield, EncodeBuf, Message, PROTOCOL_VERSION};
 
+use crate::fault::DefenseConfig;
 use crate::metrics::{MetricsSink, PeerReport};
 use crate::peer::PeerView;
 use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
@@ -19,6 +20,7 @@ use crate::upload::UploadSide;
 const TOKEN_BOOT: u64 = 1;
 const TOKEN_PUMP: u64 = 2;
 const TOKEN_DEPART: u64 = 3;
+const TOKEN_CRASH: u64 = 4;
 
 /// Fallback-heartbeat cadence of the eventful control plane, in pump
 /// intervals: with nothing armed, a pump still fires this often to keep
@@ -53,6 +55,14 @@ pub struct LeecherConfig {
     pub join_delay: SimDuration,
     /// If set, the peer departs this long after joining (churn).
     pub depart_after: Option<SimDuration>,
+    /// If set, the peer crash-stops this long after joining: it goes
+    /// offline without a `Goodbye`, leaving the swarm to detect the
+    /// silence (fault injection).
+    pub crash_after: Option<SimDuration>,
+    /// Failure defenses (inactivity eviction, keepalives, source backoff,
+    /// CDN fallback, watchdog). `None` disables them all and keeps the
+    /// leecher byte-identical to the pre-defense behaviour.
+    pub defense: Option<DefenseConfig>,
     /// Cadence of the maintenance timer.
     pub pump_interval: SimDuration,
     /// How long a request may sit unserved before re-requesting.
@@ -130,6 +140,18 @@ enum SchedState {
     PoolFull,
 }
 
+/// Rolling health record for one download source (defense plane only).
+/// Failures grow an exponential-backoff ban window; each success pays one
+/// failure back and lifts any active ban.
+#[derive(Debug, Clone, Copy)]
+struct SourceHealth {
+    /// Consecutive-ish failure score (successes decrement it).
+    failures: u32,
+    /// The source is skipped by the picker until this instant — unless it
+    /// is the only provider left (a ban must never starve a segment).
+    banned_until: SimTime,
+}
+
 /// The leecher node behaviour.
 #[derive(Debug)]
 pub struct LeecherNode {
@@ -185,6 +207,21 @@ pub struct LeecherNode {
     scratch_candidates: Vec<SourceCandidate>,
     scratch_peers: Vec<NodeId>,
     scratch_stale: Vec<(u32, InFlight)>,
+    /// Per-source failure scores with backoff bans (defense plane only;
+    /// empty when defenses are off).
+    health: BTreeMap<NodeId, SourceHealth>,
+    /// Defense-pump cadence, precomputed from the config (zero = off).
+    defense_tick: SimDuration,
+    /// Holdings count at the last watchdog check.
+    progress_mark: u32,
+    /// When the watchdog last saw progress (or last tripped).
+    last_progress_at: SimTime,
+    /// First wanted segment at the last CDN-fallback check.
+    frontier: u32,
+    /// Since when the frontier has not advanced.
+    frontier_since: SimTime,
+    /// When the manifest was last requested (retry throttle).
+    manifest_asked_at: SimTime,
 }
 
 impl LeecherNode {
@@ -233,6 +270,16 @@ impl LeecherNode {
             scratch_candidates: Vec::new(),
             scratch_peers: Vec::new(),
             scratch_stale: Vec::new(),
+            health: BTreeMap::new(),
+            defense_tick: cfg
+                .defense
+                .map(|d| SimDuration::from_secs_f64(d.tick_secs()))
+                .unwrap_or(SimDuration::ZERO),
+            progress_mark: 0,
+            last_progress_at: SimTime::ZERO,
+            frontier: 0,
+            frontier_since: SimTime::ZERO,
+            manifest_asked_at: SimTime::ZERO,
             cfg,
         }
     }
@@ -254,11 +301,44 @@ impl LeecherNode {
                 self.report.sched.holder_removes += self.holders.remove_peer(peer);
             }
         }
+        // A one-shot ban names the peer whose request timed out on that
+        // segment; once the peer is evicted the ban must not survive, or a
+        // later redraw's `unwrap_or(banned)` fallback could point a request
+        // at a source that no longer exists.
+        self.timeout_bans.retain(|_, &mut banned| banned != peer);
+    }
+
+    /// Whether the injected fault plane may drop or delay this message:
+    /// periodic availability traffic (a later announcement supersedes a
+    /// lost one) and requests (they carry their own timeout). Everything
+    /// that shapes connection state — handshakes, goodbyes, manifest
+    /// exchange, cancels, keepalives — stays reliable.
+    fn droppable(message: &Message) -> bool {
+        matches!(
+            message,
+            Message::Have { .. }
+                | Message::HaveBundle { .. }
+                | Message::Bitfield(_)
+                | Message::Request { .. }
+        )
     }
 
     fn say(&mut self, ctx: &mut Ctx<'_>, to: NodeId, message: &Message) -> bool {
-        match ctx.send(to, self.wire_buf.wire(message)) {
-            Ok(()) => true,
+        let wire = self.wire_buf.wire(message);
+        let result = if Self::droppable(message) {
+            ctx.send_faulty(to, wire)
+        } else {
+            ctx.send(to, wire)
+        };
+        match result {
+            Ok(()) => {
+                if self.cfg.defense.is_some() {
+                    if let Some(view) = self.views.get_mut(&to) {
+                        view.last_spoke = ctx.now();
+                    }
+                }
+                true
+            }
             Err(_) => {
                 // Unreachable peer (churned out): forget it entirely.
                 self.forget_view(to);
@@ -305,8 +385,14 @@ impl LeecherNode {
             }
         }
         self.say(ctx, self.cfg.seeder, &Message::ManifestRequest);
+        self.manifest_asked_at = ctx.now();
+        self.last_progress_at = ctx.now();
+        self.frontier_since = ctx.now();
         if let Some(depart) = self.cfg.depart_after {
             ctx.set_timer(depart, TOKEN_DEPART);
+        }
+        if let Some(crash) = self.cfg.crash_after {
+            ctx.set_timer(crash, TOKEN_CRASH);
         }
         self.pumping = true;
         match self.cfg.control_plane {
@@ -357,10 +443,21 @@ impl LeecherNode {
         // One encode for the whole broadcast: a `Bytes` clone is a
         // reference-count bump, not a copy.
         let wire = self.wire_buf.wire(message);
+        let faulty = Self::droppable(message);
         let mut sent = 0;
         for &peer in &peers {
-            if ctx.send(peer, wire.clone()).is_ok() {
+            let result = if faulty {
+                ctx.send_faulty(peer, wire.clone())
+            } else {
+                ctx.send(peer, wire.clone())
+            };
+            if result.is_ok() {
                 sent += 1;
+                if self.cfg.defense.is_some() {
+                    if let Some(view) = self.views.get_mut(&peer) {
+                        view.last_spoke = ctx.now();
+                    }
+                }
             } else {
                 self.forget_view(peer);
                 self.uploads.forget_peer(peer);
@@ -482,6 +579,18 @@ impl LeecherNode {
                          for segment {index}"
                     );
                 }
+            }
+        }
+        // Backoff bans (defense plane): skip sources inside their ban
+        // window — unless every candidate is banned, because a ban must
+        // degrade preference, never starve the segment.
+        if self.cfg.defense.is_some() && !self.health.is_empty() {
+            let now = ctx.now();
+            let health = &self.health;
+            let banned =
+                |c: &SourceCandidate| health.get(&c.peer).is_some_and(|h| now < h.banned_until);
+            if candidates.iter().any(|c| !banned(c)) {
+                candidates.retain(|c| !banned(c));
             }
         }
         // Prefer fellow leechers whenever one holds the segment: the origin
@@ -618,6 +727,47 @@ impl LeecherNode {
         Some(entry)
     }
 
+    /// Records a request timeout or failed transfer against `source`
+    /// (defense plane): the failure score grows an exponential-backoff ban
+    /// window, so a flaky source is sidelined for progressively longer
+    /// instead of being re-picked every round.
+    fn record_source_failure(&mut self, now: SimTime, source: NodeId) {
+        let Some(defense) = self.cfg.defense else {
+            return;
+        };
+        if self.is_origin(source) {
+            // The seeder and CDN are the swarm's safety net; banning them
+            // could starve segments no leecher holds yet.
+            return;
+        }
+        let entry = self.health.entry(source).or_insert(SourceHealth {
+            failures: 0,
+            banned_until: SimTime::ZERO,
+        });
+        entry.failures = entry.failures.saturating_add(1);
+        let exponent = entry.failures.saturating_sub(1).min(8);
+        let window =
+            (defense.backoff_base_secs * f64::from(1u32 << exponent)).min(defense.backoff_max_secs);
+        entry.banned_until = now + SimDuration::from_secs_f64(window);
+        self.report.fault.backoff_bans += 1;
+    }
+
+    /// Pays one failure back after a successful delivery from `source` and
+    /// lifts any active ban (the source proved itself again).
+    fn record_source_success(&mut self, source: NodeId) {
+        if self.cfg.defense.is_none() {
+            return;
+        }
+        if let Some(entry) = self.health.get_mut(&source) {
+            entry.failures = entry.failures.saturating_sub(1);
+            if entry.failures == 0 {
+                self.health.remove(&source);
+            } else {
+                entry.banned_until = SimTime::ZERO;
+            }
+        }
+    }
+
     /// Re-requests entries that sat unserved past the timeout, or whose
     /// source went offline. Re-requesting moves to a *different* source
     /// when one exists (and cancels at the old one); otherwise the timer is
@@ -642,6 +792,7 @@ impl LeecherNode {
                 self.drop_in_flight(index);
                 continue;
             }
+            self.record_source_failure(now, entry.source);
             // Exclude the timed-out source from the pick itself: choosing
             // from the full pool and filtering afterwards would let the
             // later scheduling pass re-request from the very peer that
@@ -702,6 +853,13 @@ impl LeecherNode {
         self.cfg
             .estimator
             .observe(bytes, now.saturating_since(started).as_secs_f64());
+        if self.cfg.defense.is_some() {
+            // A delivery is proof of life even though it is not a message.
+            if let Some(view) = self.views.get_mut(&from) {
+                view.last_heard = now;
+            }
+            self.record_source_success(from);
+        }
         // Every delivery is a scheduling event: the bandwidth sample can
         // grow the adaptive pool, a freed slot or a new holding changes
         // what the next pass can request.
@@ -826,6 +984,11 @@ impl LeecherNode {
         let Ok(message) = decode_single(payload) else {
             return;
         };
+        if self.cfg.defense.is_some() {
+            if let Some(view) = self.views.get_mut(&from) {
+                view.last_heard = ctx.now();
+            }
+        }
         match message {
             Message::Handshake { .. } => {
                 // An unknown greeter (it discovered us via the tracker
@@ -957,6 +1120,7 @@ impl LeecherNode {
                     _ => {
                         // Corrupt manifest: ask again.
                         self.say(ctx, self.cfg.seeder, &Message::ManifestRequest);
+                        self.manifest_asked_at = ctx.now();
                     }
                 }
             }
@@ -1035,12 +1199,151 @@ impl LeecherNode {
         }
     }
 
+    /// One pass of the failure defenses; a no-op when defenses are off.
+    /// Runs from both pump flavours. Everything here is deterministic and
+    /// RNG-free except where it funnels into the normal scheduling path.
+    fn defense_pump(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(defense) = self.cfg.defense else {
+            return;
+        };
+        let now = ctx.now();
+        // Manifest retry: without the manifest nothing else can start, so
+        // an unanswered request is re-asked after the request timeout.
+        if !self.streaming
+            && now.saturating_since(self.manifest_asked_at) >= self.cfg.request_timeout
+        {
+            self.say(ctx, self.cfg.seeder, &Message::ManifestRequest);
+            self.manifest_asked_at = now;
+            self.report.fault.manifest_retries += 1;
+        }
+        // Silent-failure detection: a handshaken peer that has said nothing
+        // for the inactivity window is treated like a Goodbye. Peers
+        // mid-transfer to us are exempt — a multi-second bulk transfer
+        // sends no messages, and its failure is reported by the flow layer.
+        let deadline = SimDuration::from_secs_f64(defense.inactivity_timeout_secs);
+        let mut stale = std::mem::take(&mut self.scratch_peers);
+        stale.clear();
+        stale.extend(
+            self.views
+                .iter()
+                .filter(|&(&peer, view)| {
+                    view.handshaken
+                        && !self.is_origin(peer)
+                        && now.saturating_since(view.last_heard) >= deadline
+                        && !self
+                            .in_flight
+                            .values()
+                            .any(|f| f.source == peer && f.serving)
+                })
+                .map(|(&peer, _)| peer),
+        );
+        for &peer in &stale {
+            self.report.fault.silent_evictions += 1;
+            self.forget_view(peer);
+            self.uploads.forget_peer(peer);
+        }
+        // Keepalives: make sure *our* silence never trips a remote
+        // inactivity detector.
+        let cadence = SimDuration::from_secs_f64(defense.keepalive_secs);
+        stale.clear();
+        stale.extend(
+            self.views
+                .iter()
+                .filter(|&(&peer, view)| {
+                    view.handshaken
+                        && !self.is_origin(peer)
+                        && now.saturating_since(view.last_spoke) >= cadence
+                })
+                .map(|(&peer, _)| peer),
+        );
+        for &peer in &stale {
+            self.report.fault.keepalives_sent += 1;
+            self.say(ctx, peer, &Message::KeepAlive);
+        }
+        stale.clear();
+        self.scratch_peers = stale;
+        // CDN fallback: when the first wanted segment has not moved for the
+        // fallback window, escalate it to the CDN — the swarm must never
+        // deadlock while the CDN is up.
+        if self.streaming && !self.holdings.is_complete() {
+            let mut frontier = self.next_needed;
+            while frontier < self.holdings.len() && self.holdings.get(frontier) {
+                frontier += 1;
+            }
+            if frontier != self.frontier {
+                self.frontier = frontier;
+                self.frontier_since = now;
+            } else if now.saturating_since(self.frontier_since)
+                >= SimDuration::from_secs_f64(defense.cdn_fallback_secs)
+            {
+                // Reset the window whether or not the escalation can act,
+                // so an unavailable CDN is retried once per window instead
+                // of on every tick.
+                self.frontier_since = now;
+                self.escalate_to_cdn(ctx, frontier);
+            }
+        }
+        // Watchdog: if the holdings count has not grown for the watchdog
+        // window, force a full scheduling pass and record the trip. The
+        // dirty mark deliberately bypasses every skip state — a wedged
+        // schedule is exactly what the skip logic cannot see.
+        if self.streaming && !self.holdings.is_complete() {
+            let progress = self.holdings.count_ones();
+            if progress != self.progress_mark {
+                self.progress_mark = progress;
+                self.last_progress_at = now;
+            } else if now.saturating_since(self.last_progress_at)
+                >= SimDuration::from_secs_f64(defense.watchdog_secs)
+            {
+                self.report.fault.watchdog_trips += 1;
+                self.last_progress_at = now;
+                self.sched_state = SchedState::Dirty;
+                self.schedule(ctx);
+            }
+        }
+    }
+
+    /// Points the starved `frontier` segment at the CDN: cancels whatever
+    /// sick request may sit on it and re-requests from the CDN directly,
+    /// re-introducing the CDN first if an outage eviction removed its view.
+    fn escalate_to_cdn(&mut self, ctx: &mut Ctx<'_>, frontier: u32) {
+        let Some(cdn) = self.cfg.cdn else {
+            return;
+        };
+        if !ctx.is_online(cdn) {
+            return; // mid-outage: retry next fallback window
+        }
+        if !self.views.contains_key(&cdn) {
+            self.views.insert(cdn, PeerView::new(self.holdings.len()));
+        }
+        if !self.views[&cdn].handshaken {
+            // Re-handshake after an outage eviction; the escalation itself
+            // retries next window, once the handshake is mutual.
+            self.greet(ctx, cdn);
+            return;
+        }
+        if self
+            .in_flight
+            .get(&frontier)
+            .is_some_and(|f| f.source == cdn)
+        {
+            return; // already escalated; let it run
+        }
+        if let Some(entry) = self.in_flight.get(&frontier).copied() {
+            self.say(ctx, entry.source, &Message::Cancel { index: frontier });
+            self.drop_in_flight(frontier);
+        }
+        self.report.fault.cdn_fallbacks += 1;
+        self.request_from(ctx, cdn, frontier);
+    }
+
     /// The legacy maintenance pump: fixed cadence, polls everything.
     fn legacy_pump(&mut self, ctx: &mut Ctx<'_>) {
         #[cfg(debug_assertions)]
         self.audit_holder_index();
         self.playback.advance(ctx.now().as_secs_f64());
         self.check_timeouts(ctx);
+        self.defense_pump(ctx);
         self.schedule(ctx);
         // Under tracker discovery, re-announce periodically so late
         // joiners become visible.
@@ -1087,6 +1390,7 @@ impl LeecherNode {
         }
         self.playback.advance(now.as_secs_f64());
         self.check_timeouts(ctx);
+        self.defense_pump(ctx);
         if due_flush {
             self.flush_haves(ctx);
         }
@@ -1120,6 +1424,10 @@ impl LeecherNode {
             // The heartbeat keeps stall/finish accounting moving and is
             // the safety net for anything no deadline covers.
             next = next.min(now + self.cfg.pump_interval.mul_f64(HEARTBEAT_PUMPS));
+            if !self.defense_tick.is_zero() {
+                // The defenses need a steady cadence to observe deadlines.
+                next = next.min(now + self.defense_tick);
+            }
         }
         if next == SimTime::MAX {
             self.pumping = false;
@@ -1164,6 +1472,14 @@ impl NodeBehavior for LeecherNode {
                 self.broadcast(ctx, &Message::Goodbye, |_, _| true);
                 ctx.go_offline();
             }
+            NodeEvent::Timer { token: TOKEN_CRASH } => {
+                // Crash-stop: vanish without a Goodbye. The rest of the
+                // swarm only learns of it through failed transfers,
+                // undeliverable sends, and the inactivity detector.
+                self.report.fault.crashes = 1;
+                self.write_report(ctx, true);
+                ctx.go_offline();
+            }
             NodeEvent::Timer { .. } => {}
             NodeEvent::TransferComplete {
                 from,
@@ -1193,10 +1509,10 @@ impl NodeBehavior for LeecherNode {
                     self.drop_in_flight(index);
                     if !ctx.is_online(peer) {
                         self.forget_view(peer);
+                    } else {
+                        self.record_source_failure(ctx.now(), peer);
                     }
-                    if self.in_flight.is_empty() {
-                        self.schedule(ctx);
-                    } else if !self.holdings.get(index) {
+                    if !self.in_flight.is_empty() && !self.holdings.get(index) {
                         // Refill the hole in the current batch directly.
                         if let Some(source) = self.pick_source_for(ctx, index, None) {
                             self.request_from(ctx, source, index);
@@ -1211,6 +1527,15 @@ impl NodeBehavior for LeecherNode {
                             let at = ctx.now() + self.cfg.pump_interval;
                             self.arm_pump(ctx, at);
                         }
+                    } else {
+                        // Either the pool just drained (re-batch from the
+                        // frontier) or the failed segment is already held
+                        // (a raced duplicate): the freed slot must be
+                        // rescheduled either way, not left idle until the
+                        // next pump. This matters when an uploader crashes
+                        // with several of our requests in flight — every
+                        // entry's failure event must make progress.
+                        self.schedule(ctx);
                     }
                 }
             }
@@ -1288,6 +1613,8 @@ mod tests {
             // directly instead of letting the leecher boot.
             join_delay: SimDuration::from_secs_f64(600.0),
             depart_after: None,
+            crash_after: None,
+            defense: None,
             pump_interval: SimDuration::from_secs_f64(1.0),
             request_timeout: SimDuration::from_secs_f64(4.0),
             resume_buffer_secs: 0.0,
@@ -1714,5 +2041,281 @@ mod tests {
             heard.iter().any(|m| matches!(m, Message::Interested)),
             "interest must reach the stranger"
         );
+    }
+
+    /// Records every decodable message it receives.
+    struct Recorder {
+        heard: Rc<RefCell<Vec<Message>>>,
+    }
+
+    impl NodeBehavior for Recorder {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: NodeEvent) {
+            if let NodeEvent::Message { payload, .. } = event {
+                if let Ok(message) = decode_single(&payload) {
+                    self.heard.borrow_mut().push(message);
+                }
+            }
+        }
+    }
+
+    /// Regression test (stale-ban hygiene): a one-shot timeout ban names a
+    /// source; when that source is evicted — Goodbye, undeliverable send,
+    /// or the inactivity detector — the ban must die with it, or the
+    /// redraw's `unwrap_or(banned)` fallback could point a request at a
+    /// peer that no longer exists.
+    #[test]
+    fn eviction_clears_stale_timeout_bans() {
+        let seeder = NodeId::from_index(2);
+        let a = NodeId::from_index(3);
+        let b = NodeId::from_index(4);
+        let mut l = LeecherNode::new(config(seeder, vec![a, b], DiscoveryMode::Full));
+        l.timeout_bans.insert(0, a);
+        l.timeout_bans.insert(1, b);
+        l.timeout_bans.insert(2, a);
+        l.forget_view(a);
+        assert!(
+            !l.timeout_bans.values().any(|&s| s == a),
+            "bans naming the evicted peer must be purged"
+        );
+        assert_eq!(
+            l.timeout_bans.get(&1),
+            Some(&b),
+            "bans naming other peers must survive"
+        );
+    }
+
+    /// A crash-stop departure goes offline without a Goodbye and stamps
+    /// its report as a crash.
+    #[test]
+    fn crash_stop_departs_without_goodbye() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 3]);
+        let (_leecher_id, s_id, w_id) = (net.leaves[0], net.leaves[1], net.leaves[2]);
+
+        let mut cfg = config(s_id, vec![w_id], DiscoveryMode::Full);
+        cfg.join_delay = SimDuration::from_secs_f64(0.1);
+        cfg.crash_after = Some(SimDuration::from_secs_f64(1.0));
+        let sink = cfg.sink.clone();
+        let node = Rc::new(RefCell::new(LeecherNode::new(cfg)));
+
+        let heard: Rc<RefCell<Vec<Message>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(net.network, 5);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+        sim.add_node(Box::new(Recorder {
+            heard: heard.clone(),
+        }));
+        sim.run_until_idle(SimTime::from_secs_f64(5.0));
+
+        let reports = sink.borrow();
+        assert_eq!(reports.len(), 1, "the crash must still write a report");
+        assert!(reports[0].departed);
+        assert_eq!(reports[0].fault.crashes, 1);
+        assert!(
+            heard
+                .borrow()
+                .iter()
+                .any(|m| matches!(m, Message::Handshake { .. })),
+            "the crashed peer was alive before the crash"
+        );
+        assert!(
+            !heard.borrow().iter().any(|m| matches!(m, Message::Goodbye)),
+            "a crash-stop must not announce itself"
+        );
+    }
+
+    /// The inactivity detector evicts a handshaken peer that went silent,
+    /// after keepalives kept our own side of the link audibly alive.
+    #[test]
+    fn silent_peer_is_evicted() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 3]);
+        let (leecher_id, s_id, a_id) = (net.leaves[0], net.leaves[1], net.leaves[2]);
+
+        let mut cfg = config(s_id, vec![a_id], DiscoveryMode::Full);
+        cfg.join_delay = SimDuration::from_secs_f64(0.1);
+        cfg.defense = Some(DefenseConfig {
+            keepalive_secs: 1.0,
+            inactivity_timeout_secs: 3.0,
+            backoff_base_secs: 1.0,
+            backoff_max_secs: 4.0,
+            cdn_fallback_secs: 100.0,
+            watchdog_secs: 100.0,
+        });
+        let node = Rc::new(RefCell::new(LeecherNode::new(cfg)));
+
+        let mut sim = Simulator::new(net.network, 5);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+        sim.add_node(Box::new(At {
+            // A handshakes once, then never speaks again.
+            after: SimDuration::from_secs_f64(0.3),
+            action: move |ctx: &mut Ctx<'_>| {
+                let hs = Message::Handshake {
+                    peer_id: 9,
+                    info_hash: crate::seeder::info_hash_of(""),
+                    version: PROTOCOL_VERSION,
+                };
+                ctx.send(leecher_id, encode_to_bytes(&hs)).unwrap();
+            },
+        }));
+        sim.run_until_idle(SimTime::from_secs_f64(6.0));
+
+        let l = node.borrow();
+        assert!(
+            !l.views.contains_key(&a_id),
+            "the silent peer must be evicted like a Goodbye"
+        );
+        assert_eq!(l.report.fault.silent_evictions, 1);
+        assert!(
+            l.report.fault.keepalives_sent >= 1,
+            "keepalives must have gone out before the eviction"
+        );
+        assert!(
+            l.views.contains_key(&s_id),
+            "origins are exempt from inactivity eviction"
+        );
+    }
+
+    /// Exponential backoff bans: each failure doubles the ban window up to
+    /// the cap, a success pays one failure back and lifts the active ban,
+    /// and origins are never banned.
+    #[test]
+    fn source_backoff_doubles_caps_and_decays() {
+        let seeder = NodeId::from_index(2);
+        let a = NodeId::from_index(3);
+        let mut cfg = config(seeder, vec![a], DiscoveryMode::Full);
+        cfg.defense = Some(DefenseConfig {
+            backoff_base_secs: 2.0,
+            backoff_max_secs: 10.0,
+            ..DefenseConfig::default()
+        });
+        let mut l = LeecherNode::new(cfg);
+        let t0 = SimTime::ZERO;
+        for expected in [2.0, 4.0, 8.0, 10.0] {
+            l.record_source_failure(t0, a);
+            assert_eq!(
+                l.health[&a].banned_until,
+                t0 + SimDuration::from_secs_f64(expected),
+                "ban window must double up to the cap"
+            );
+        }
+        assert_eq!(l.report.fault.backoff_bans, 4);
+        l.record_source_success(a);
+        assert_eq!(l.health[&a].failures, 3);
+        assert_eq!(
+            l.health[&a].banned_until,
+            SimTime::ZERO,
+            "a success lifts the active ban"
+        );
+        for _ in 0..3 {
+            l.record_source_success(a);
+        }
+        assert!(
+            !l.health.contains_key(&a),
+            "a fully paid-back source drops out of the health map"
+        );
+        l.record_source_failure(t0, seeder);
+        assert!(
+            !l.health.contains_key(&seeder),
+            "the seeder is the safety net and is never banned"
+        );
+    }
+
+    /// Regression test (multi-requester uploader death): when an uploader
+    /// crashes while serving *several* of our requests, every failed entry
+    /// must make progress — including one whose segment is already held (a
+    /// raced duplicate), whose freed slot previously sat idle until the
+    /// next pump.
+    #[test]
+    fn uploader_crash_with_multiple_requesters_refills_every_slot() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 4]);
+        let (leecher_id, s_id, a_id, b_id) =
+            (net.leaves[0], net.leaves[1], net.leaves[2], net.leaves[3]);
+
+        let mut cfg = config(s_id, vec![a_id, b_id], DiscoveryMode::Full);
+        cfg.join_delay = SimDuration::from_secs_f64(0.1);
+        // Four segments, so a refill target exists beyond the failed pair.
+        let video = Video::builder().duration_secs(8.0).seed(1).build();
+        cfg.segments = Arc::new(DurationSplicer::new(2.0).splice(&video));
+        // Pumps far out of the picture: only the failure path may act.
+        cfg.pump_interval = SimDuration::from_secs_f64(50.0);
+        let node = Rc::new(RefCell::new(LeecherNode::new(cfg)));
+
+        let mut sim = Simulator::new(net.network, 3);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+                                              // A: starts serving segments 0 and 1, then crashes mid-transfer.
+        let mut fired = 0u32;
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(1.0),
+            action: move |ctx: &mut Ctx<'_>| {
+                fired += 1;
+                if fired == 1 {
+                    ctx.start_transfer(leecher_id, 5_000_000, 0).unwrap();
+                    ctx.start_transfer(leecher_id, 5_000_000, 1).unwrap();
+                    ctx.set_timer(SimDuration::from_secs_f64(1.0), 0);
+                } else {
+                    ctx.go_offline();
+                }
+            },
+        }));
+        // B announces holding segments 0 and 2: the refill sources.
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(0.3),
+            action: move |ctx: &mut Ctx<'_>| {
+                let hs = Message::Handshake {
+                    peer_id: 9,
+                    info_hash: crate::seeder::info_hash_of(""),
+                    version: PROTOCOL_VERSION,
+                };
+                ctx.send(leecher_id, encode_to_bytes(&hs)).unwrap();
+                for index in [0, 2] {
+                    ctx.send(leecher_id, encode_to_bytes(&Message::Have { index }))
+                        .unwrap();
+                }
+            },
+        }));
+
+        // Segment 1 already held (its in-flight entry is a raced
+        // duplicate); both of A's transfers are running.
+        sim.run_until_idle(SimTime::from_secs_f64(0.5));
+        {
+            let mut l = node.borrow_mut();
+            l.streaming = true;
+            l.holdings.set(1);
+            for index in [0, 1] {
+                l.in_flight.insert(
+                    index,
+                    InFlight {
+                        source: a_id,
+                        requested_at: SimTime::ZERO,
+                        serving: true,
+                    },
+                );
+            }
+            l.views.get_mut(&a_id).unwrap().handshaken = true;
+            l.views.get_mut(&a_id).unwrap().outstanding = 2;
+        }
+
+        // A crashes at t = 2: both transfers fail back-to-back.
+        sim.run_until_idle(SimTime::from_secs_f64(3.0));
+        let l = node.borrow();
+        assert!(!l.views.contains_key(&a_id), "the crashed uploader is gone");
+        let seg0 = l
+            .in_flight
+            .get(&0)
+            .expect("the unfinished segment must be re-requested");
+        assert_eq!(seg0.source, b_id);
+        let seg2 = l.in_flight.get(&2).expect(
+            "the slot freed by the held duplicate's failure must be \
+             rescheduled by the same event, not left idle until the next pump",
+        );
+        assert_eq!(seg2.source, b_id);
+        assert!(!l.in_flight.contains_key(&1), "the held duplicate is gone");
     }
 }

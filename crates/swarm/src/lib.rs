@@ -11,6 +11,10 @@
 //!   [`optimal_pool_size`] implementing Eq. 1 directly;
 //! - [`ChurnConfig`]: peers leaving mid-stream; [`CdnConfig`]: the §IV
 //!   hybrid-CDN mode with the [`max_cdn_segment_bytes`] sizing bound;
+//! - [`FaultPlanConfig`] / [`DefenseConfig`]: deterministic fault injection
+//!   (crash-stop churn, control-message loss/delay, link flaps, CDN
+//!   outages) and the peer-side defenses it exercises (inactivity
+//!   eviction, keepalives, source backoff, CDN fallback, watchdog);
 //! - [`DiscoveryMode`]: full-knowledge or tracker-based peer discovery
 //!   (the seeder doubles as the tracker);
 //! - [`run_abr`]: the §I adaptive-bitrate baseline (CDN-served ladder
@@ -36,6 +40,7 @@ mod abr;
 mod cdn;
 mod churn;
 mod cross;
+mod fault;
 mod leecher;
 mod metrics;
 mod peer;
@@ -49,8 +54,13 @@ pub use abr::{run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, AbrReport};
 pub use cdn::{max_cdn_segment_bytes, CdnConfig};
 pub use churn::ChurnConfig;
 pub use cross::{CrossTrafficConfig, CrossTrafficNode};
+pub use fault::{
+    CdnOutageConfig, CrashChurnConfig, DefenseConfig, FaultPlanConfig, LinkFlapConfig,
+};
 pub use leecher::{LeecherConfig, LeecherNode};
-pub use metrics::{ControlPlaneStats, MetricsSink, PeerReport, SchedulerStats, SwarmMetrics};
+pub use metrics::{
+    ControlPlaneStats, MetricsSink, PeerFaultStats, PeerReport, SchedulerStats, SwarmMetrics,
+};
 pub use peer::{PeerView, UploadManager, UploadRequest};
 pub use policy::{
     optimal_pool_size, AdaptivePooling, BandwidthEstimator, DownloadPolicy, EstimatorKind,

@@ -89,6 +89,41 @@ impl SchedulerStats {
     }
 }
 
+/// Fault and defense counters for one leecher: what the fault plane did to
+/// it and what its defenses did about it. All counters so totals sum
+/// naturally across peers and runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerFaultStats {
+    /// 1 when this peer crash-stopped (vanished without a Goodbye).
+    pub crashes: u64,
+    /// Peers this leecher evicted on the inactivity deadline (silent
+    /// failures detected).
+    pub silent_evictions: u64,
+    /// Exponential-backoff ban windows opened against failing sources.
+    pub backoff_bans: u64,
+    /// Starved segments escalated to the CDN past the fallback deadline.
+    pub cdn_fallbacks: u64,
+    /// Liveness-watchdog trips (no download progress past the deadline).
+    pub watchdog_trips: u64,
+    /// Keep-alive messages sent to quiet peers.
+    pub keepalives_sent: u64,
+    /// Manifest re-requests after a silent bootstrap.
+    pub manifest_retries: u64,
+}
+
+impl PeerFaultStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &PeerFaultStats) {
+        self.crashes += other.crashes;
+        self.silent_evictions += other.silent_evictions;
+        self.backoff_bans += other.backoff_bans;
+        self.cdn_fallbacks += other.cdn_fallbacks;
+        self.watchdog_trips += other.watchdog_trips;
+        self.keepalives_sent += other.keepalives_sent;
+        self.manifest_retries += other.manifest_retries;
+    }
+}
+
 /// Final accounting for one leecher.
 #[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PeerReport {
@@ -118,12 +153,15 @@ pub struct PeerReport {
     /// Scheduler-efficiency counters for this peer.
     #[serde(default)]
     pub sched: SchedulerStats,
+    /// Fault and defense counters for this peer.
+    #[serde(default)]
+    pub fault: PeerFaultStats,
 }
 
 /// `Debug` is hand-written to render exactly what the derive produced
-/// before `sched` existed: the legacy-plane digest test pins a hash of the
-/// formatted metrics, and the scheduler counters are an internal efficiency
-/// measure, not observable swarm behaviour.
+/// before `sched` and `fault` existed: the legacy-plane digest test pins a
+/// hash of the formatted metrics, and the scheduler/fault counters are
+/// diagnostics that stay zero in fault-free runs anyway.
 impl std::fmt::Debug for PeerReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PeerReport")
@@ -148,7 +186,7 @@ impl std::fmt::Debug for PeerReport {
 pub type MetricsSink = Rc<RefCell<Vec<PeerReport>>>;
 
 /// Results of one swarm run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SwarmMetrics {
     /// Per-leecher reports, ordered by peer index.
     pub reports: Vec<PeerReport>,
@@ -156,6 +194,24 @@ pub struct SwarmMetrics {
     pub sim_end_secs: f64,
     /// Network-level traffic counters for the whole run.
     pub net: splicecast_netsim::SimStats,
+    /// Counters of faults the simulator injected (message drops/delays,
+    /// outage windows). All zero when no fault plan is configured.
+    #[serde(default)]
+    pub injected: splicecast_netsim::InjectedFaults,
+}
+
+/// `Debug` is hand-written to render exactly what the derive produced
+/// before `injected` existed: the legacy-plane digest test pins a hash of
+/// the formatted metrics, and the injected counters are zero without a
+/// fault plan anyway.
+impl std::fmt::Debug for SwarmMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwarmMetrics")
+            .field("reports", &self.reports)
+            .field("sim_end_secs", &self.sim_end_secs)
+            .field("net", &self.net)
+            .finish()
+    }
 }
 
 impl SwarmMetrics {
@@ -226,6 +282,48 @@ impl SwarmMetrics {
         total
     }
 
+    /// Summed fault and defense counters over every report.
+    pub fn fault_totals(&self) -> PeerFaultStats {
+        let mut total = PeerFaultStats::default();
+        for report in &self.reports {
+            total.absorb(&report.fault);
+        }
+        total
+    }
+
+    /// Persistent peers (neither churned nor crashed) that never finished
+    /// the video — the peers a healthy swarm must not leave behind.
+    pub fn stuck_peers(&self) -> impl Iterator<Item = &PeerReport> {
+        self.reports.iter().filter(|r| !r.departed && !r.finished)
+    }
+
+    /// Human-readable diagnosis of stuck persistent peers, one line each:
+    /// which peer, how far it got, and what its defenses saw. Empty string
+    /// when nobody is stuck.
+    pub fn stuck_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in self.stuck_peers() {
+            let _ = writeln!(
+                out,
+                "peer {}: {} segments ({} seeder / {} peers / {} cdn), \
+                 {} stalls, watchdog trips {}, silent evictions {}, \
+                 backoff bans {}, cdn fallbacks {}",
+                r.peer,
+                r.segments_from_seeder + r.segments_from_peers + r.segments_from_cdn,
+                r.segments_from_seeder,
+                r.segments_from_peers,
+                r.segments_from_cdn,
+                r.qoe.stall_count,
+                r.fault.watchdog_trips,
+                r.fault.silent_evictions,
+                r.fault.backoff_bans,
+                r.fault.cdn_fallbacks,
+            );
+        }
+        out
+    }
+
     /// Fraction of segment deliveries that came from other leechers rather
     /// than the seeder or CDN (peer offload).
     pub fn peer_offload_ratio(&self) -> f64 {
@@ -288,6 +386,7 @@ mod tests {
             ],
             sim_end_secs: 200.0,
             net: Default::default(),
+            injected: Default::default(),
         };
         assert_eq!(m.watching().count(), 2);
         assert!((m.mean_stalls() - 3.0).abs() < 1e-9);
@@ -303,6 +402,7 @@ mod tests {
             reports: vec![report(0, 0, 0.0, false), report(1, 0, 0.0, false)],
             sim_end_secs: 1.0,
             net: Default::default(),
+            injected: Default::default(),
         };
         assert!((m.peer_offload_ratio() - 0.75).abs() < 1e-9);
     }
@@ -331,6 +431,7 @@ mod tests {
             reports: vec![a, b],
             sim_end_secs: 1.0,
             net: Default::default(),
+            injected: Default::default(),
         };
         let total = m.control_totals();
         assert_eq!(total.haves_sent, 8);
@@ -353,6 +454,7 @@ mod tests {
             reports: vec![a, b],
             sim_end_secs: 1.0,
             net: Default::default(),
+            injected: Default::default(),
         };
         let total = m.sched_totals();
         assert_eq!(total.passes, 15);
@@ -371,6 +473,79 @@ mod tests {
         assert!(!rendered.contains("sched"), "{rendered}");
         assert!(!rendered.contains("123456"), "{rendered}");
         assert!(rendered.contains("control"), "{rendered}");
+    }
+
+    #[test]
+    fn debug_renderings_exclude_fault_counters() {
+        // Same digest-pin discipline for the fault plane: its counters are
+        // zero in fault-free runs, but they still must not widen the
+        // hashed rendering.
+        let mut r = report(0, 0, 0.0, false);
+        r.fault.silent_evictions = 654_321;
+        let rendered = format!("{r:?}");
+        assert!(!rendered.contains("fault"), "{rendered}");
+        assert!(!rendered.contains("654321"), "{rendered}");
+        let mut m = SwarmMetrics {
+            reports: vec![r],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+            injected: Default::default(),
+        };
+        m.injected.messages_dropped = 999_888;
+        let rendered = format!("{m:?}");
+        assert!(!rendered.contains("injected"), "{rendered}");
+        assert!(!rendered.contains("999888"), "{rendered}");
+        assert!(rendered.contains("net"), "{rendered}");
+    }
+
+    #[test]
+    fn fault_totals_sum_over_all_reports() {
+        let mut a = report(0, 0, 0.0, false);
+        a.fault.silent_evictions = 2;
+        a.fault.cdn_fallbacks = 1;
+        let mut b = report(1, 0, 0.0, true);
+        b.fault.crashes = 1;
+        b.fault.backoff_bans = 3;
+        let m = SwarmMetrics {
+            reports: vec![a, b],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+            injected: Default::default(),
+        };
+        let total = m.fault_totals();
+        assert_eq!(total.crashes, 1);
+        assert_eq!(total.silent_evictions, 2);
+        assert_eq!(total.backoff_bans, 3);
+        assert_eq!(total.cdn_fallbacks, 1);
+    }
+
+    #[test]
+    fn stuck_report_names_unfinished_persistent_peers() {
+        let healthy = report(0, 0, 0.0, false);
+        let churned = report(1, 0, 0.0, true);
+        let mut stuck = report(2, 5, 0.0, false);
+        stuck.finished = false;
+        stuck.fault.watchdog_trips = 4;
+        let m = SwarmMetrics {
+            reports: vec![healthy, churned, stuck],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+            injected: Default::default(),
+        };
+        assert_eq!(m.stuck_peers().count(), 1);
+        let diag = m.stuck_report();
+        assert!(diag.contains("peer 2"), "{diag}");
+        assert!(diag.contains("watchdog trips 4"), "{diag}");
+        assert!(!diag.contains("peer 0"), "{diag}");
+        assert!(!diag.contains("peer 1"), "{diag}");
+        // A healthy swarm diagnoses nothing.
+        let all_done = SwarmMetrics {
+            reports: vec![report(0, 0, 0.0, false)],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+            injected: Default::default(),
+        };
+        assert!(all_done.stuck_report().is_empty());
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub struct PeerView {
     pub peer_interested: bool,
     /// Requests we have sent them that have not completed or failed.
     pub outstanding: u32,
+    /// When we last received anything from this peer. Only maintained when
+    /// failure defenses are enabled (the inactivity detector's input);
+    /// stays at zero otherwise.
+    pub last_heard: splicecast_netsim::SimTime,
+    /// When we last sent this peer anything. Only maintained when failure
+    /// defenses are enabled (drives the keepalive cadence).
+    pub last_spoke: splicecast_netsim::SimTime,
 }
 
 impl PeerView {
@@ -34,6 +41,8 @@ impl PeerView {
             interested_sent: false,
             peer_interested: true,
             outstanding: 0,
+            last_heard: splicecast_netsim::SimTime::ZERO,
+            last_spoke: splicecast_netsim::SimTime::ZERO,
         }
     }
 }

@@ -15,6 +15,7 @@ use splicecast_netsim::{
 
 use crate::cdn::CdnConfig;
 use crate::churn::ChurnConfig;
+use crate::fault::{DefenseConfig, FaultPlanConfig};
 use crate::leecher::{LeecherConfig, LeecherNode};
 use crate::metrics::SwarmMetrics;
 use crate::policy::{BandwidthEstimator, EstimatorKind, PolicyConfig};
@@ -155,6 +156,14 @@ pub struct SwarmConfig {
     /// pump interval when unset.
     #[serde(default)]
     pub have_coalesce_secs: Option<f64>,
+    /// Deterministic fault injection (crash-stop churn, control-message
+    /// loss/delay, link flaps, CDN outages), if any.
+    #[serde(default)]
+    pub faults: Option<FaultPlanConfig>,
+    /// Peer-side failure defenses (inactivity eviction, keepalives,
+    /// source backoff, CDN fallback, watchdog), if any.
+    #[serde(default)]
+    pub defense: Option<DefenseConfig>,
     /// Hard cap on simulated time, seconds.
     pub max_sim_secs: f64,
 }
@@ -187,6 +196,8 @@ impl Default for SwarmConfig {
             control_plane: ControlPlane::Legacy,
             scheduler: SchedulerMode::default(),
             have_coalesce_secs: None,
+            faults: None,
+            defense: None,
             max_sim_secs: 1_800.0,
         }
     }
@@ -241,6 +252,12 @@ impl SwarmConfig {
                 window.is_finite() && window >= 0.0,
                 "coalesce window must be a non-negative number"
             );
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate(self.cdn.is_some());
+        }
+        if let Some(defense) = &self.defense {
+            defense.validate();
         }
         assert!(self.max_sim_secs > 0.0, "sim cap must be positive");
     }
@@ -346,6 +363,21 @@ pub fn run_swarm_shared(
         Some(churn) => churn.sample_departures(config.n_leechers, &mut setup_rng),
         None => vec![None; config.n_leechers],
     };
+    // Fault sampling comes *after* every existing draw and each knob is
+    // gated on its own presence, so a zero-knob plan consumes no setup
+    // randomness and the run stays bit-identical to a plan-less one.
+    let crashes: Vec<Option<f64>> = match config.faults.and_then(|f| f.crash) {
+        Some(crash) => crash.sample_crashes(config.n_leechers, &mut setup_rng),
+        None => vec![None; config.n_leechers],
+    };
+    let flaps: Vec<(usize, f64)> = match config.faults.and_then(|f| f.link_flaps) {
+        Some(flaps) => flaps.sample_flaps(config.n_leechers, &mut setup_rng),
+        None => Vec::new(),
+    };
+    let outages: Vec<f64> = match config.faults.and_then(|f| f.cdn_outages) {
+        Some(windows) => windows.sample_outages(&mut setup_rng),
+        None => Vec::new(),
+    };
 
     let sink = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Simulator::new(star.network, seed);
@@ -376,6 +408,8 @@ pub fn run_swarm_shared(
             upload_slots: config.peer_upload_slots,
             join_delay: SimDuration::from_secs_f64(join_delays[index]),
             depart_after: departures[index].map(SimDuration::from_secs_f64),
+            crash_after: crashes[index].map(SimDuration::from_secs_f64),
+            defense: config.defense,
             pump_interval: SimDuration::from_secs_f64(config.pump_interval_secs),
             request_timeout: SimDuration::from_secs_f64(config.request_timeout_secs),
             resume_buffer_secs: config.resume_buffer_secs,
@@ -409,6 +443,51 @@ pub fn run_swarm_shared(
         )));
     }
 
+    if let Some(plan) = config.faults {
+        // The message-fault plane has its own RNG stream; zero knobs mean
+        // no plane at all (`set_message_faults` ignores an inactive
+        // config), keeping fault-free runs draw-for-draw identical.
+        sim.set_message_faults(splicecast_netsim::MessageFaults {
+            seed: seed ^ 0xFA17_FA17_FA17_FA17,
+            loss: plan.message_loss,
+            delay_prob: plan.message_delay_prob,
+            delay_max: SimDuration::from_secs_f64(plan.message_delay_max_secs),
+        });
+        if let Some(flap) = plan.link_flaps {
+            for &(leecher, start_secs) in &flaps {
+                let link = peer_links[leecher];
+                for (at_secs, bytes_per_sec) in [
+                    (start_secs, flap.degraded_bytes_per_sec),
+                    (
+                        start_secs + flap.duration_secs,
+                        config.peer_bandwidth_bytes_per_sec,
+                    ),
+                ] {
+                    sim.schedule_capacity(
+                        SimTime::from_secs_f64(at_secs),
+                        splicecast_netsim::DirLinkId::new_forward(link),
+                        bytes_per_sec * 8.0,
+                    );
+                    sim.schedule_capacity(
+                        SimTime::from_secs_f64(at_secs),
+                        splicecast_netsim::DirLinkId::new_backward(link),
+                        bytes_per_sec * 8.0,
+                    );
+                }
+            }
+        }
+        if let Some(windows) = plan.cdn_outages {
+            let cdn = cdn_id.expect("validated: CDN outages require a CDN");
+            for &start_secs in &outages {
+                sim.schedule_offline_window(
+                    cdn,
+                    SimTime::from_secs_f64(start_secs),
+                    SimTime::from_secs_f64(start_secs + windows.duration_secs),
+                );
+            }
+        }
+    }
+
     for &(at_secs, bytes_per_sec) in &config.bandwidth_schedule {
         assert!(bytes_per_sec > 0.0, "scheduled bandwidth must be positive");
         for &link in &peer_links {
@@ -428,12 +507,14 @@ pub fn run_swarm_shared(
     let end = sim.run_until_idle(SimTime::from_secs_f64(config.max_sim_secs));
 
     let net = sim.stats();
+    let injected = sim.fault_stats();
     let mut reports = sink.take();
     reports.sort_by_key(|r| r.peer);
     SwarmMetrics {
         reports,
         sim_end_secs: end.as_secs_f64(),
         net,
+        injected,
     }
 }
 
@@ -782,6 +863,24 @@ mod tests {
         );
         assert_eq!(full.completion_rate(), 1.0);
         assert_eq!(tracked.completion_rate(), 1.0);
+    }
+
+    /// A present-but-all-zero fault plan must be bit-identical to no plan
+    /// at all: no extra setup draws, no message-fault plane, no scheduled
+    /// events. This is the knob-gating contract the digest pin relies on.
+    #[test]
+    fn zero_knob_fault_plan_is_bit_identical() {
+        let segments = tiny_segments();
+        let plain = run_swarm(&segments, &tiny_config(), 11);
+        let zeroed = run_swarm(
+            &segments,
+            &SwarmConfig {
+                faults: Some(FaultPlanConfig::default()),
+                ..tiny_config()
+            },
+            11,
+        );
+        assert_eq!(plain, zeroed);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Chaos harness: seeded random fault schedules (crash-stop churn ×
+//! control-message loss/delay × CDN outages × link flaps) driven through
+//! the public experiment API, with the peer-side defenses enabled.
+//!
+//! The property under test: as long as the CDN eventually comes back, every
+//! persistent peer (neither churned nor crashed) completes the stream, the
+//! simulation never deadlocks, and the fault counters reconcile with the
+//! per-peer reports. Each schedule is derived deterministically from its
+//! seed, so failures reproduce exactly.
+
+use splicecast_core::{
+    run_once, CdnConfig, CdnOutageConfig, ChurnConfig, ControlPlane, CrashChurnConfig,
+    DefenseConfig, DiscoveryMode, ExperimentConfig, FaultPlanConfig, LinkFlapConfig, SchedulerMode,
+    VideoSpec,
+};
+
+/// splitmix64: derives independent fault knobs from one chaos seed without
+/// touching the simulation's own RNG streams.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn base() -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_baseline()
+        .with_bandwidth(384_000.0)
+        .with_leechers(5)
+        .with_defense(DefenseConfig::default());
+    config.video = VideoSpec {
+        duration_secs: 25.0,
+        ..VideoSpec::default()
+    };
+    config.swarm.cdn = Some(CdnConfig::default());
+    config.swarm.max_sim_secs = 900.0;
+    config
+}
+
+/// A full random schedule: every fault class armed, knobs drawn from the
+/// chaos seed.
+fn chaos_config(seed: u64) -> ExperimentConfig {
+    let mut s = seed.wrapping_mul(0x00C0_FFEE).wrapping_add(1);
+    let crash_fraction = 0.1 + 0.3 * unit(&mut s);
+    let message_loss = 0.12 * unit(&mut s);
+    let message_delay_prob = 0.2 * unit(&mut s);
+    let flaps = (splitmix(&mut s) % 3) as usize;
+    let outages = (splitmix(&mut s) % 2) as usize;
+    let mut config = base();
+    config.swarm.faults = Some(FaultPlanConfig {
+        crash: Some(CrashChurnConfig::new(crash_fraction, 12.0)),
+        message_loss,
+        message_delay_prob,
+        message_delay_max_secs: 1.5,
+        link_flaps: (flaps > 0).then_some(LinkFlapConfig {
+            count: flaps,
+            degraded_bytes_per_sec: 48_000.0,
+            duration_secs: 8.0,
+            window_secs: 25.0,
+        }),
+        cdn_outages: (outages > 0).then_some(CdnOutageConfig {
+            count: outages,
+            duration_secs: 8.0,
+            window_secs: 25.0,
+        }),
+    });
+    config
+}
+
+#[test]
+fn seeded_chaos_schedules_all_converge() {
+    for seed in 1u64..=10 {
+        let config = chaos_config(seed);
+        let metrics = run_once(&config, seed).metrics;
+        assert_eq!(metrics.reports.len(), 5, "chaos seed {seed} lost a report");
+        assert!(
+            metrics.sim_end_secs < config.swarm.max_sim_secs,
+            "chaos seed {seed} ran into the simulation cap ({}s)",
+            metrics.sim_end_secs
+        );
+        assert_eq!(
+            metrics.stuck_peers().count(),
+            0,
+            "chaos seed {seed} left persistent peers stuck:\n{}",
+            metrics.stuck_report()
+        );
+        // Counter reconciliation: a crash in the sink report implies a
+        // departure, and the roll-up equals the per-peer sum.
+        for report in &metrics.reports {
+            assert!(
+                report.fault.crashes == 0 || report.departed,
+                "chaos seed {seed}: peer {} crashed but is not departed",
+                report.peer
+            );
+        }
+        let totals = metrics.fault_totals();
+        let summed: u64 = metrics.reports.iter().map(|r| r.fault.crashes).sum();
+        assert_eq!(totals.crashes, summed);
+    }
+}
+
+#[test]
+fn chaos_runs_are_reproducible() {
+    let config = chaos_config(3);
+    let first = run_once(&config, 42).metrics;
+    let second = run_once(&config, 42).metrics;
+    assert_eq!(first, second, "same seed, same schedule, same metrics");
+}
+
+#[test]
+fn full_crash_fraction_marks_every_peer_crashed() {
+    let mut config = base();
+    config.swarm.faults = Some(FaultPlanConfig {
+        crash: Some(CrashChurnConfig::new(1.0, 5.0)),
+        ..FaultPlanConfig::default()
+    });
+    let metrics = run_once(&config, 9).metrics;
+    assert_eq!(metrics.reports.len(), 5);
+    for report in &metrics.reports {
+        assert_eq!(
+            report.fault.crashes, 1,
+            "peer {} should have crashed before finishing",
+            report.peer
+        );
+        assert!(report.departed, "crashed peer {} not departed", report.peer);
+        assert!(!report.finished, "crashed peer {} finished", report.peer);
+    }
+    assert_eq!(metrics.fault_totals().crashes, 5);
+}
+
+#[test]
+fn cdn_outage_counters_balance() {
+    let mut config = base();
+    config.swarm.faults = Some(FaultPlanConfig {
+        cdn_outages: Some(CdnOutageConfig {
+            count: 1,
+            duration_secs: 8.0,
+            window_secs: 20.0,
+        }),
+        ..FaultPlanConfig::default()
+    });
+    let metrics = run_once(&config, 21).metrics;
+    assert_eq!(metrics.injected.outages_started, 1);
+    assert_eq!(metrics.injected.outages_ended, 1);
+    assert_eq!(
+        metrics.stuck_peers().count(),
+        0,
+        "{}",
+        metrics.stuck_report()
+    );
+}
+
+#[test]
+fn heavy_message_loss_drops_traffic_but_converges() {
+    let mut config = base();
+    config.swarm.faults = Some(FaultPlanConfig {
+        message_loss: 0.3,
+        ..FaultPlanConfig::default()
+    });
+    let metrics = run_once(&config, 33).metrics;
+    assert!(
+        metrics.injected.messages_dropped > 0,
+        "30% loss must drop something"
+    );
+    assert_eq!(
+        metrics.stuck_peers().count(),
+        0,
+        "defenses must route around lost control traffic:\n{}",
+        metrics.stuck_report()
+    );
+}
+
+/// Combined churn (graceful departures + crash-stop) under the eventful
+/// control plane with tracker discovery. In debug builds the indexed
+/// scheduler's candidate auditor cross-checks the holder index against a
+/// full rescan on every pass, so this doubles as the index-eviction audit;
+/// the explicit Scan/Indexed comparison below catches release builds too.
+#[test]
+fn holder_index_survives_combined_churn_on_eventful_plane() {
+    let mut config = base();
+    config.swarm.discovery = DiscoveryMode::Tracker;
+    config.swarm.control_plane = ControlPlane::Eventful;
+    config.swarm.churn = Some(ChurnConfig::new(0.4, 15.0));
+    config.swarm.faults = Some(FaultPlanConfig {
+        crash: Some(CrashChurnConfig::new(0.3, 12.0)),
+        message_loss: 0.05,
+        ..FaultPlanConfig::default()
+    });
+
+    config.swarm.scheduler = SchedulerMode::Indexed;
+    let indexed = run_once(&config, 55).metrics;
+    config.swarm.scheduler = SchedulerMode::Scan;
+    let scanned = run_once(&config, 55).metrics;
+
+    // Compare the Debug rendering, which deliberately excludes the
+    // per-mode scheduler counters (passes vs skips differ by design).
+    assert_eq!(
+        format!("{indexed:?}"),
+        format!("{scanned:?}"),
+        "holder index diverged from the reference rescan under churn"
+    );
+    assert_eq!(
+        indexed.stuck_peers().count(),
+        0,
+        "persistent peers stuck:\n{}",
+        indexed.stuck_report()
+    );
+    let departed = indexed.reports.iter().filter(|r| r.departed).count();
+    assert!(
+        departed >= 1,
+        "this schedule is meant to churn somebody out"
+    );
+}
