@@ -1,0 +1,133 @@
+//! `fig_dissem`: cost of availability dissemination at 100 / 250 / 500
+//! leechers, full announcements vs windowed interest.
+//!
+//! Under full dissemination every acquisition is announced to every
+//! subscribed peer and every received index is mirrored into the
+//! receiver's holder index immediately — O(peers²) announcement
+//! processing per segment generation, dominated by holder-index inserts
+//! for segments the receiver will not want for minutes. Windowed
+//! dissemination (`--dissemination windowed`) announces each leecher's
+//! wanted window `[frontier, frontier + 64)` via coalescable
+//! `InterestWindow` messages, suppresses bundles that fall entirely
+//! outside a subscriber's window, parks received indices beyond the local
+//! fold horizon in the per-peer view only, and lazily folds them into the
+//! holder index as the frontier advances.
+//!
+//! Both modes stream to completion over the same fat-link configuration
+//! as `fig_sched` (fluid flow model, eventful control plane, indexed
+//! scheduler). `BENCH_dissem.json` gates, within the same run: windowed
+//! must perform ≥2× fewer holder-index inserts and finish ≥1.3× faster in
+//! whole-run wall clock at 250 and 500 leechers.
+//!
+//! Each configuration runs exactly once (the simulation is
+//! deterministic); `dissem/inserts/*` lines carry the holder-index insert
+//! count as pseudo-ns, `dissem/wall/*` lines the whole-run wall clock in
+//! ns, both in the standard `bench:` format for
+//! `scripts/bench_compare.py`.
+
+use std::time::Instant;
+
+use splicecast_media::{DurationSplicer, SegmentList, Splicer, Video};
+use splicecast_netsim::FlowModel;
+use splicecast_swarm::{run_swarm, ControlPlane, DisseminationMode, SwarmConfig, SwarmMetrics};
+
+/// Swarm seed (the video content seed is fixed separately).
+const SEED: u64 = 5;
+/// Have-coalescing window, seconds (same operating point as `fig_sched`).
+const WINDOW_SECS: f64 = 2.0;
+
+fn swarm_config(n_leechers: usize, dissemination: DisseminationMode) -> SwarmConfig {
+    SwarmConfig {
+        n_leechers,
+        // Ample access bandwidth: the regime where data transfer is easy
+        // and control-plane processing is what limits scale.
+        peer_bandwidth_bytes_per_sec: 16_000_000.0,
+        seeder_bandwidth_bytes_per_sec: 64_000_000.0,
+        seeder_upload_slots: 32,
+        end_to_end_loss: 0.01,
+        max_sim_secs: 900.0,
+        flow_model: FlowModel::Fluid,
+        control_plane: ControlPlane::Eventful,
+        have_coalesce_secs: Some(WINDOW_SECS),
+        dissemination,
+        ..SwarmConfig::default()
+    }
+}
+
+fn mode_name(mode: DisseminationMode) -> &'static str {
+    match mode {
+        DisseminationMode::Full => "full",
+        DisseminationMode::Windowed => "windowed",
+    }
+}
+
+/// Runs one swarm and returns `(whole-run wall ns, metrics)`.
+fn run_once(
+    segments: &SegmentList,
+    n_leechers: usize,
+    mode: DisseminationMode,
+) -> (u128, SwarmMetrics) {
+    let start = Instant::now();
+    let metrics = run_swarm(segments, &swarm_config(n_leechers, mode), SEED);
+    let wall_ns = start.elapsed().as_nanos();
+    assert_eq!(
+        metrics.completion_rate(),
+        1.0,
+        "every {} viewer must finish at n={n_leechers}",
+        mode_name(mode)
+    );
+    (wall_ns, metrics)
+}
+
+fn main() {
+    // Smoke-test mode (no `--bench` flag, i.e. under `cargo test`): run a
+    // tiny swarm through both modes once and print nothing.
+    let full = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::var("SPLICECAST_SCALE").as_deref() == Ok("quick");
+    let (sizes, clip_secs): (&[usize], f64) = if !full || quick {
+        (&[10], 24.0)
+    } else {
+        (&[100, 250, 500], 120.0)
+    };
+
+    // The paper's 2-minute clip cut at GoP granularity (0.5 s segments):
+    // many segments per peer makes announcement processing substantial.
+    let video = Video::builder().duration_secs(clip_secs).seed(6).build();
+    let segments = DurationSplicer::new(0.5).splice(&video);
+
+    for &n in sizes {
+        for mode in [DisseminationMode::Full, DisseminationMode::Windowed] {
+            let (wall_ns, metrics) = run_once(&segments, n, mode);
+            if !full {
+                continue;
+            }
+            let name = mode_name(mode);
+            let inserts = metrics.sched_totals().holder_adds;
+            println!(
+                "bench: dissem/inserts/{name}/{n} ... {inserts}.0 ns/iter \
+                 (min {inserts}.0, max {inserts}.0, samples 1)"
+            );
+            println!(
+                "bench: dissem/wall/{name}/{n} ... {wall_ns}.0 ns/iter \
+                 (min {wall_ns}.0, max {wall_ns}.0, samples 1)"
+            );
+            let d = metrics.dissem_totals();
+            let control = metrics.control_totals();
+            println!(
+                "info: dissem/{name}/{n} run {:.1}s bundles {} suppressed {} \
+                 windows {} catchup-bundles {} deferred {} fold-inserts {} \
+                 window-capped {} messages {} stalls {:.2}",
+                wall_ns as f64 / 1e9,
+                control.have_bundles_sent,
+                control.haves_suppressed,
+                d.windows_sent,
+                d.catchup_bundles,
+                d.deferred_indices,
+                d.fold_inserts,
+                d.window_capped,
+                metrics.net.messages_sent,
+                metrics.mean_stalls(),
+            );
+        }
+    }
+}

@@ -41,6 +41,7 @@ COMMON OPTIONS (run / sweep):
     --flow-model M        network model: rounds | fluid         [rounds]
     --control-plane C     swarm control plane: legacy | eventful  [legacy]
     --scheduler S         source scheduler: scan | indexed      [indexed]
+    --dissemination D     availability announcements: full | windowed  [full]
     --have-window SECS    eventful Have-coalescing window     [pump interval]
     --metric M            sweep metric: stalls|stallsecs|startup  [stalls]
     --chart               draw the sweep as an ASCII chart
@@ -120,6 +121,16 @@ fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
             .unwrap_or("indexed")
             .parse::<splicecast_core::SchedulerMode>()?,
     );
+    config = config.with_dissemination(
+        args.value("dissemination")?
+            .unwrap_or("full")
+            .parse::<splicecast_core::DisseminationMode>()?,
+    );
+    if config.swarm.dissemination == splicecast_core::DisseminationMode::Windowed
+        && config.swarm.control_plane != splicecast_core::ControlPlane::Eventful
+    {
+        return Err("--dissemination windowed requires --control-plane eventful".to_owned());
+    }
     if let Some(raw) = args.value("have-window")? {
         let secs: f64 = raw
             .parse()
@@ -257,6 +268,16 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
             "  scheduling:        {:.0} passes, {:.0} skipped (per run)\n",
             sched.passes as f64 / runs,
             sched.skips as f64 / runs,
+        ));
+    }
+    let dissem = averaged.dissem;
+    if dissem.windows_sent > 0 {
+        out.push_str(&format!(
+            "  interest windows:  {:.0} sent, {:.0} catch-up bundles, {:.0} indices deferred, {:.0} folded (per run)\n",
+            dissem.windows_sent as f64 / runs,
+            dissem.catchup_bundles as f64 / runs,
+            dissem.deferred_indices as f64 / runs,
+            dissem.fold_inserts as f64 / runs,
         ));
     }
     let injected = averaged.injected;

@@ -104,6 +104,33 @@ mod tests {
     }
 
     #[test]
+    fn run_command_windowed_dissemination() {
+        let text = call(&[
+            "run",
+            "--peers",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidth",
+            "512",
+            "--seeds",
+            "1",
+            "--control-plane",
+            "eventful",
+            "--dissemination",
+            "windowed",
+        ])
+        .unwrap();
+        assert!(text.contains("stalls"), "{text}");
+    }
+
+    #[test]
+    fn run_command_rejects_windowed_without_eventful() {
+        let err = call(&["run", "--dissemination", "windowed"]).unwrap_err();
+        assert!(err.contains("eventful"), "{err}");
+    }
+
+    #[test]
     fn run_command_rejects_bad_splicing() {
         let err = call(&["run", "--splicing", "nonsense"]).unwrap_err();
         assert!(err.contains("splicing"), "{err}");

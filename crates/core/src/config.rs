@@ -133,6 +133,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the availability dissemination mode: full announcements to
+    /// every subscriber (default) or frontier-keyed interest windows with
+    /// deferred holder-index folding (requires the eventful control plane).
+    pub fn with_dissemination(mut self, mode: splicecast_swarm::DisseminationMode) -> Self {
+        self.swarm.dissemination = mode;
+        self
+    }
+
     /// Installs a deterministic fault-injection plan (crash-stop churn,
     /// control-message loss/delay, link flaps, CDN outages).
     pub fn with_faults(mut self, faults: splicecast_swarm::FaultPlanConfig) -> Self {
@@ -172,7 +180,8 @@ mod tests {
             .with_policy(splicecast_swarm::PolicyConfig::Fixed(2))
             .with_leechers(5)
             .with_control_plane(splicecast_swarm::ControlPlane::Eventful)
-            .with_scheduler(splicecast_swarm::SchedulerMode::Scan);
+            .with_scheduler(splicecast_swarm::SchedulerMode::Scan)
+            .with_dissemination(splicecast_swarm::DisseminationMode::Windowed);
         assert_eq!(cfg.swarm.peer_bandwidth_bytes_per_sec, 256_000.0);
         assert_eq!(cfg.swarm.seeder_bandwidth_bytes_per_sec, 256_000.0);
         assert_eq!(cfg.splicing, SplicingSpec::Gop);
@@ -182,6 +191,10 @@ mod tests {
             splicecast_swarm::ControlPlane::Eventful
         );
         assert_eq!(cfg.swarm.scheduler, splicecast_swarm::SchedulerMode::Scan);
+        assert_eq!(
+            cfg.swarm.dissemination,
+            splicecast_swarm::DisseminationMode::Windowed
+        );
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct AveragedMetrics {
     /// Scheduler counters summed over every run.
     #[serde(default)]
     pub sched: splicecast_swarm::SchedulerStats,
+    /// Windowed-dissemination counters summed over every run (all zero in
+    /// full mode).
+    #[serde(default)]
+    pub dissem: splicecast_swarm::DisseminationStats,
     /// Peer-side fault/defense counters summed over every run.
     #[serde(default)]
     pub fault: splicecast_swarm::PeerFaultStats,
@@ -70,11 +74,13 @@ impl AveragedMetrics {
             .collect();
         let mut control = splicecast_swarm::ControlPlaneStats::default();
         let mut sched = splicecast_swarm::SchedulerStats::default();
+        let mut dissem = splicecast_swarm::DisseminationStats::default();
         let mut fault = splicecast_swarm::PeerFaultStats::default();
         let mut injected = splicecast_netsim::InjectedFaults::default();
         for r in results {
             control.absorb(&r.metrics.control_totals());
             sched.absorb(&r.metrics.sched_totals());
+            dissem.absorb(&r.metrics.dissem_totals());
             fault.absorb(&r.metrics.fault_totals());
             injected.absorb(&r.metrics.injected);
         }
@@ -102,6 +108,7 @@ impl AveragedMetrics {
             segment_count: results[0].segment_count,
             control,
             sched,
+            dissem,
             fault,
             injected,
         }
@@ -331,6 +338,48 @@ mod tests {
         assert!(eventful.control.have_bundles_sent > 0);
         assert!(eventful.control.pumps() > 0);
         assert!(legacy.control.haves_sent > eventful.control.have_bundles_sent);
+    }
+
+    #[test]
+    fn windowed_dissemination_preserves_qoe_on_the_paper_baseline() {
+        // Windowed interest dissemination only changes *who hears which
+        // announcement when*, never what gets scheduled inside the window:
+        // on the paper's baseline swarm (where the adaptive pool is far
+        // smaller than the 64-segment window, so the window edge never
+        // binds) it must deliver the same viewer experience as full
+        // dissemination on the same eventful plane.
+        let full_cfg = ExperimentConfig::paper_baseline()
+            .with_control_plane(splicecast_swarm::ControlPlane::Eventful);
+        let windowed_cfg = ExperimentConfig::paper_baseline()
+            .with_control_plane(splicecast_swarm::ControlPlane::Eventful)
+            .with_dissemination(splicecast_swarm::DisseminationMode::Windowed);
+        let full = run_averaged(&full_cfg, &DEFAULT_SEEDS);
+        let windowed = run_averaged(&windowed_cfg, &DEFAULT_SEEDS);
+
+        assert_eq!(full.completion_rate, 1.0);
+        assert_eq!(windowed.completion_rate, 1.0);
+        assert_eq!(
+            full.rounded_stalls, windowed.rounded_stalls,
+            "stall counts diverged: full {:.2} vs windowed {:.2}",
+            full.stalls.mean, windowed.stalls.mean
+        );
+        let (ft, wt) = (full.stall_secs.mean, windowed.stall_secs.mean);
+        assert!(
+            (wt - ft).abs() <= (ft * 0.2).max(1.0),
+            "stall time diverged: full {ft:.1} s vs windowed {wt:.1} s"
+        );
+
+        // The equivalence is not vacuous: windows were announced and
+        // announcements really were deferred past the fold horizon.
+        assert_eq!(full.dissem, splicecast_swarm::DisseminationStats::default());
+        assert!(windowed.dissem.windows_sent > 0);
+        assert!(windowed.dissem.deferred_indices > 0);
+        assert!(
+            windowed.sched.holder_adds < full.sched.holder_adds,
+            "deferral must cut holder-index inserts: windowed {} vs full {}",
+            windowed.sched.holder_adds,
+            full.sched.holder_adds
+        );
     }
 
     #[test]

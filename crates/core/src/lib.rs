@@ -66,7 +66,7 @@ pub use splicecast_swarm as swarm;
 pub use splicecast_media::{ContentProfile, Ladder, SegmentList, Video};
 pub use splicecast_swarm::{
     run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, CdnConfig, CdnOutageConfig, ChurnConfig,
-    ControlPlane, ControlPlaneStats, CrashChurnConfig, DefenseConfig, DiscoveryMode, EstimatorKind,
-    FaultPlanConfig, LinkFlapConfig, PeerFaultStats, PolicyConfig, SchedulerMode, SchedulerStats,
-    SwarmConfig, SwarmMetrics,
+    ControlPlane, ControlPlaneStats, CrashChurnConfig, DefenseConfig, DiscoveryMode,
+    DisseminationMode, DisseminationStats, EstimatorKind, FaultPlanConfig, LinkFlapConfig,
+    PeerFaultStats, PolicyConfig, SchedulerMode, SchedulerStats, SwarmConfig, SwarmMetrics,
 };

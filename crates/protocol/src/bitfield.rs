@@ -109,33 +109,106 @@ impl Bitfield {
         self.bits.iter().map(|b| b.count_ones()).sum()
     }
 
-    /// True when every bit is set.
+    /// The expected value of the trailing byte when every bit is set:
+    /// all ones except the spare (past-`len`) bits, which stay clear.
+    #[inline]
+    fn last_byte_mask(&self) -> u8 {
+        let spare = self.bits.len() * 8 - self.len as usize;
+        0xFFu8 << spare
+    }
+
+    /// True when every bit is set. Short-circuits on the first byte with a
+    /// hole rather than popcounting the whole field.
     pub fn is_complete(&self) -> bool {
-        self.count_ones() == self.len
+        let Some((&last, body)) = self.bits.split_last() else {
+            return true;
+        };
+        body.iter().all(|&b| b == 0xFF) && last == self.last_byte_mask()
     }
 
     /// A bitfield of `len` bits, all set.
     pub fn full(len: u32) -> Self {
         let mut bf = Bitfield::new(len);
-        for i in 0..len {
-            bf.set(i);
+        for b in &mut bf.bits {
+            *b = 0xFF;
+        }
+        let mask = bf.last_byte_mask();
+        if let Some(last) = bf.bits.last_mut() {
+            *last = mask;
         }
         bf
     }
 
-    /// Iterates over the indices of set bits, ascending.
+    /// Iterates over the indices of set bits, ascending. Skips zero bytes
+    /// wholesale and walks set bits of a nonzero byte via leading-zeros
+    /// (bits are MSB-first on the wire).
     pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != 0)
+            .flat_map(|(byte, &b)| SetBits {
+                byte: byte as u32,
+                bits: b,
+            })
     }
 
     /// Indices set in `self` but not in `other` — what we could offer them.
+    ///
+    /// Diffs byte-at-a-time (`self & !other`), so runs where the two fields
+    /// agree cost one comparison per byte, not one per bit.
     ///
     /// # Panics
     ///
     /// Panics when the lengths differ.
     pub fn missing_from(&self, other: &Bitfield) -> Vec<u32> {
         assert_eq!(self.len, other.len, "bitfield lengths differ");
-        self.iter_set().filter(|&i| !other.get(i)).collect()
+        let mut out = Vec::new();
+        for (byte, (&s, &o)) in self.bits.iter().zip(&other.bits).enumerate() {
+            let diff = s & !o;
+            if diff != 0 {
+                out.extend(SetBits {
+                    byte: byte as u32,
+                    bits: diff,
+                });
+            }
+        }
+        out
+    }
+
+    /// True when any bit set in `self` is clear in `other` — the boolean
+    /// form of [`Bitfield::missing_from`], O(bytes) with early exit and no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn has_any_not_in(&self, other: &Bitfield) -> bool {
+        assert_eq!(self.len, other.len, "bitfield lengths differ");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .any(|(&s, &o)| s & !o != 0)
+    }
+}
+
+/// Iterator over the set bits of one byte, ascending (MSB-first order).
+struct SetBits {
+    byte: u32,
+    bits: u8,
+}
+
+impl Iterator for SetBits {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.bits == 0 {
+            return None;
+        }
+        let bit = self.bits.leading_zeros();
+        self.bits &= !(0x80 >> bit);
+        Some(self.byte * 8 + bit)
     }
 }
 
@@ -221,5 +294,68 @@ mod tests {
     #[should_panic(expected = "lengths differ")]
     fn mismatched_diff_panics() {
         let _ = Bitfield::new(4).missing_from(&Bitfield::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_has_any_panics() {
+        let _ = Bitfield::new(4).has_any_not_in(&Bitfield::new(5));
+    }
+
+    /// Deterministic LCG for the property tests (no external fuzzing deps).
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_bitfield(len: u32, density_pct: u64, state: &mut u64) -> Bitfield {
+        let mut bf = Bitfield::new(len);
+        for i in 0..len {
+            if lcg(state) % 100 < density_pct {
+                bf.set(i);
+            }
+        }
+        bf
+    }
+
+    /// The byte-skipping fast paths must agree with the definitional
+    /// per-bit implementations across lengths (including non-multiples of
+    /// 8 and zero) and densities (empty, sparse, dense, full).
+    #[test]
+    fn word_level_ops_match_naive() {
+        let mut state = 0x5EED_CAFE;
+        for len in [0u32, 1, 7, 8, 9, 16, 63, 64, 65, 200, 1031] {
+            for density in [0u64, 3, 50, 97, 100] {
+                let a = random_bitfield(len, density, &mut state);
+                let b = random_bitfield(len, density, &mut state);
+
+                let naive_set: Vec<u32> = (0..len).filter(|&i| a.get(i)).collect();
+                assert_eq!(a.iter_set().collect::<Vec<_>>(), naive_set);
+
+                let naive_missing: Vec<u32> = (0..len).filter(|&i| a.get(i) && !b.get(i)).collect();
+                assert_eq!(a.missing_from(&b), naive_missing);
+                assert_eq!(a.has_any_not_in(&b), !naive_missing.is_empty());
+
+                let naive_complete = (0..len).all(|i| a.get(i));
+                assert_eq!(a.is_complete(), naive_complete);
+            }
+        }
+    }
+
+    #[test]
+    fn full_matches_per_bit_construction() {
+        for len in [0u32, 1, 7, 8, 9, 63, 64, 65, 200] {
+            let mut naive = Bitfield::new(len);
+            for i in 0..len {
+                naive.set(i);
+            }
+            let fast = Bitfield::full(len);
+            assert_eq!(fast, naive, "len {len}");
+            assert!(fast.is_complete());
+            // Spare bits stay clear, so the wire form stays canonical.
+            assert!(Bitfield::from_wire(len, fast.as_bytes().to_vec()).is_ok());
+        }
     }
 }

@@ -14,7 +14,7 @@ use crate::metrics::{MetricsSink, PeerReport};
 use crate::peer::PeerView;
 use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
 use crate::scheduler::{next_wanted_from, pick_source, HolderIndex, SourceCandidate};
-use crate::swarm::{ControlPlane, SchedulerMode};
+use crate::swarm::{ControlPlane, DisseminationMode, SchedulerMode};
 use crate::upload::UploadSide;
 
 const TOKEN_BOOT: u64 = 1;
@@ -31,6 +31,18 @@ const HEARTBEAT_PUMPS: f64 = 8.0;
 /// re-announces every 10th fire; the eventful plane schedules the same
 /// cadence on absolute time so it is independent of pump activity.
 const ANNOUNCE_PUMPS: f64 = 10.0;
+
+/// Width of the announced interest window, in segments (windowed
+/// dissemination). Availability is only wanted for `[frontier, frontier +
+/// INTEREST_WINDOW_SEGS)`, and the scheduler never requests beyond that
+/// edge, so announcing — and indexing — anything further is pure waste.
+const INTEREST_WINDOW_SEGS: u32 = 64;
+
+/// How far the frontier must advance past the last broadcast window start
+/// before a fresh `InterestWindow` goes out. The hysteresis bounds the
+/// announcement rate at one broadcast per δ segments of progress instead
+/// of one per delivery; the checks ride the existing pump/delivery paths.
+const WINDOW_ADVANCE_SEGS: u32 = INTEREST_WINDOW_SEGS / 4;
 
 /// Everything a leecher needs to operate.
 pub struct LeecherConfig {
@@ -80,6 +92,9 @@ pub struct LeecherConfig {
     pub control_plane: ControlPlane,
     /// How upload sources are found (full rescan vs. incremental index).
     pub scheduler: SchedulerMode,
+    /// How availability is disseminated: full flooding, or frontier-keyed
+    /// interest windows with deferred receiver-side indexing.
+    pub dissemination: DisseminationMode,
     /// How long completions may wait before a coalesced `HaveBundle`
     /// flush (eventful mode only).
     pub coalesce_window: SimDuration,
@@ -130,6 +145,13 @@ enum SchedState {
     /// going offline only *shrink* the candidate set, so they need no
     /// mark.)
     NoSource(u32),
+    /// The last pass stopped at the interest-window edge (windowed
+    /// dissemination): the next wanted segment lies at or beyond
+    /// `next_needed + INTEREST_WINDOW_SEGS`, which the window protocol
+    /// neither announces nor requests. Every want below the edge was held,
+    /// in flight, or just requested, so only the frontier advancing can
+    /// change the outcome — and every delivery marks dirty.
+    WindowEdge,
     /// The last pass stopped at the pool-size cap. Skippable even though
     /// the adaptive pool size is time-varying: between deliveries the
     /// buffered lead `T` only *shrinks* (the play head advances, the
@@ -198,6 +220,14 @@ pub struct LeecherNode {
     earliest_armed: SimTime,
     /// Whether peers were told we are complete (`NotInterested`).
     complete_notified: bool,
+    /// Start of the last `InterestWindow` broadcast (windowed mode);
+    /// `None` until the first announcement goes out.
+    window_sent_from: Option<u32>,
+    /// Receiver-side fold horizon (windowed mode): announcements for
+    /// segments below it are live-mirrored into the holder index, while
+    /// everything at or beyond it is parked in the per-peer bitfields only
+    /// and folded in lazily as the scheduler's wanted frontier reaches it.
+    fold_horizon: u32,
     report: PeerReport,
     reported: bool,
     /// Scratch buffer for outgoing frames (reused across sends).
@@ -264,6 +294,8 @@ impl LeecherNode {
             next_announce_at: SimTime::MAX,
             earliest_armed: SimTime::MAX,
             complete_notified: false,
+            window_sent_from: None,
+            fold_horizon: 0,
             report,
             reported: false,
             wire_buf: EncodeBuf::new(),
@@ -319,6 +351,7 @@ impl LeecherNode {
             Message::Have { .. }
                 | Message::HaveBundle { .. }
                 | Message::Bitfield(_)
+                | Message::InterestWindow { .. }
                 | Message::Request { .. }
         )
     }
@@ -510,6 +543,15 @@ impl LeecherNode {
                 self.report.sched.exhausted += 1;
                 return; // everything held or requested
             };
+            if self.windowed() && want >= self.next_needed.saturating_add(INTEREST_WINDOW_SEGS) {
+                // The want lies beyond the announced interest window, where
+                // peer availability is neither announced nor indexed; the
+                // edge moves with the frontier, i.e. with deliveries.
+                self.sched_state = SchedState::WindowEdge;
+                self.report.dissem.window_capped += 1;
+                return;
+            }
+            self.ensure_folded(want.saturating_add(1));
             let w = match self.cfg.w_estimate {
                 crate::policy::WEstimate::MeanSegment => self.mean_segment_bytes,
                 crate::policy::WEstimate::NextSegment => self.cfg.segments[want as usize].bytes,
@@ -827,12 +869,82 @@ impl LeecherNode {
         if view.interested_sent || self.is_origin(peer) {
             return;
         }
-        let wants_something = view.holdings.iter_set().any(|i| !self.holdings.get(i));
+        let wants_something = view.holdings.has_any_not_in(&self.holdings);
         if wants_something && self.say(ctx, peer, &Message::Interested) {
             if let Some(view) = self.views.get_mut(&peer) {
                 view.interested_sent = true;
             }
         }
+    }
+
+    fn windowed(&self) -> bool {
+        self.cfg.dissemination == DisseminationMode::Windowed
+    }
+
+    /// The interest window this leecher would announce right now.
+    fn own_window(&self) -> (u32, u32) {
+        let start = self.next_needed;
+        let end = start
+            .saturating_add(INTEREST_WINDOW_SEGS)
+            .min(self.holdings.len());
+        (start, end)
+    }
+
+    /// Windowed dissemination's lazy fold: advances the fold horizon to
+    /// `upto`, mirroring the announcements parked in the peer bitfields
+    /// into the holder index for the newly covered segments. Segments we
+    /// already hold are skipped outright — their holders can never be
+    /// picked — which is where the bulk of full dissemination's
+    /// O(peers × segments) insert volume disappears.
+    fn ensure_folded(&mut self, upto: u32) {
+        if !self.windowed() {
+            return;
+        }
+        let upto = upto.min(self.holdings.len());
+        while self.fold_horizon < upto {
+            let segment = self.fold_horizon;
+            self.fold_horizon += 1;
+            if self.holdings.get(segment) {
+                continue;
+            }
+            for (&peer, view) in &self.views {
+                if view.handshaken
+                    && Some(peer) != self.cfg.cdn
+                    && view.holdings.get(segment)
+                    && self.holders.insert(segment, peer)
+                {
+                    self.report.sched.holder_adds += 1;
+                    self.report.dissem.fold_inserts += 1;
+                }
+            }
+        }
+    }
+
+    /// Broadcasts this leecher's interest window to every handshaken
+    /// fellow leecher once the frontier has advanced at least
+    /// [`WINDOW_ADVANCE_SEGS`] past the last broadcast (or none was sent
+    /// yet). Called from the pump and delivery paths; the hysteresis keeps
+    /// it to one broadcast per δ segments of progress.
+    fn maybe_announce_window(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.windowed() || !self.cfg.p2p || !self.streaming || self.holdings.is_complete() {
+            return;
+        }
+        let (start, end) = self.own_window();
+        if self
+            .window_sent_from
+            .is_some_and(|sent| start < sent.saturating_add(WINDOW_ADVANCE_SEGS))
+        {
+            return;
+        }
+        self.window_sent_from = Some(start);
+        let seeder = self.cfg.seeder;
+        let cdn = self.cfg.cdn;
+        let sent = self.broadcast(
+            ctx,
+            &Message::InterestWindow { start, end },
+            |peer, view| peer != seeder && Some(peer) != cdn && view.handshaken,
+        );
+        self.report.dissem.windows_sent += sent;
     }
 
     fn on_segment_complete(
@@ -924,6 +1036,7 @@ impl LeecherNode {
             }
         }
         self.schedule(ctx);
+        self.maybe_announce_window(ctx);
     }
 
     /// Flushes the pending completions as one `HaveBundle`, skipping peers
@@ -943,7 +1056,9 @@ impl LeecherNode {
         let Message::HaveBundle { indices } = &message else {
             unreachable!()
         };
+        let windowed = self.windowed();
         let mut suppressed = 0u64;
+        let mut window_suppressed = 0u64;
         let sent = self.broadcast(ctx, &message, |peer, view| {
             if peer == seeder || Some(peer) == cdn {
                 return false;
@@ -955,11 +1070,20 @@ impl LeecherNode {
                 suppressed += n;
                 return false;
             }
+            if windowed && !indices.iter().any(|&i| view.win_lo <= i && i < view.win_hi) {
+                // No bundled index inside the peer's announced window:
+                // below it the peer holds everything already, and beyond
+                // it the window's next advance triggers a catch-up bundle.
+                suppressed += n;
+                window_suppressed += 1;
+                return false;
+            }
             true
         });
         self.report.control.have_bundles_sent += sent;
         self.report.control.haves_coalesced += sent * n;
         self.report.control.haves_suppressed += suppressed;
+        self.report.dissem.window_suppressed += window_suppressed;
     }
 
     /// Once complete, tells every handshaken peer we no longer want
@@ -1010,9 +1134,18 @@ impl LeecherNode {
                         if Some(from) != self.cfg.cdn {
                             // Bits learned before the handshake (e.g. a
                             // Bitfield that arrived first) become
-                            // candidates now: fold them into the index.
+                            // candidates now: fold them into the index —
+                            // in windowed mode only below the fold
+                            // horizon, for segments still worth picking.
+                            let full = self.cfg.dissemination == DisseminationMode::Full;
                             for i in view.holdings.iter_set() {
-                                if self.holders.insert(i, from) {
+                                let mirror = full
+                                    || (i < self.fold_horizon
+                                        && (!self.holdings.get(i)
+                                            || self.in_flight.contains_key(&i)));
+                                if !mirror {
+                                    self.report.dissem.deferred_indices += 1;
+                                } else if self.holders.insert(i, from) {
                                     self.report.sched.holder_adds += 1;
                                 }
                             }
@@ -1026,6 +1159,20 @@ impl LeecherNode {
                 }
                 let bitfield = Message::Bitfield(self.holdings.clone());
                 self.say(ctx, from, &bitfield);
+                if newly_handshaken
+                    && self.windowed()
+                    && self.cfg.p2p
+                    && self.streaming
+                    && !self.is_origin(from)
+                    && !self.holdings.is_complete()
+                {
+                    // Tell the newcomer our window right away; its view of
+                    // us defaults to hearing everything otherwise.
+                    let (start, end) = self.own_window();
+                    if self.say(ctx, from, &Message::InterestWindow { start, end }) {
+                        self.report.dissem.windows_sent += 1;
+                    }
+                }
                 self.schedule(ctx);
             }
             Message::Bitfield(bf) => {
@@ -1035,11 +1182,20 @@ impl LeecherNode {
                         let old = std::mem::replace(&mut view.holdings, bf);
                         if view.handshaken && Some(from) != self.cfg.cdn {
                             // Diff the replacement into the holder index.
+                            let full = self.cfg.dissemination == DisseminationMode::Full;
                             for i in 0..old.len() {
                                 let (was, is) = (old.get(i), view.holdings.get(i));
-                                if !was && is && self.holders.insert(i, from) {
-                                    self.report.sched.holder_adds += 1;
-                                    dirty |= self.sched_state == SchedState::NoSource(i);
+                                if !was && is {
+                                    let mirror = full
+                                        || (i < self.fold_horizon
+                                            && (!self.holdings.get(i)
+                                                || self.in_flight.contains_key(&i)));
+                                    if !mirror {
+                                        self.report.dissem.deferred_indices += 1;
+                                    } else if self.holders.insert(i, from) {
+                                        self.report.sched.holder_adds += 1;
+                                        dirty |= self.sched_state == SchedState::NoSource(i);
+                                    }
                                 } else if was && !is && self.holders.remove(i, from) {
                                     self.report.sched.holder_removes += 1;
                                 }
@@ -1058,14 +1214,24 @@ impl LeecherNode {
                 if let Some(view) = self.views.get_mut(&from) {
                     if index < view.holdings.len() && !view.holdings.get(index) {
                         view.holdings.set(index);
-                        if view.handshaken
-                            && Some(from) != self.cfg.cdn
-                            && self.holders.insert(index, from)
-                        {
-                            self.report.sched.holder_adds += 1;
-                            // Only a holder of the exact segment the last
-                            // pass was blocked on can change its outcome.
-                            dirty = self.sched_state == SchedState::NoSource(index);
+                        if view.handshaken && Some(from) != self.cfg.cdn {
+                            // Windowed mode parks announcements beyond the
+                            // fold horizon (and for segments already held)
+                            // in the view bitfield only; `ensure_folded`
+                            // mirrors them in when the frontier arrives.
+                            let mirror = self.cfg.dissemination == DisseminationMode::Full
+                                || (index < self.fold_horizon
+                                    && (!self.holdings.get(index)
+                                        || self.in_flight.contains_key(&index)));
+                            if !mirror {
+                                self.report.dissem.deferred_indices += 1;
+                            } else if self.holders.insert(index, from) {
+                                self.report.sched.holder_adds += 1;
+                                // Only a holder of the exact segment the
+                                // last pass was blocked on can change its
+                                // outcome.
+                                dirty = self.sched_state == SchedState::NoSource(index);
+                            }
                         }
                     }
                 }
@@ -1078,15 +1244,21 @@ impl LeecherNode {
             Message::HaveBundle { indices } => {
                 let mut dirty = false;
                 if let Some(view) = self.views.get_mut(&from) {
+                    let full = self.cfg.dissemination == DisseminationMode::Full;
                     for &index in &indices {
                         if index < view.holdings.len() && !view.holdings.get(index) {
                             view.holdings.set(index);
-                            if view.handshaken
-                                && Some(from) != self.cfg.cdn
-                                && self.holders.insert(index, from)
-                            {
-                                self.report.sched.holder_adds += 1;
-                                dirty |= self.sched_state == SchedState::NoSource(index);
+                            if view.handshaken && Some(from) != self.cfg.cdn {
+                                let mirror = full
+                                    || (index < self.fold_horizon
+                                        && (!self.holdings.get(index)
+                                            || self.in_flight.contains_key(&index)));
+                                if !mirror {
+                                    self.report.dissem.deferred_indices += 1;
+                                } else if self.holders.insert(index, from) {
+                                    self.report.sched.holder_adds += 1;
+                                    dirty |= self.sched_state == SchedState::NoSource(index);
+                                }
                             }
                         }
                     }
@@ -1096,6 +1268,44 @@ impl LeecherNode {
                 }
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
+            }
+            Message::InterestWindow { start, end } => {
+                if !self.cfg.p2p || !self.windowed() {
+                    return;
+                }
+                let Some(view) = self.views.get_mut(&from) else {
+                    return;
+                };
+                if start < view.win_lo || end < start {
+                    // Reordered (stale) or malformed announcement: windows
+                    // advance monotonically, a newer one already applied.
+                    return;
+                }
+                let old_hi = view.win_hi;
+                view.win_lo = start;
+                view.win_hi = end;
+                if !view.handshaken {
+                    return;
+                }
+                // Catch-up: indices we hold that were suppressed because
+                // they lay beyond the peer's previous window and are now
+                // covered. `[old_hi, end)` intervals tile the stream as
+                // windows advance, so each index is caught up at most once
+                // per peer; the first announcement shrinks the default
+                // full-stream window, making the range empty (nothing was
+                // ever suppressed before it).
+                let lo = old_hi.max(start);
+                let mut catchup = Vec::new();
+                for i in lo..end {
+                    if self.holdings.get(i) && !view.holdings.get(i) {
+                        catchup.push(i);
+                    }
+                }
+                if !catchup.is_empty() {
+                    self.report.dissem.catchup_bundles += 1;
+                    self.report.dissem.catchup_haves += catchup.len() as u64;
+                    self.say(ctx, from, &Message::HaveBundle { indices: catchup });
+                }
             }
             Message::Interested => {
                 if let Some(view) = self.views.get_mut(&from) {
@@ -1177,11 +1387,20 @@ impl LeecherNode {
     /// equal what a full rescan of the peer views would build. Runs on
     /// every pump in debug builds (CI's test profile), so index drift fails
     /// the build loudly instead of skewing the schedule silently.
+    ///
+    /// Windowed dissemination deliberately weakens the mirror: the index
+    /// must never hold a *stale* entry (always a subset of the rescan), it
+    /// must be empty beyond the fold horizon, and it must equal the rescan
+    /// exactly for every segment the scheduler can still pick a source for
+    /// — folded and unheld, or held with a raced in-flight entry. Held
+    /// segments without one may retain a partial holder set: their inserts
+    /// stopped the moment they were acquired, and nothing consults them.
     #[cfg(debug_assertions)]
     fn audit_holder_index(&self) {
         if self.cfg.scheduler != SchedulerMode::Indexed {
             return;
         }
+        let windowed = self.windowed();
         for segment in 0..self.holdings.len() {
             let expected: Vec<NodeId> = self
                 .views
@@ -1191,11 +1410,35 @@ impl LeecherNode {
                 })
                 .map(|(&peer, _)| peer)
                 .collect();
-            assert_eq!(
-                self.holders.of(segment),
-                expected.as_slice(),
-                "holder index drifted from the peer views at segment {segment}"
-            );
+            let indexed = self.holders.of(segment);
+            if !windowed {
+                assert_eq!(
+                    indexed,
+                    expected.as_slice(),
+                    "holder index drifted from the peer views at segment {segment}"
+                );
+            } else if segment >= self.fold_horizon {
+                assert!(
+                    indexed.is_empty(),
+                    "holder index populated beyond the fold horizon \
+                     ({} >= {}): {indexed:?}",
+                    segment,
+                    self.fold_horizon
+                );
+            } else if !self.holdings.get(segment) || self.in_flight.contains_key(&segment) {
+                assert_eq!(
+                    indexed,
+                    expected.as_slice(),
+                    "holder index drifted from the peer views at pickable \
+                     folded segment {segment}"
+                );
+            } else {
+                assert!(
+                    indexed.iter().all(|p| expected.contains(p)),
+                    "stale holder-index entry at held segment {segment}: \
+                     {indexed:?} not within {expected:?}"
+                );
+            }
         }
     }
 
@@ -1333,6 +1576,10 @@ impl LeecherNode {
             self.say(ctx, entry.source, &Message::Cancel { index: frontier });
             self.drop_in_flight(frontier);
         }
+        // The escalation bypasses the scheduling pass, so fold the segment
+        // in here: a later timeout check picks on this in-flight entry and
+        // the index must mirror the views for it by then.
+        self.ensure_folded(frontier.saturating_add(1));
         self.report.fault.cdn_fallbacks += 1;
         self.request_from(ctx, cdn, frontier);
     }
@@ -1399,6 +1646,7 @@ impl LeecherNode {
             self.next_announce_at = now + self.cfg.pump_interval.mul_f64(ANNOUNCE_PUMPS);
         }
         self.schedule(ctx);
+        self.maybe_announce_window(ctx);
         self.rearm_pump(ctx);
     }
 
@@ -1623,6 +1871,7 @@ mod tests {
             discovery,
             control_plane: ControlPlane::Legacy,
             scheduler: SchedulerMode::Indexed,
+            dissemination: DisseminationMode::Full,
             coalesce_window: SimDuration::from_secs_f64(1.0),
             sink: Rc::new(RefCell::new(Vec::new())),
         }
@@ -2317,5 +2566,259 @@ mod tests {
         );
         assert_eq!(seg2.source, b_id);
         assert!(!l.in_flight.contains_key(&1), "the held duplicate is gone");
+    }
+
+    /// Sends scripted message batches at staged times (each delay relative
+    /// to the previous stage) and records every decodable reply.
+    struct ScriptedPeer {
+        to: NodeId,
+        stages: Vec<(SimDuration, Vec<Message>)>,
+        next: usize,
+        heard: Rc<RefCell<Vec<Message>>>,
+    }
+
+    impl NodeBehavior for ScriptedPeer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some((after, _)) = self.stages.first() {
+                ctx.set_timer(*after, 0);
+            }
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: NodeEvent) {
+            match event {
+                NodeEvent::Timer { .. } => {
+                    let (_, batch) = &self.stages[self.next];
+                    for message in batch {
+                        ctx.send(self.to, encode_to_bytes(message)).unwrap();
+                    }
+                    self.next += 1;
+                    if let Some((after, _)) = self.stages.get(self.next) {
+                        ctx.set_timer(*after, 0);
+                    }
+                }
+                NodeEvent::Message { payload, .. } => {
+                    if let Ok(message) = decode_single(&payload) {
+                        self.heard.borrow_mut().push(message);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn windowed_config(seeder: NodeId, others: Vec<NodeId>) -> LeecherConfig {
+        let mut cfg = config(seeder, others, DiscoveryMode::Full);
+        cfg.control_plane = ControlPlane::Eventful;
+        cfg.dissemination = DisseminationMode::Windowed;
+        cfg
+    }
+
+    /// Windowed dissemination parks announcements beyond the fold horizon
+    /// in the per-peer view only; `ensure_folded` mirrors them into the
+    /// holder index once the scheduling frontier actually reaches them.
+    #[test]
+    fn windowed_haves_defer_then_fold_on_demand() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 3]);
+        let (leecher_id, s_id, a_id) = (net.leaves[0], net.leaves[1], net.leaves[2]);
+
+        let node = Rc::new(RefCell::new(LeecherNode::new(windowed_config(
+            s_id,
+            vec![a_id],
+        ))));
+
+        let mut sim = Simulator::new(net.network, 5);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(0.3),
+            action: move |ctx: &mut Ctx<'_>| {
+                let hs = Message::Handshake {
+                    peer_id: 9,
+                    info_hash: crate::seeder::info_hash_of(""),
+                    version: PROTOCOL_VERSION,
+                };
+                ctx.send(leecher_id, encode_to_bytes(&hs)).unwrap();
+                ctx.send(leecher_id, encode_to_bytes(&Message::Have { index: 1 }))
+                    .unwrap();
+            },
+        }));
+        sim.run_until_idle(SimTime::from_secs_f64(1.0));
+
+        {
+            let l = node.borrow();
+            assert!(
+                l.views[&a_id].holdings.get(1),
+                "the announcement must land in the view"
+            );
+            assert!(
+                l.holders.of(1).is_empty(),
+                "beyond the fold horizon: no holder-index insert"
+            );
+            assert_eq!(l.report.dissem.deferred_indices, 1);
+            assert_eq!(l.report.sched.holder_adds, 0);
+        }
+
+        let mut l = node.borrow_mut();
+        l.ensure_folded(2);
+        assert_eq!(
+            l.holders.of(1),
+            &[a_id][..],
+            "the fold must mirror the parked announcement"
+        );
+        assert_eq!(l.report.dissem.fold_inserts, 1);
+        assert_eq!(l.report.sched.holder_adds, 1);
+    }
+
+    /// An `InterestWindow` that advances past a subscriber's previously
+    /// recorded window triggers a targeted catch-up bundle of everything we
+    /// hold in the newly revealed range.
+    #[test]
+    fn window_advance_triggers_catchup_bundle() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 3]);
+        let (leecher_id, s_id, b_id) = (net.leaves[0], net.leaves[1], net.leaves[2]);
+
+        let node = Rc::new(RefCell::new(LeecherNode::new(windowed_config(
+            s_id,
+            vec![b_id],
+        ))));
+
+        let heard: Rc<RefCell<Vec<Message>>> = Rc::new(RefCell::new(Vec::new()));
+        let hs = Message::Handshake {
+            peer_id: 9,
+            info_hash: crate::seeder::info_hash_of(""),
+            version: PROTOCOL_VERSION,
+        };
+        let mut sim = Simulator::new(net.network, 5);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+        sim.add_node(Box::new(ScriptedPeer {
+            to: leecher_id,
+            stages: vec![
+                // B introduces itself wanting only segment 0 — the default
+                // full-stream window shrinks, nothing to catch up.
+                (
+                    SimDuration::from_secs_f64(0.3),
+                    vec![hs, Message::InterestWindow { start: 0, end: 1 }],
+                ),
+                // B's frontier advances to segment 1, which we acquired
+                // while it was outside B's window.
+                (
+                    SimDuration::from_secs_f64(1.0),
+                    vec![Message::InterestWindow { start: 1, end: 2 }],
+                ),
+            ],
+            next: 0,
+            heard: heard.clone(),
+        }));
+
+        sim.run_until_idle(SimTime::from_secs_f64(0.6));
+        {
+            let mut l = node.borrow_mut();
+            assert_eq!(
+                (l.views[&b_id].win_lo, l.views[&b_id].win_hi),
+                (0, 1),
+                "the first announcement must shrink the default window"
+            );
+            assert_eq!(l.report.dissem.catchup_bundles, 0);
+            l.holdings.set(1);
+        }
+        sim.run_until_idle(SimTime::from_secs_f64(3.0));
+
+        let l = node.borrow();
+        assert_eq!((l.views[&b_id].win_lo, l.views[&b_id].win_hi), (1, 2));
+        assert_eq!(l.report.dissem.catchup_bundles, 1);
+        assert_eq!(l.report.dissem.catchup_haves, 1);
+        assert!(
+            heard
+                .borrow()
+                .iter()
+                .any(|m| matches!(m, Message::HaveBundle { indices } if indices == &[1])),
+            "the revealed segment must be caught up to B"
+        );
+    }
+
+    /// A flushed Have bundle whose every index falls outside a subscriber's
+    /// announced interest window is suppressed for that subscriber, while
+    /// the acquisition still advances our own announced window.
+    #[test]
+    fn have_bundles_outside_the_peer_window_are_suppressed() {
+        let spec = LinkSpec::from_bytes_per_sec(1_000_000.0, SimDuration::from_millis(10), 0.0);
+        let net = star(&[spec; 4]);
+        let (leecher_id, s_id, d_id, b_id) =
+            (net.leaves[0], net.leaves[1], net.leaves[2], net.leaves[3]);
+
+        let node = Rc::new(RefCell::new(LeecherNode::new(windowed_config(
+            s_id,
+            vec![d_id, b_id],
+        ))));
+
+        let heard: Rc<RefCell<Vec<Message>>> = Rc::new(RefCell::new(Vec::new()));
+        let hs = Message::Handshake {
+            peer_id: 9,
+            info_hash: crate::seeder::info_hash_of(""),
+            version: PROTOCOL_VERSION,
+        };
+        let mut sim = Simulator::new(net.network, 5);
+        sim.add_node(Box::new(NullBehavior)); // hub
+        sim.add_node(Box::new(Shared(node.clone())));
+        sim.add_node(Box::new(NullBehavior)); // seeder stand-in
+                                              // D: delivers segment 1 mid-run.
+        sim.add_node(Box::new(At {
+            after: SimDuration::from_secs_f64(1.0),
+            action: move |ctx: &mut Ctx<'_>| {
+                ctx.start_transfer(leecher_id, 10_000, 1).unwrap();
+            },
+        }));
+        // B: subscribes to segment 0 only, then listens.
+        sim.add_node(Box::new(ScriptedPeer {
+            to: leecher_id,
+            stages: vec![(
+                SimDuration::from_secs_f64(0.3),
+                vec![hs, Message::InterestWindow { start: 0, end: 1 }],
+            )],
+            next: 0,
+            heard: heard.clone(),
+        }));
+
+        sim.run_until_idle(SimTime::from_secs_f64(0.5));
+        {
+            let mut l = node.borrow_mut();
+            l.streaming = true;
+            l.in_flight.insert(
+                1,
+                InFlight {
+                    source: d_id,
+                    requested_at: SimTime::ZERO,
+                    serving: true,
+                },
+            );
+            l.views.get_mut(&d_id).unwrap().handshaken = true;
+            l.views.get_mut(&d_id).unwrap().outstanding = 1;
+        }
+        sim.run_until_idle(SimTime::from_secs_f64(6.0));
+
+        let l = node.borrow();
+        assert!(l.holdings.get(1), "the delivery must land");
+        assert!(
+            l.report.dissem.window_suppressed >= 1,
+            "the bundle for segment 1 must be window-suppressed for B"
+        );
+        assert!(
+            !heard
+                .borrow()
+                .iter()
+                .any(|m| matches!(m, Message::Have { .. } | Message::HaveBundle { .. })),
+            "B must hear no availability for segments outside its window"
+        );
+        assert!(
+            heard
+                .borrow()
+                .iter()
+                .any(|m| matches!(m, Message::InterestWindow { .. })),
+            "our own window announcement must still reach B"
+        );
     }
 }

@@ -59,7 +59,8 @@ pub use fault::{
 };
 pub use leecher::{LeecherConfig, LeecherNode};
 pub use metrics::{
-    ControlPlaneStats, MetricsSink, PeerFaultStats, PeerReport, SchedulerStats, SwarmMetrics,
+    ControlPlaneStats, DisseminationStats, MetricsSink, PeerFaultStats, PeerReport, SchedulerStats,
+    SwarmMetrics,
 };
 pub use peer::{PeerView, UploadManager, UploadRequest};
 pub use policy::{
@@ -71,6 +72,7 @@ pub use scheduler::{
 };
 pub use seeder::{info_hash_of, SeederNode};
 pub use swarm::{
-    run_swarm, run_swarm_shared, ControlPlane, DiscoveryMode, SchedulerMode, SwarmConfig,
+    run_swarm, run_swarm_shared, ControlPlane, DiscoveryMode, DisseminationMode, SchedulerMode,
+    SwarmConfig,
 };
 pub use upload::UploadSide;

@@ -89,6 +89,44 @@ impl SchedulerStats {
     }
 }
 
+/// Windowed-dissemination counters for one leecher: what the interest
+/// windows suppressed on the send side and deferred on the receive side.
+/// All zero under full dissemination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisseminationStats {
+    /// `InterestWindow` announcements sent (windows × receiving peers).
+    pub windows_sent: u64,
+    /// Catch-up `HaveBundle`s sent when a peer's window advanced over
+    /// indices previously suppressed for it.
+    pub catchup_bundles: u64,
+    /// Indices carried inside catch-up bundles.
+    pub catchup_haves: u64,
+    /// Per-peer bundle sends skipped because no bundled index fell inside
+    /// the peer's announced window.
+    pub window_suppressed: u64,
+    /// Announced indices parked in the per-peer bitfield without a holder-
+    /// index insert (beyond the fold horizon or already held).
+    pub deferred_indices: u64,
+    /// Holder-index inserts performed lazily when the fold horizon
+    /// advanced over parked indices.
+    pub fold_inserts: u64,
+    /// Scheduling passes stopped at the interest-window edge.
+    pub window_capped: u64,
+}
+
+impl DisseminationStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &DisseminationStats) {
+        self.windows_sent += other.windows_sent;
+        self.catchup_bundles += other.catchup_bundles;
+        self.catchup_haves += other.catchup_haves;
+        self.window_suppressed += other.window_suppressed;
+        self.deferred_indices += other.deferred_indices;
+        self.fold_inserts += other.fold_inserts;
+        self.window_capped += other.window_capped;
+    }
+}
+
 /// Fault and defense counters for one leecher: what the fault plane did to
 /// it and what its defenses did about it. All counters so totals sum
 /// naturally across peers and runs.
@@ -156,12 +194,15 @@ pub struct PeerReport {
     /// Fault and defense counters for this peer.
     #[serde(default)]
     pub fault: PeerFaultStats,
+    /// Windowed-dissemination counters for this peer.
+    #[serde(default)]
+    pub dissem: DisseminationStats,
 }
 
 /// `Debug` is hand-written to render exactly what the derive produced
-/// before `sched` and `fault` existed: the legacy-plane digest test pins a
-/// hash of the formatted metrics, and the scheduler/fault counters are
-/// diagnostics that stay zero in fault-free runs anyway.
+/// before `sched`, `fault`, and `dissem` existed: the legacy-plane digest
+/// test pins a hash of the formatted metrics, and those counters are
+/// diagnostics that stay zero in legacy runs anyway.
 impl std::fmt::Debug for PeerReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PeerReport")
@@ -278,6 +319,15 @@ impl SwarmMetrics {
         let mut total = SchedulerStats::default();
         for report in &self.reports {
             total.absorb(&report.sched);
+        }
+        total
+    }
+
+    /// Summed windowed-dissemination counters over every report.
+    pub fn dissem_totals(&self) -> DisseminationStats {
+        let mut total = DisseminationStats::default();
+        for report in &self.reports {
+            total.absorb(&report.dissem);
         }
         total
     }
@@ -496,6 +546,45 @@ mod tests {
         assert!(!rendered.contains("injected"), "{rendered}");
         assert!(!rendered.contains("999888"), "{rendered}");
         assert!(rendered.contains("net"), "{rendered}");
+    }
+
+    #[test]
+    fn debug_rendering_excludes_dissem_counters() {
+        // Same digest-pin discipline again: windowed-dissemination counters
+        // must not widen the hashed rendering.
+        let mut r = report(0, 0, 0.0, false);
+        r.dissem.deferred_indices = 424_242;
+        let rendered = format!("{r:?}");
+        assert!(!rendered.contains("dissem"), "{rendered}");
+        assert!(!rendered.contains("424242"), "{rendered}");
+    }
+
+    #[test]
+    fn dissem_totals_sum_over_all_reports() {
+        let mut a = report(0, 0, 0.0, false);
+        a.dissem.windows_sent = 4;
+        a.dissem.deferred_indices = 10;
+        a.dissem.fold_inserts = 3;
+        let mut b = report(1, 0, 0.0, true); // churners count too
+        b.dissem.windows_sent = 2;
+        b.dissem.window_suppressed = 5;
+        b.dissem.catchup_bundles = 1;
+        b.dissem.catchup_haves = 7;
+        b.dissem.window_capped = 9;
+        let m = SwarmMetrics {
+            reports: vec![a, b],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+            injected: Default::default(),
+        };
+        let total = m.dissem_totals();
+        assert_eq!(total.windows_sent, 6);
+        assert_eq!(total.deferred_indices, 10);
+        assert_eq!(total.fold_inserts, 3);
+        assert_eq!(total.window_suppressed, 5);
+        assert_eq!(total.catchup_bundles, 1);
+        assert_eq!(total.catchup_haves, 7);
+        assert_eq!(total.window_capped, 9);
     }
 
     #[test]

@@ -20,6 +20,13 @@ pub struct PeerView {
     /// subscribed by default; a `NotInterested` from them (the eventful
     /// control plane's unsubscribe) clears it, an `Interested` restores it.
     pub peer_interested: bool,
+    /// First segment of the peer's announced interest window (windowed
+    /// dissemination). Defaults to 0 — the whole stream — so full-mode
+    /// peers and peers that never announce a window hear everything.
+    pub win_lo: u32,
+    /// One past the last segment of the peer's announced interest window.
+    /// Defaults to `segment_count`.
+    pub win_hi: u32,
     /// Requests we have sent them that have not completed or failed.
     pub outstanding: u32,
     /// When we last received anything from this peer. Only maintained when
@@ -40,6 +47,8 @@ impl PeerView {
             handshaken: false,
             interested_sent: false,
             peer_interested: true,
+            win_lo: 0,
+            win_hi: segment_count,
             outstanding: 0,
             last_heard: splicecast_netsim::SimTime::ZERO,
             last_spoke: splicecast_netsim::SimTime::ZERO,
@@ -251,6 +260,7 @@ mod tests {
         assert!(!v.handshaken);
         assert!(!v.interested_sent);
         assert!(v.peer_interested, "peers are subscribed until they opt out");
+        assert_eq!((v.win_lo, v.win_hi), (0, 10), "default window spans all");
         assert_eq!(v.outstanding, 0);
         assert_eq!(v.holdings.count_ones(), 0);
     }

@@ -85,6 +85,37 @@ impl std::str::FromStr for SchedulerMode {
     }
 }
 
+/// How availability announcements fan out across the swarm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisseminationMode {
+    /// Every Have/HaveBundle reaches every interested subscriber and is
+    /// applied to the holder index on arrival: O(peers²) traffic and
+    /// inserts per run.
+    #[default]
+    Full,
+    /// Leechers announce a moving interest window `[frontier, frontier+W)`
+    /// via `InterestWindow`; uploaders suppress bundles with no index in
+    /// the subscriber's window, and receivers park out-of-horizon indices
+    /// in the per-peer bitfield, folding them into the holder index only
+    /// as the wanted frontier advances. Requires the eventful control
+    /// plane (windows ride the armed-deadline pumps).
+    Windowed,
+}
+
+impl std::str::FromStr for DisseminationMode {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "full" => Ok(DisseminationMode::Full),
+            "windowed" => Ok(DisseminationMode::Windowed),
+            other => Err(format!(
+                "unknown dissemination mode `{other}` (full | windowed)"
+            )),
+        }
+    }
+}
+
 /// Configuration of one swarm run. The defaults are the paper's GENI
 /// setup: 20 nodes (one seeder + 19 peers) in a star, 50 ms latency and
 /// 5 % loss between peers, 500 ms latency to the seeder, 128 kB/s links.
@@ -151,6 +182,11 @@ pub struct SwarmConfig {
     /// How upload sources are found (full rescan vs. incremental index).
     #[serde(default)]
     pub scheduler: SchedulerMode,
+    /// How availability announcements fan out (full broadcast vs.
+    /// windowed interest subscriptions). `Windowed` requires the
+    /// eventful control plane.
+    #[serde(default)]
+    pub dissemination: DisseminationMode,
     /// Coalescing window of the eventful control plane, seconds: how long
     /// completions may wait before a `HaveBundle` flush. Defaults to one
     /// pump interval when unset.
@@ -195,6 +231,7 @@ impl Default for SwarmConfig {
             flow_model: FlowModel::Rounds,
             control_plane: ControlPlane::Legacy,
             scheduler: SchedulerMode::default(),
+            dissemination: DisseminationMode::default(),
             have_coalesce_secs: None,
             faults: None,
             defense: None,
@@ -246,6 +283,11 @@ impl SwarmConfig {
         assert!(
             self.request_timeout_secs > 0.0,
             "request timeout must be positive"
+        );
+        assert!(
+            self.dissemination == DisseminationMode::Full
+                || self.control_plane == ControlPlane::Eventful,
+            "windowed dissemination requires the eventful control plane"
         );
         if let Some(window) = self.have_coalesce_secs {
             assert!(
@@ -418,6 +460,7 @@ pub fn run_swarm_shared(
             discovery: config.discovery,
             control_plane: config.control_plane,
             scheduler: config.scheduler,
+            dissemination: config.dissemination,
             coalesce_window: SimDuration::from_secs_f64(
                 config
                     .have_coalesce_secs
@@ -783,6 +826,108 @@ mod tests {
             eventful.net.messages_sent,
             legacy.net.messages_sent
         );
+    }
+
+    /// Windowed dissemination end to end: completions still reach everyone
+    /// (via windows, catch-ups, and the lazy fold), the deferral counters
+    /// show real work avoided, and the holder-index insert volume drops.
+    /// The ≥2× insert reduction is a scale effect gated by the
+    /// `fig_dissem` bench at 250/500 leechers, not asserted here.
+    #[test]
+    fn windowed_dissemination_defers_and_still_completes() {
+        let video = Video::builder().duration_secs(48.0).seed(6).build();
+        // 96 half-second segments: longer than the 64-segment interest
+        // window, so the window edge and the send-side suppression bind.
+        let segments = DurationSplicer::new(0.5).splice(&video);
+        let base = SwarmConfig {
+            n_leechers: 8,
+            peer_bandwidth_bytes_per_sec: 16_000_000.0,
+            seeder_bandwidth_bytes_per_sec: 16_000_000.0,
+            flow_model: FlowModel::Fluid,
+            have_coalesce_secs: Some(2.0),
+            control_plane: ControlPlane::Eventful,
+            ..tiny_config()
+        };
+        let full = run_swarm(&segments, &base, 5);
+        let windowed = run_swarm(
+            &segments,
+            &SwarmConfig {
+                dissemination: DisseminationMode::Windowed,
+                ..base
+            },
+            5,
+        );
+        assert_eq!(full.completion_rate(), 1.0);
+        assert_eq!(windowed.completion_rate(), 1.0);
+        assert_eq!(
+            full.dissem_totals(),
+            crate::DisseminationStats::default(),
+            "full mode must not touch the windowed counters"
+        );
+        let d = windowed.dissem_totals();
+        assert!(d.windows_sent > 0, "windows must be announced");
+        assert!(d.deferred_indices > 0, "announcements must be deferred");
+        assert!(
+            d.window_capped > 0,
+            "the fat-link pool must hit the window edge"
+        );
+        let full_adds = full.sched_totals().holder_adds;
+        let win_adds = windowed.sched_totals().holder_adds;
+        assert!(
+            win_adds < full_adds,
+            "windowed holder adds {win_adds} should undercut full \
+             dissemination's {full_adds}"
+        );
+    }
+
+    /// Windowed dissemination maintains the holder index lazily, but the
+    /// candidate set any pick sees must still equal a full rescan: the
+    /// indexed scheduler stays bit-identical to the scan under windowed
+    /// mode, churn included. Scheduler and dissemination counters are
+    /// zeroed before comparing — pass/skip and edge-stop tallies differ
+    /// between the modes by design.
+    #[test]
+    fn windowed_indexed_matches_scan_bit_for_bit() {
+        let video = Video::builder().duration_secs(40.0).seed(6).build();
+        let segments = DurationSplicer::new(0.5).splice(&video);
+        let base = SwarmConfig {
+            n_leechers: 6,
+            control_plane: ControlPlane::Eventful,
+            flow_model: FlowModel::Fluid,
+            dissemination: DisseminationMode::Windowed,
+            peer_bandwidth_bytes_per_sec: 4_000_000.0,
+            seeder_bandwidth_bytes_per_sec: 4_000_000.0,
+            churn: Some(ChurnConfig {
+                volatile_fraction: 0.3,
+                mean_lifetime_secs: 20.0,
+            }),
+            ..tiny_config()
+        };
+        let run = |mode| {
+            let config = SwarmConfig {
+                scheduler: mode,
+                ..base.clone()
+            };
+            let mut metrics = run_swarm(&segments, &config, 11);
+            for report in &mut metrics.reports {
+                report.sched = Default::default();
+                report.dissem = Default::default();
+            }
+            metrics
+        };
+        let scan = run(SchedulerMode::Scan);
+        let indexed = run(SchedulerMode::Indexed);
+        assert_eq!(scan, indexed, "windowed scheduler modes diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "windowed dissemination requires the eventful control plane")]
+    fn windowed_without_eventful_panics() {
+        let config = SwarmConfig {
+            dissemination: DisseminationMode::Windowed,
+            ..tiny_config()
+        };
+        run_swarm(&tiny_segments(), &config, 1);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use splicecast_core::{
     run_once, CdnConfig, CdnOutageConfig, ChurnConfig, ControlPlane, CrashChurnConfig,
-    DefenseConfig, DiscoveryMode, ExperimentConfig, FaultPlanConfig, LinkFlapConfig, SchedulerMode,
-    VideoSpec,
+    DefenseConfig, DiscoveryMode, DisseminationMode, ExperimentConfig, FaultPlanConfig,
+    LinkFlapConfig, SchedulerMode, VideoSpec,
 };
 
 /// splitmix64: derives independent fault knobs from one chaos seed without
@@ -214,5 +214,48 @@ fn holder_index_survives_combined_churn_on_eventful_plane() {
     assert!(
         departed >= 1,
         "this schedule is meant to churn somebody out"
+    );
+}
+
+/// The combined-churn schedule again, under windowed dissemination: lost
+/// and reordered `InterestWindow` announcements, crashed subscribers, and
+/// churn-evicted holders must never strand the deferred fold. In debug
+/// builds the windowed candidate auditor checks the lazy holder index
+/// against a full rescan (exact below the fold horizon, empty above) on
+/// every pass; the Scan/Indexed comparison catches release builds too.
+#[test]
+fn windowed_dissemination_survives_combined_churn() {
+    let mut config = base();
+    config.swarm.discovery = DiscoveryMode::Tracker;
+    config.swarm.control_plane = ControlPlane::Eventful;
+    config.swarm.dissemination = DisseminationMode::Windowed;
+    config.swarm.churn = Some(ChurnConfig::new(0.4, 15.0));
+    config.swarm.faults = Some(FaultPlanConfig {
+        crash: Some(CrashChurnConfig::new(0.3, 12.0)),
+        message_loss: 0.05,
+        ..FaultPlanConfig::default()
+    });
+
+    config.swarm.scheduler = SchedulerMode::Indexed;
+    let indexed = run_once(&config, 55).metrics;
+    config.swarm.scheduler = SchedulerMode::Scan;
+    let scanned = run_once(&config, 55).metrics;
+
+    assert_eq!(
+        format!("{indexed:?}"),
+        format!("{scanned:?}"),
+        "windowed holder index diverged from the reference rescan"
+    );
+    assert_eq!(
+        indexed.stuck_peers().count(),
+        0,
+        "persistent peers stuck:\n{}",
+        indexed.stuck_report()
+    );
+    let dissem = indexed.dissem_totals();
+    assert!(dissem.windows_sent > 0, "windows must be announced");
+    assert!(
+        dissem.deferred_indices > 0,
+        "the schedule must exercise the deferred fold"
     );
 }
