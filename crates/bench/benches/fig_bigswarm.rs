@@ -1,0 +1,176 @@
+//! `fig_bigswarm`: big-swarm scaling — one 2000-leecher channel plus an
+//! 8-channel × 250-leecher sharded workload, under the `scale` profile
+//! (fluid flow model, eventful control plane, windowed interest
+//! dissemination, incremental holder index).
+//!
+//! Three properties are gated by `BENCH_bigswarm.json`:
+//!
+//! - **Sharded speedup.** The 8×250 workload runs twice through
+//!   [`ShardedWorkload`]: serially (`workers = 1`) and with
+//!   `workers = min(8, available_parallelism)`. The committed gate
+//!   requires `shard_serial ≥ shard_budget` where `shard_budget =
+//!   shard_parallel × workers / 2` — i.e. the fan-out must buy at least a
+//!   `workers/2`× wall-clock speedup. The budget is emitted as a
+//!   pseudo-benchmark so the gate is a machine-independent within-run
+//!   ratio: on a single-core runner `workers` resolves to 1 and the gate
+//!   degenerates to `serial ≥ parallel/2`, which always holds.
+//! - **Memory diet.** The 2000-leecher run reports measured bytes/peer
+//!   (packed 40-byte views, boxed bitfields, compact holder index, lazy
+//!   side tables) and the modeled pre-diet bytes/peer (64-byte views,
+//!   never-shrunk holder entries, always-on clocks). The gate requires
+//!   pre-diet ≥ 1.43× measured, i.e. ≥30% lower after the diet.
+//! - **Wall budget.** `bigswarm/wall/single/2000` is speedup-gated
+//!   against the committed baseline so the 2000-leecher run cannot
+//!   quietly regress.
+//!
+//! Both runs also assert bit-identical sharded aggregates between the
+//! serial and parallel fan-outs. Each configuration runs exactly once
+//! (the simulation is deterministic); memory numbers ride as pseudo-ns in
+//! the standard `bench:` format for `scripts/bench_compare.py`.
+
+use std::time::Instant;
+
+use splicecast_core::{ExperimentConfig, ShardedWorkload, SplicingSpec, VideoSpec};
+use splicecast_media::{DurationSplicer, Splicer};
+use splicecast_swarm::{run_swarm, SwarmConfig, SwarmMetrics};
+
+/// Swarm seed (the video content seed is fixed separately).
+const SEED: u64 = 5;
+/// Splicing interval, seconds: the 120 s clip cut into 60 segments — the
+/// coarse end of the paper's sweep, where per-segment control overhead is
+/// modest and swarm size is the scaling variable.
+const SPLICE_SECS: f64 = 2.0;
+
+/// The fat-link operating point shared with `fig_sched` / `fig_dissem`:
+/// ample access bandwidth so control-plane processing and memory, not
+/// data transfer, limit scale. The scale-profile knobs (fluid, eventful,
+/// windowed, indexed) come from `with_scale_profile`.
+fn scale_config(n_leechers: usize, clip_secs: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_baseline()
+        .with_splicing(SplicingSpec::Duration(SPLICE_SECS))
+        .with_leechers(n_leechers)
+        .with_scale_profile();
+    cfg.video = VideoSpec {
+        duration_secs: clip_secs,
+        ..VideoSpec::default()
+    };
+    cfg.swarm.peer_bandwidth_bytes_per_sec = 16_000_000.0;
+    cfg.swarm.seeder_bandwidth_bytes_per_sec = 64_000_000.0;
+    cfg.swarm.seeder_upload_slots = 32;
+    cfg.swarm.end_to_end_loss = 0.01;
+    cfg.swarm.max_sim_secs = 1800.0;
+    cfg
+}
+
+/// Runs the single big channel once; returns `(wall ns, metrics)`.
+fn run_single(config: &ExperimentConfig) -> (u128, SwarmMetrics) {
+    let video = config.video.build();
+    let segments = DurationSplicer::new(SPLICE_SECS).splice(&video);
+    let swarm: SwarmConfig = config.swarm.clone();
+    let start = Instant::now();
+    let metrics = run_swarm(&segments, &swarm, SEED);
+    let wall_ns = start.elapsed().as_nanos();
+    assert_eq!(
+        metrics.completion_rate(),
+        1.0,
+        "every viewer must finish at n={}",
+        swarm.n_leechers
+    );
+    (wall_ns, metrics)
+}
+
+fn main() {
+    // Smoke-test mode (no `--bench` flag, i.e. under `cargo test`): tiny
+    // sizes, print nothing. Quick mode trims the swarm but keeps every
+    // assertion and output line.
+    let full = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::var("SPLICECAST_SCALE").as_deref() == Ok("quick");
+    let (single_n, channels, per_channel_n, clip_secs) = if !full {
+        (12, 2, 6, 24.0)
+    } else if quick {
+        (250, 4, 60, 120.0)
+    } else {
+        (2000, 8, 250, 120.0)
+    };
+
+    // --- The big single channel: wall clock and bytes/peer. ---
+    let single_cfg = scale_config(single_n, clip_secs);
+    let (wall_ns, metrics) = run_single(&single_cfg);
+    let current = metrics.mean_mem_bytes_per_peer().round() as u64;
+    let prediet = metrics.mean_prediet_bytes_per_peer().round() as u64;
+    assert!(current > 0, "memory accounting must be populated");
+    if full {
+        println!(
+            "bench: bigswarm/wall/single/{single_n} ... {wall_ns}.0 ns/iter \
+             (min {wall_ns}.0, max {wall_ns}.0, samples 1)"
+        );
+        println!(
+            "bench: bigswarm/mem/current/{single_n} ... {current}.0 ns/iter \
+             (min {current}.0, max {current}.0, samples 1)"
+        );
+        println!(
+            "bench: bigswarm/mem/prediet/{single_n} ... {prediet}.0 ns/iter \
+             (min {prediet}.0, max {prediet}.0, samples 1)"
+        );
+        println!(
+            "info: bigswarm/single/{single_n} run {:.1}s stalls {:.2} \
+             bytes/peer {current} (pre-diet {prediet}, {:.1}% lower) \
+             messages {}",
+            wall_ns as f64 / 1e9,
+            metrics.mean_stalls(),
+            100.0 * (1.0 - current as f64 / prediet as f64),
+            metrics.net.messages_sent,
+        );
+    }
+
+    // --- The sharded multi-channel workload: serial vs fanned out. ---
+    let shard_cfg = scale_config(per_channel_n, clip_secs);
+    let workload = ShardedWorkload::with_channel_count(&shard_cfg, channels, &[SEED]);
+
+    let start = Instant::now();
+    let serial = workload.run(1);
+    let serial_ns = start.elapsed().as_nanos();
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    let start = Instant::now();
+    let parallel = workload.run(workers);
+    let parallel_ns = start.elapsed().as_nanos();
+
+    // The determinism contract: fan-out must not change a single bit.
+    assert_eq!(
+        serial, parallel,
+        "sharded aggregate must be bit-identical across worker counts"
+    );
+    assert_eq!(serial.aggregate.completion_rate, 1.0);
+
+    if full {
+        // `shard_budget` is the wall clock a `workers/2`× speedup would
+        // produce; the committed ratio gate checks serial ≥ budget.
+        let budget_ns = (parallel_ns as f64 * workers as f64 / 2.0).round() as u128;
+        println!(
+            "bench: bigswarm/wall/shard_serial ... {serial_ns}.0 ns/iter \
+             (min {serial_ns}.0, max {serial_ns}.0, samples 1)"
+        );
+        println!(
+            "bench: bigswarm/wall/shard_parallel ... {parallel_ns}.0 ns/iter \
+             (min {parallel_ns}.0, max {parallel_ns}.0, samples 1)"
+        );
+        println!(
+            "bench: bigswarm/wall/shard_budget ... {budget_ns}.0 ns/iter \
+             (min {budget_ns}.0, max {budget_ns}.0, samples 1)"
+        );
+        println!(
+            "info: bigswarm/shard {channels}x{per_channel_n} workers {workers} \
+             serial {:.1}s parallel {:.1}s speedup {:.2}x \
+             aggregate-stalls {} bytes/peer {:.0}",
+            serial_ns as f64 / 1e9,
+            parallel_ns as f64 / 1e9,
+            serial_ns as f64 / parallel_ns as f64,
+            serial.aggregate.rounded_stalls,
+            serial.aggregate.mem_bytes_per_peer(per_channel_n),
+        );
+    }
+}

@@ -2,9 +2,9 @@
 
 use splicecast_core::{
     max_cdn_segment_bytes, max_cdn_segment_secs, optimal_pool_size, run_abr, run_averaged,
-    AbrAlgorithm, AbrConfig, CdnConfig, CdnOutageConfig, ChurnConfig, CrashChurnConfig,
-    DefenseConfig, DiscoveryMode, ExperimentConfig, FaultPlanConfig, Ladder, LinkFlapConfig,
-    PolicyConfig, SplicingSpec, Table, VideoSpec,
+    sweep_with_workers, AbrAlgorithm, AbrConfig, CdnConfig, CdnOutageConfig, ChurnConfig,
+    CrashChurnConfig, DefenseConfig, DiscoveryMode, ExperimentConfig, FaultPlanConfig, Ladder,
+    LinkFlapConfig, PolicyConfig, ShardedWorkload, SplicingSpec, SweepPoint, Table, VideoSpec,
 };
 
 use crate::args::Args;
@@ -42,7 +42,13 @@ COMMON OPTIONS (run / sweep):
     --control-plane C     swarm control plane: legacy | eventful  [legacy]
     --scheduler S         source scheduler: scan | indexed      [indexed]
     --dissemination D     availability announcements: full | windowed  [full]
-    --have-window SECS    eventful Have-coalescing window     [pump interval]
+    --profile P           knob preset: paper | scale            [paper]
+                          (scale = fluid + eventful + windowed + indexed;
+                           explicit flags still override)
+    --have-window SECS    eventful Have-coalescing window  [auto: scales with
+                          segment duration, clamped to 1-4 pump intervals]
+    --workers N           worker threads for sweep / --channels  [all cores]
+    --channels C          run C independent channel swarms (sharded)  [off]
     --metric M            sweep metric: stalls|stallsecs|startup  [stalls]
     --chart               draw the sweep as an ASCII chart
     --csv                 also print machine-readable rows
@@ -96,6 +102,18 @@ fn parse_policy(raw: &str) -> Result<PolicyConfig, String> {
 }
 
 fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
+    // A profile sets the *defaults* for the plane/model knobs; explicit
+    // flags still override any of them.
+    let (default_flow, default_plane, default_sched, default_dissem) =
+        match args.value("profile")?.unwrap_or("paper") {
+            "paper" => ("rounds", "legacy", "indexed", "full"),
+            "scale" => ("fluid", "eventful", "indexed", "windowed"),
+            other => {
+                return Err(format!(
+                    "unknown profile `{other}` (expected paper or scale)"
+                ))
+            }
+        };
     let mut config = ExperimentConfig::paper_baseline();
     config.video = VideoSpec {
         duration_secs: args.num("clip-secs", 120.0)?,
@@ -108,22 +126,22 @@ fn base_config(args: &Args) -> Result<ExperimentConfig, String> {
     config = config.with_leechers(args.num("peers", 19usize)?);
     config = config.with_flow_model(
         args.value("flow-model")?
-            .unwrap_or("rounds")
+            .unwrap_or(default_flow)
             .parse::<splicecast_core::netsim::FlowModel>()?,
     );
     config = config.with_control_plane(
         args.value("control-plane")?
-            .unwrap_or("legacy")
+            .unwrap_or(default_plane)
             .parse::<splicecast_core::ControlPlane>()?,
     );
     config = config.with_scheduler(
         args.value("scheduler")?
-            .unwrap_or("indexed")
+            .unwrap_or(default_sched)
             .parse::<splicecast_core::SchedulerMode>()?,
     );
     config = config.with_dissemination(
         args.value("dissemination")?
-            .unwrap_or("full")
+            .unwrap_or(default_dissem)
             .parse::<splicecast_core::DisseminationMode>()?,
     );
     if config.swarm.dissemination == splicecast_core::DisseminationMode::Windowed
@@ -195,9 +213,26 @@ fn seeds(args: &Args) -> Result<Vec<u64>, String> {
     Ok(list)
 }
 
+/// `--workers N`, defaulting to the machine's parallelism. Results never
+/// depend on the count — only wall-clock time does.
+fn workers(args: &Args) -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let n: usize = args.num("workers", default)?;
+    if n == 0 {
+        return Err("--workers needs at least 1".to_owned());
+    }
+    Ok(n)
+}
+
 /// `splicecast run`.
 pub fn run_swarm_command(args: &Args) -> Result<String, String> {
     let config = base_config(args)?;
+    let channels: usize = args.num("channels", 0usize)?;
+    if channels > 0 {
+        return sharded_run(args, &config, channels);
+    }
     let averaged = run_averaged(&config, &seeds(args)?);
     let mut out = String::new();
     out.push_str(&format!(
@@ -240,6 +275,13 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
         "  peer offload:      {:.0}%\n",
         averaged.peer_offload * 100.0
     ));
+    if averaged.mem.total_bytes() > 0 {
+        out.push_str(&format!(
+            "  peer memory:       {:.1} kB/peer ({:.1} kB pre-diet)\n",
+            averaged.mem_bytes_per_peer(config.swarm.n_leechers) / 1e3,
+            averaged.prediet_bytes_per_peer(config.swarm.n_leechers) / 1e3,
+        ));
+    }
     let runs = averaged.runs as f64;
     let control = averaged.control;
     out.push_str(&format!(
@@ -323,6 +365,50 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `splicecast run --channels C`: C independent channel swarms of the
+/// same configuration, fanned over worker threads.
+fn sharded_run(args: &Args, config: &ExperimentConfig, channels: usize) -> Result<String, String> {
+    let workload = ShardedWorkload::with_channel_count(config, channels, &seeds(args)?);
+    let outcome = workload.run(workers(args)?);
+    let mut out = format!(
+        "streaming {:.0}s of {:.1} Mbps video on {} channels × {} peers at {:.0} kB/s\n\n",
+        config.video.duration_secs,
+        config.video.bitrate_bps as f64 / 1e6,
+        channels,
+        config.swarm.n_leechers,
+        config.swarm.peer_bandwidth_bytes_per_sec / 1e3,
+    );
+    for result in &outcome.channels {
+        out.push_str(&format!(
+            "  {:<6} stalls {:>5.1}  stall time {:>6.1} s  startup {:>5.1} s  completion {:>3.0}%\n",
+            result.channel,
+            result.averaged.stalls.mean,
+            result.averaged.stall_secs.mean,
+            result.averaged.startup_secs.mean,
+            result.averaged.completion_rate * 100.0,
+        ));
+    }
+    let agg = &outcome.aggregate;
+    out.push_str(&format!(
+        "\naggregate over {} runs:\n  stalls:            {:.1}  (rounded: {})\n  stall time:        {:.1} s\n  startup:           {:.1} s\n  completion:        {:.0}%\n  peer offload:      {:.0}%\n",
+        agg.runs,
+        agg.stalls.mean,
+        agg.rounded_stalls,
+        agg.stall_secs.mean,
+        agg.startup_secs.mean,
+        agg.completion_rate * 100.0,
+        agg.peer_offload * 100.0,
+    ));
+    if agg.mem.total_bytes() > 0 {
+        out.push_str(&format!(
+            "  peer memory:       {:.1} kB/peer ({:.1} kB pre-diet)\n",
+            agg.mem_bytes_per_peer(config.swarm.n_leechers) / 1e3,
+            agg.prediet_bytes_per_peer(config.swarm.n_leechers) / 1e3,
+        ));
+    }
+    Ok(out)
+}
+
 /// `splicecast sweep`.
 pub fn sweep_command(args: &Args) -> Result<String, String> {
     let bandwidths = args.num_list("bandwidths", &[128.0f64, 256.0, 512.0, 768.0])?;
@@ -346,20 +432,30 @@ pub fn sweep_command(args: &Args) -> Result<String, String> {
             .map(String::as_str)
             .collect::<Vec<_>>(),
     );
+    // Every (bandwidth, splicing) cell is an independent deterministic
+    // experiment; fan them out over worker threads. Results are identical
+    // for any worker count.
+    let mut points = Vec::new();
     for &bandwidth in &bandwidths {
-        let mut row = Vec::new();
         for name in &splicing_names {
-            let mut config = base_config(args)?;
-            config = config
-                .with_bandwidth(bandwidth * 1_000.0)
-                .with_splicing(parse_splicing(name)?);
-            let averaged = run_averaged(&config, &seeds);
-            row.push(match metric {
+            points.push(SweepPoint {
+                label: format!("{name} @ {bandwidth:.0} kB/s"),
+                config: base_config(args)?
+                    .with_bandwidth(bandwidth * 1_000.0)
+                    .with_splicing(parse_splicing(name)?),
+            });
+        }
+    }
+    let results = sweep_with_workers(&points, &seeds, workers(args)?);
+    for (i, &bandwidth) in bandwidths.iter().enumerate() {
+        let row: Vec<f64> = results[i * splicing_names.len()..(i + 1) * splicing_names.len()]
+            .iter()
+            .map(|(_, averaged)| match metric {
                 "stalls" => averaged.stalls.mean,
                 "stallsecs" => averaged.stall_secs.mean,
                 _ => averaged.startup_secs.mean,
-            });
-        }
+            })
+            .collect();
         table.push_row(&format!("{bandwidth:.0}"), &row);
     }
     let mut out = table.to_string();

@@ -125,6 +125,87 @@ mod tests {
     }
 
     #[test]
+    fn run_command_scale_profile() {
+        let text = call(&[
+            "run",
+            "--profile",
+            "scale",
+            "--peers",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidth",
+            "512",
+            "--seeds",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("stalls"), "{text}");
+        // The scale profile's eventful plane coalesces Haves into bundles.
+        assert!(text.contains("bundles"), "{text}");
+        // Memory accounting rides along in every run report.
+        assert!(text.contains("peer memory"), "{text}");
+    }
+
+    #[test]
+    fn scale_profile_allows_explicit_overrides() {
+        // --dissemination full overrides the profile's windowed default.
+        let text = call(&[
+            "run",
+            "--profile",
+            "scale",
+            "--dissemination",
+            "full",
+            "--peers",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidth",
+            "512",
+            "--seeds",
+            "1",
+        ])
+        .unwrap();
+        assert!(!text.contains("interest windows"), "{text}");
+    }
+
+    #[test]
+    fn unknown_profile_errors() {
+        let err = call(&["run", "--profile", "huge"]).unwrap_err();
+        assert!(err.contains("unknown profile"), "{err}");
+    }
+
+    #[test]
+    fn run_command_sharded_channels() {
+        let text = call(&[
+            "run",
+            "--channels",
+            "2",
+            "--workers",
+            "2",
+            "--peers",
+            "3",
+            "--clip-secs",
+            "12",
+            "--bandwidth",
+            "512",
+            "--seeds",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("2 channels"), "{text}");
+        assert!(text.contains("ch0"), "{text}");
+        assert!(text.contains("ch1"), "{text}");
+        assert!(text.contains("aggregate over 2 runs"), "{text}");
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let err = call(&["sweep", "--workers", "0"]).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+    }
+
+    #[test]
     fn run_command_rejects_windowed_without_eventful() {
         let err = call(&["run", "--dissemination", "windowed"]).unwrap_err();
         assert!(err.contains("eventful"), "{err}");

@@ -141,6 +141,18 @@ impl ExperimentConfig {
         self
     }
 
+    /// The blessed big-swarm preset: every scalability optimisation at
+    /// once — the fluid flow model, the eventful control plane, windowed
+    /// interest dissemination, and the incremental holder index. This is
+    /// what `--profile scale` selects on the CLI; individual knobs can
+    /// still be overridden afterwards.
+    pub fn with_scale_profile(self) -> Self {
+        self.with_flow_model(splicecast_netsim::FlowModel::Fluid)
+            .with_control_plane(splicecast_swarm::ControlPlane::Eventful)
+            .with_dissemination(splicecast_swarm::DisseminationMode::Windowed)
+            .with_scheduler(splicecast_swarm::SchedulerMode::Indexed)
+    }
+
     /// Installs a deterministic fault-injection plan (crash-stop churn,
     /// control-message loss/delay, link flaps, CDN outages).
     pub fn with_faults(mut self, faults: splicecast_swarm::FaultPlanConfig) -> Self {

@@ -53,6 +53,10 @@ pub struct AveragedMetrics {
     /// Netsim-level injected-fault counters summed over every run.
     #[serde(default)]
     pub injected: splicecast_netsim::InjectedFaults,
+    /// Peer memory accounting summed over every run (divide by `runs` ×
+    /// leechers for bytes per peer).
+    #[serde(default)]
+    pub mem: splicecast_swarm::PeerMemStats,
 }
 
 impl AveragedMetrics {
@@ -77,12 +81,14 @@ impl AveragedMetrics {
         let mut dissem = splicecast_swarm::DisseminationStats::default();
         let mut fault = splicecast_swarm::PeerFaultStats::default();
         let mut injected = splicecast_netsim::InjectedFaults::default();
+        let mut mem = splicecast_swarm::PeerMemStats::default();
         for r in results {
             control.absorb(&r.metrics.control_totals());
             sched.absorb(&r.metrics.sched_totals());
             dissem.absorb(&r.metrics.dissem_totals());
             fault.absorb(&r.metrics.fault_totals());
             injected.absorb(&r.metrics.injected);
+            mem.absorb(&r.metrics.mem_totals());
         }
         AveragedMetrics {
             runs: results.len(),
@@ -111,6 +117,29 @@ impl AveragedMetrics {
             dissem,
             fault,
             injected,
+            mem,
+        }
+    }
+
+    /// Mean measured bytes of swarm state per leecher: the summed memory
+    /// accounting divided over `leechers_per_run` peers in each run.
+    pub fn mem_bytes_per_peer(&self, leechers_per_run: usize) -> f64 {
+        let peers = (self.runs * leechers_per_run) as f64;
+        if peers == 0.0 {
+            0.0
+        } else {
+            self.mem.total_bytes() as f64 / peers
+        }
+    }
+
+    /// Mean modeled pre-diet bytes per leecher (same denominator as
+    /// [`AveragedMetrics::mem_bytes_per_peer`]).
+    pub fn prediet_bytes_per_peer(&self, leechers_per_run: usize) -> f64 {
+        let peers = (self.runs * leechers_per_run) as f64;
+        if peers == 0.0 {
+            0.0
+        } else {
+            self.mem.prediet_bytes as f64 / peers
         }
     }
 }

@@ -42,6 +42,7 @@ mod experiment;
 mod formula;
 mod report;
 mod runner;
+mod sharded;
 mod splicing;
 mod stats;
 
@@ -53,6 +54,7 @@ pub use experiment::{
 pub use formula::{max_cdn_segment_bytes, max_cdn_segment_secs, optimal_pool_size};
 pub use report::Table;
 pub use runner::{run_once, PreparedExperiment, RunResult};
+pub use sharded::{channel_seed, fnv1a, ChannelResult, ShardedOutcome, ShardedWorkload};
 pub use splicing::SplicingSpec;
 pub use stats::{rounded_mean, Summary};
 
@@ -68,5 +70,6 @@ pub use splicecast_swarm::{
     run_abr, AbrAlgorithm, AbrConfig, AbrMetrics, CdnConfig, CdnOutageConfig, ChurnConfig,
     ControlPlane, ControlPlaneStats, CrashChurnConfig, DefenseConfig, DiscoveryMode,
     DisseminationMode, DisseminationStats, EstimatorKind, FaultPlanConfig, LinkFlapConfig,
-    PeerFaultStats, PolicyConfig, SchedulerMode, SchedulerStats, SwarmConfig, SwarmMetrics,
+    PeerFaultStats, PeerMemStats, PolicyConfig, SchedulerMode, SchedulerStats, SwarmConfig,
+    SwarmMetrics,
 };

@@ -18,10 +18,14 @@ use crate::error::ProtocolError;
 /// assert!(held.get(3) && !held.get(4));
 /// assert_eq!(held.iter_set().collect::<Vec<_>>(), vec![3, 7]);
 /// ```
+/// The backing store is a boxed slice rather than a `Vec`: a bitfield
+/// never grows after construction, and dropping the capacity word keeps
+/// the struct at 24 bytes — swarms hold one of these per (peer, view)
+/// pair, so the word matters at 10k-peer scale.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Bitfield {
     len: u32,
-    bits: Vec<u8>,
+    bits: Box<[u8]>,
 }
 
 impl Bitfield {
@@ -29,7 +33,7 @@ impl Bitfield {
     pub fn new(len: u32) -> Self {
         Bitfield {
             len,
-            bits: vec![0; (len as usize).div_ceil(8)],
+            bits: vec![0; (len as usize).div_ceil(8)].into_boxed_slice(),
         }
     }
 
@@ -50,7 +54,18 @@ impl Bitfield {
                 return Err(ProtocolError::MalformedBitfield);
             }
         }
-        Ok(Bitfield { len, bits: bytes })
+        Ok(Bitfield {
+            len,
+            bits: bytes.into_boxed_slice(),
+        })
+    }
+
+    /// Bytes of heap this bitfield owns (exactly `len.div_ceil(8)`; a
+    /// boxed slice has no spare capacity). Input to the swarm's per-peer
+    /// memory accounting.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len()
     }
 
     /// Number of bits.

@@ -10,8 +10,8 @@ use splicecast_player::{Playback, PlaybackState};
 use splicecast_protocol::{decode_single, Bitfield, EncodeBuf, Message, PROTOCOL_VERSION};
 
 use crate::fault::DefenseConfig;
-use crate::metrics::{MetricsSink, PeerReport};
-use crate::peer::PeerView;
+use crate::metrics::{MetricsSink, PeerMemStats, PeerReport};
+use crate::peer::{PeerClock, PeerView};
 use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
 use crate::scheduler::{next_wanted_from, pick_source, HolderIndex, SourceCandidate};
 use crate::swarm::{ControlPlane, DisseminationMode, SchedulerMode};
@@ -181,6 +181,11 @@ pub struct LeecherNode {
     playback: Playback,
     holdings: Bitfield,
     views: BTreeMap<NodeId, PeerView>,
+    /// Defense-only liveness clocks, keyed like `views`. Empty (no heap)
+    /// unless defenses are on: the clocks moved out of `PeerView` so the
+    /// common undefended swarm does not pay 16 bytes per view for state
+    /// nothing reads.
+    clocks: BTreeMap<NodeId, PeerClock>,
     /// Per-segment holder index: for each segment, the sorted handshaken
     /// peers known to hold it (CDN excluded — its eligibility does not
     /// depend on holdings). Mirrors the views' bitfields incrementally.
@@ -279,6 +284,7 @@ impl LeecherNode {
             playback,
             holdings: Bitfield::new(segment_count),
             views,
+            clocks: BTreeMap::new(),
             holders: HolderIndex::new(segment_count),
             sched_state: SchedState::Dirty,
             in_flight: BTreeMap::new(),
@@ -325,11 +331,18 @@ impl LeecherNode {
         node == self.cfg.seeder || self.cfg.cdn == Some(node)
     }
 
+    /// The defense clocks for `peer` (zeros when none were stamped yet —
+    /// exactly the value the pre-diet inline fields started at).
+    fn clock(&self, peer: NodeId) -> PeerClock {
+        self.clocks.get(&peer).copied().unwrap_or_default()
+    }
+
     /// Drops a peer's view and its holder-index entries. Evictions only
     /// shrink the candidate sets, so they never mark the scheduler dirty.
     fn forget_view(&mut self, peer: NodeId) {
         if let Some(view) = self.views.remove(&peer) {
-            if view.handshaken && Some(peer) != self.cfg.cdn {
+            self.clocks.remove(&peer);
+            if view.handshaken() && Some(peer) != self.cfg.cdn {
                 self.report.sched.holder_removes += self.holders.remove_peer(peer);
             }
         }
@@ -365,10 +378,8 @@ impl LeecherNode {
         };
         match result {
             Ok(()) => {
-                if self.cfg.defense.is_some() {
-                    if let Some(view) = self.views.get_mut(&to) {
-                        view.last_spoke = ctx.now();
-                    }
+                if self.cfg.defense.is_some() && self.views.contains_key(&to) {
+                    self.clocks.entry(to).or_default().last_spoke = ctx.now();
                 }
                 true
             }
@@ -382,7 +393,7 @@ impl LeecherNode {
     }
 
     fn greet(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
-        if self.views.get(&peer).is_some_and(|v| v.greeted) {
+        if self.views.get(&peer).is_some_and(|v| v.greeted()) {
             return;
         }
         let hs = Message::Handshake {
@@ -392,7 +403,7 @@ impl LeecherNode {
         };
         if self.say(ctx, peer, &hs) {
             if let Some(view) = self.views.get_mut(&peer) {
-                view.greeted = true;
+                view.set_greeted(true);
             }
         }
     }
@@ -486,10 +497,8 @@ impl LeecherNode {
             };
             if result.is_ok() {
                 sent += 1;
-                if self.cfg.defense.is_some() {
-                    if let Some(view) = self.views.get_mut(&peer) {
-                        view.last_spoke = ctx.now();
-                    }
+                if self.cfg.defense.is_some() && self.views.contains_key(&peer) {
+                    self.clocks.entry(peer).or_default().last_spoke = ctx.now();
                 }
             } else {
                 self.forget_view(peer);
@@ -661,7 +670,7 @@ impl LeecherNode {
     ) {
         let cdn = self.cfg.cdn;
         for (&peer, view) in &self.views {
-            if Some(peer) == exclude || !view.handshaken || !ctx.is_online(peer) {
+            if Some(peer) == exclude || !view.handshaken() || !ctx.is_online(peer) {
                 continue;
             }
             if cdn == Some(peer) {
@@ -702,7 +711,7 @@ impl LeecherNode {
         let cdn_candidate = self.cfg.cdn.filter(|&cdn| {
             !cdn_busy
                 && Some(cdn) != exclude
-                && self.views.get(&cdn).is_some_and(|v| v.handshaken)
+                && self.views.get(&cdn).is_some_and(|v| v.handshaken())
                 && ctx.is_online(cdn)
         });
         let mut cdn_pending = cdn_candidate;
@@ -766,7 +775,23 @@ impl LeecherNode {
         // Freeing a segment can turn an exhausted schedule fillable again,
         // and freeing a CDN slot can give a source-less segment a source.
         self.sched_state = SchedState::Dirty;
+        if self.holdings.get(index) {
+            // A held segment losing its last in-flight entry (a raced
+            // duplicate resolving) will never be picked again.
+            self.purge_dead_holders(index);
+        }
         Some(entry)
+    }
+
+    /// Frees the holder set of a segment the scheduler can never pick
+    /// again: held, with no raced in-flight entry left that a timeout
+    /// redraw could still consult. Memory-only — the scheduler never reads
+    /// these sets, so the pick sequence (and every RNG draw) is unchanged;
+    /// the counters stay untouched for the same reason.
+    fn purge_dead_holders(&mut self, index: u32) {
+        if !self.in_flight.contains_key(&index) {
+            self.holders.purge_segment(index);
+        }
     }
 
     /// Records a request timeout or failed transfer against `source`
@@ -866,13 +891,13 @@ impl LeecherNode {
         let Some(view) = self.views.get(&peer) else {
             return;
         };
-        if view.interested_sent || self.is_origin(peer) {
+        if view.interested_sent() || self.is_origin(peer) {
             return;
         }
         let wants_something = view.holdings.has_any_not_in(&self.holdings);
         if wants_something && self.say(ctx, peer, &Message::Interested) {
             if let Some(view) = self.views.get_mut(&peer) {
-                view.interested_sent = true;
+                view.set_interested_sent(true);
             }
         }
     }
@@ -908,7 +933,7 @@ impl LeecherNode {
                 continue;
             }
             for (&peer, view) in &self.views {
-                if view.handshaken
+                if view.handshaken()
                     && Some(peer) != self.cfg.cdn
                     && view.holdings.get(segment)
                     && self.holders.insert(segment, peer)
@@ -942,7 +967,7 @@ impl LeecherNode {
         let sent = self.broadcast(
             ctx,
             &Message::InterestWindow { start, end },
-            |peer, view| peer != seeder && Some(peer) != cdn && view.handshaken,
+            |peer, view| peer != seeder && Some(peer) != cdn && view.handshaken(),
         );
         self.report.dissem.windows_sent += sent;
     }
@@ -967,8 +992,8 @@ impl LeecherNode {
             .observe(bytes, now.saturating_since(started).as_secs_f64());
         if self.cfg.defense.is_some() {
             // A delivery is proof of life even though it is not a message.
-            if let Some(view) = self.views.get_mut(&from) {
-                view.last_heard = now;
+            if self.views.contains_key(&from) {
+                self.clocks.entry(from).or_default().last_heard = now;
             }
             self.record_source_success(from);
         }
@@ -988,11 +1013,13 @@ impl LeecherNode {
             // `drop_in_flight` above may have freed a pool slot, so the
             // scheduling pass must still run or the slot sits idle until
             // the next pump (up to 8 intervals in eventful mode).
+            self.purge_dead_holders(index);
             self.schedule(ctx);
             return;
         }
         self.holdings.set(index);
         self.timeout_bans.remove(&index); // held: the ban can never apply
+        self.purge_dead_holders(index);
         if from == self.cfg.seeder {
             self.report.segments_from_seeder += 1;
         } else if self.cfg.cdn == Some(from) {
@@ -1015,7 +1042,7 @@ impl LeecherNode {
                         // never completed a handshake (its view of us is
                         // seeded by the bitfield we send then), learns
                         // nothing from this Have.
-                        if !view.handshaken || view.holdings.get(index) {
+                        if !view.handshaken() || view.holdings.get(index) {
                             suppressed += 1;
                             return false;
                         }
@@ -1063,8 +1090,8 @@ impl LeecherNode {
             if peer == seeder || Some(peer) == cdn {
                 return false;
             }
-            if !view.handshaken
-                || !view.peer_interested
+            if !view.handshaken()
+                || !view.peer_interested()
                 || indices.iter().all(|&i| view.holdings.get(i))
             {
                 suppressed += n;
@@ -1100,7 +1127,7 @@ impl LeecherNode {
         let seeder = self.cfg.seeder;
         let cdn = self.cfg.cdn;
         self.broadcast(ctx, &Message::NotInterested, |peer, view| {
-            peer != seeder && Some(peer) != cdn && view.handshaken
+            peer != seeder && Some(peer) != cdn && view.handshaken()
         });
     }
 
@@ -1108,10 +1135,8 @@ impl LeecherNode {
         let Ok(message) = decode_single(payload) else {
             return;
         };
-        if self.cfg.defense.is_some() {
-            if let Some(view) = self.views.get_mut(&from) {
-                view.last_heard = ctx.now();
-            }
+        if self.cfg.defense.is_some() && self.views.contains_key(&from) {
+            self.clocks.entry(from).or_default().last_heard = ctx.now();
         }
         match message {
             Message::Handshake { .. } => {
@@ -1128,8 +1153,8 @@ impl LeecherNode {
                 self.greet(ctx, from);
                 let mut newly_handshaken = false;
                 if let Some(view) = self.views.get_mut(&from) {
-                    if !view.handshaken {
-                        view.handshaken = true;
+                    if !view.handshaken() {
+                        view.set_handshaken(true);
                         newly_handshaken = true;
                         if Some(from) != self.cfg.cdn {
                             // Bits learned before the handshake (e.g. a
@@ -1180,7 +1205,7 @@ impl LeecherNode {
                 if let Some(view) = self.views.get_mut(&from) {
                     if bf.len() == view.holdings.len() {
                         let old = std::mem::replace(&mut view.holdings, bf);
-                        if view.handshaken && Some(from) != self.cfg.cdn {
+                        if view.handshaken() && Some(from) != self.cfg.cdn {
                             // Diff the replacement into the holder index.
                             let full = self.cfg.dissemination == DisseminationMode::Full;
                             for i in 0..old.len() {
@@ -1214,7 +1239,7 @@ impl LeecherNode {
                 if let Some(view) = self.views.get_mut(&from) {
                     if index < view.holdings.len() && !view.holdings.get(index) {
                         view.holdings.set(index);
-                        if view.handshaken && Some(from) != self.cfg.cdn {
+                        if view.handshaken() && Some(from) != self.cfg.cdn {
                             // Windowed mode parks announcements beyond the
                             // fold horizon (and for segments already held)
                             // in the view bitfield only; `ensure_folded`
@@ -1248,7 +1273,7 @@ impl LeecherNode {
                     for &index in &indices {
                         if index < view.holdings.len() && !view.holdings.get(index) {
                             view.holdings.set(index);
-                            if view.handshaken && Some(from) != self.cfg.cdn {
+                            if view.handshaken() && Some(from) != self.cfg.cdn {
                                 let mirror = full
                                     || (index < self.fold_horizon
                                         && (!self.holdings.get(index)
@@ -1284,7 +1309,7 @@ impl LeecherNode {
                 let old_hi = view.win_hi;
                 view.win_lo = start;
                 view.win_hi = end;
-                if !view.handshaken {
+                if !view.handshaken() {
                     return;
                 }
                 // Catch-up: indices we hold that were suppressed because
@@ -1309,12 +1334,12 @@ impl LeecherNode {
             }
             Message::Interested => {
                 if let Some(view) = self.views.get_mut(&from) {
-                    view.peer_interested = true;
+                    view.set_peer_interested(true);
                 }
             }
             Message::NotInterested => {
                 if let Some(view) = self.views.get_mut(&from) {
-                    view.peer_interested = false;
+                    view.set_peer_interested(false);
                 }
             }
             Message::ManifestData { payload } => {
@@ -1395,6 +1420,11 @@ impl LeecherNode {
     /// — folded and unheld, or held with a raced in-flight entry. Held
     /// segments without one may retain a partial holder set: their inserts
     /// stopped the moment they were acquired, and nothing consults them.
+    ///
+    /// In both modes a held segment with no in-flight entry may hold any
+    /// subset of the rescan (usually none): its set is purged on
+    /// acquisition as part of the memory diet, and full mode keeps
+    /// mirroring later announcements into it.
     #[cfg(debug_assertions)]
     fn audit_holder_index(&self) {
         if self.cfg.scheduler != SchedulerMode::Indexed {
@@ -1406,17 +1436,26 @@ impl LeecherNode {
                 .views
                 .iter()
                 .filter(|&(&peer, view)| {
-                    Some(peer) != self.cfg.cdn && view.handshaken && view.holdings.get(segment)
+                    Some(peer) != self.cfg.cdn && view.handshaken() && view.holdings.get(segment)
                 })
                 .map(|(&peer, _)| peer)
                 .collect();
             let indexed = self.holders.of(segment);
+            let dead = self.holdings.get(segment) && !self.in_flight.contains_key(&segment);
             if !windowed {
-                assert_eq!(
-                    indexed,
-                    expected.as_slice(),
-                    "holder index drifted from the peer views at segment {segment}"
-                );
+                if dead {
+                    assert!(
+                        indexed.iter().all(|p| expected.contains(p)),
+                        "stale holder-index entry at purged held segment \
+                         {segment}: {indexed:?} not within {expected:?}"
+                    );
+                } else {
+                    assert_eq!(
+                        indexed,
+                        expected.as_slice(),
+                        "holder index drifted from the peer views at segment {segment}"
+                    );
+                }
             } else if segment >= self.fold_horizon {
                 assert!(
                     indexed.is_empty(),
@@ -1470,9 +1509,9 @@ impl LeecherNode {
             self.views
                 .iter()
                 .filter(|&(&peer, view)| {
-                    view.handshaken
+                    view.handshaken()
                         && !self.is_origin(peer)
-                        && now.saturating_since(view.last_heard) >= deadline
+                        && now.saturating_since(self.clock(peer).last_heard) >= deadline
                         && !self
                             .in_flight
                             .values()
@@ -1493,9 +1532,9 @@ impl LeecherNode {
             self.views
                 .iter()
                 .filter(|&(&peer, view)| {
-                    view.handshaken
+                    view.handshaken()
                         && !self.is_origin(peer)
-                        && now.saturating_since(view.last_spoke) >= cadence
+                        && now.saturating_since(self.clock(peer).last_spoke) >= cadence
                 })
                 .map(|(&peer, _)| peer),
         );
@@ -1559,7 +1598,7 @@ impl LeecherNode {
         if !self.views.contains_key(&cdn) {
             self.views.insert(cdn, PeerView::new(self.holdings.len()));
         }
-        if !self.views[&cdn].handshaken {
+        if !self.views[&cdn].handshaken() {
             // Re-handshake after an outage eviction; the escalation itself
             // retries next window, once the handshake is mutual.
             self.greet(ctx, cdn);
@@ -1685,6 +1724,52 @@ impl LeecherNode {
         self.arm_pump(ctx, at);
     }
 
+    /// Samples this leecher's memory footprint: allocator-visible bytes
+    /// behind the structures the memory diet targeted (peer views, the
+    /// holder index, and the auxiliary per-peer maps), plus the modeled
+    /// pre-diet cost of the same state.
+    ///
+    /// The model is deliberately simple and applied identically on both
+    /// sides: `BTreeMap` node overhead is excluded everywhere (it is the
+    /// same before and after the diet), and the pre-diet holder index is
+    /// reconstructed from the add/remove counters — without
+    /// purge-on-acquire every added-but-not-removed entry would still be
+    /// resident.
+    pub fn mem_bytes_estimate(&self) -> PeerMemStats {
+        use std::mem::size_of;
+        let mut view_bytes = 0u64;
+        let mut prediet_view_bytes = 0u64;
+        for view in self.views.values() {
+            view_bytes += view.mem_bytes() as u64;
+            prediet_view_bytes += view.prediet_mem_bytes() as u64;
+        }
+        // Map payloads only; node overhead cancels across the comparison.
+        let bans = (self.timeout_bans.len() * (size_of::<u32>() + size_of::<NodeId>())) as u64;
+        let health = (self.health.len() * (size_of::<NodeId>() + size_of::<SourceHealth>())) as u64;
+        let clocks = (self.clocks.len() * (size_of::<NodeId>() + size_of::<PeerClock>())) as u64;
+        let spine = (self.holdings.len() as u64) * size_of::<Vec<NodeId>>() as u64;
+        // Pre-diet the index kept every added-but-not-removed entry; the
+        // liveness clocks lived inside the 64-byte views, so they do not
+        // count as auxiliary state there.
+        let retained = self
+            .report
+            .sched
+            .holder_adds
+            .saturating_sub(self.report.sched.holder_removes);
+        PeerMemStats {
+            view_bytes,
+            views: self.views.len() as u64,
+            holder_bytes: self.holders.heap_bytes() as u64,
+            holder_entries: self.holders.live_entries(),
+            aux_bytes: bans + health + clocks,
+            prediet_bytes: prediet_view_bytes
+                + spine
+                + retained * size_of::<NodeId>() as u64
+                + bans
+                + health,
+        }
+    }
+
     fn write_report(&mut self, ctx: &mut Ctx<'_>, departed: bool) {
         if self.reported {
             return;
@@ -1696,6 +1781,7 @@ impl LeecherNode {
         self.report.bytes_uploaded = self.uploads.bytes_uploaded;
         self.report.finished = self.playback.state() == PlaybackState::Finished;
         self.report.departed = departed;
+        self.report.mem = self.mem_bytes_estimate();
         self.cfg.sink.borrow_mut().push(self.report.clone());
     }
 }
@@ -1904,9 +1990,9 @@ mod tests {
                     serving: true,
                 },
             );
-            l.views.get_mut(&a_id).unwrap().handshaken = true;
+            l.views.get_mut(&a_id).unwrap().set_handshaken(true);
             let view_b = l.views.get_mut(&b_id).unwrap();
-            view_b.handshaken = true;
+            view_b.set_handshaken(true);
             view_b.outstanding = 1;
         }
 
@@ -2272,13 +2358,13 @@ mod tests {
             .views
             .get(&stranger_id)
             .expect("the unknown greeter must get a view");
-        assert!(view.handshaken);
+        assert!(view.handshaken());
         assert!(
             view.holdings.get(0) && view.holdings.get(1),
             "the stranger's bitfield must land in its view"
         );
         assert!(
-            view.interested_sent,
+            view.interested_sent(),
             "holding segments we lack makes it interesting"
         );
         let heard = heard.borrow();
@@ -2547,7 +2633,7 @@ mod tests {
                     },
                 );
             }
-            l.views.get_mut(&a_id).unwrap().handshaken = true;
+            l.views.get_mut(&a_id).unwrap().set_handshaken(true);
             l.views.get_mut(&a_id).unwrap().outstanding = 2;
         }
 
@@ -2795,7 +2881,7 @@ mod tests {
                     serving: true,
                 },
             );
-            l.views.get_mut(&d_id).unwrap().handshaken = true;
+            l.views.get_mut(&d_id).unwrap().set_handshaken(true);
             l.views.get_mut(&d_id).unwrap().outstanding = 1;
         }
         sim.run_until_idle(SimTime::from_secs_f64(6.0));

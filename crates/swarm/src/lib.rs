@@ -59,10 +59,10 @@ pub use fault::{
 };
 pub use leecher::{LeecherConfig, LeecherNode};
 pub use metrics::{
-    ControlPlaneStats, DisseminationStats, MetricsSink, PeerFaultStats, PeerReport, SchedulerStats,
-    SwarmMetrics,
+    ControlPlaneStats, DisseminationStats, MetricsSink, PeerFaultStats, PeerMemStats, PeerReport,
+    SchedulerStats, SwarmMetrics,
 };
-pub use peer::{PeerView, UploadManager, UploadRequest};
+pub use peer::{PeerClock, PeerView, UploadManager, UploadRequest};
 pub use policy::{
     optimal_pool_size, AdaptivePooling, BandwidthEstimator, DownloadPolicy, EstimatorKind,
     FixedPool, PolicyConfig, PolicyInput, WEstimate,
@@ -72,7 +72,7 @@ pub use scheduler::{
 };
 pub use seeder::{info_hash_of, SeederNode};
 pub use swarm::{
-    run_swarm, run_swarm_shared, ControlPlane, DiscoveryMode, DisseminationMode, SchedulerMode,
-    SwarmConfig,
+    auto_coalesce_secs, run_swarm, run_swarm_shared, ControlPlane, DiscoveryMode,
+    DisseminationMode, SchedulerMode, SwarmConfig,
 };
 pub use upload::UploadSide;

@@ -127,6 +127,50 @@ impl DisseminationStats {
     }
 }
 
+/// Memory-footprint accounting for one leecher, sampled when its report is
+/// written: allocator-visible bytes behind the peer's swarm state, plus a
+/// modeled pre-diet figure for the same state so the memory diet's effect
+/// is measurable per run. Deterministic for a given (segments, config,
+/// seed) — capacities follow the deterministic insert/remove sequence —
+/// but excluded from the `Debug` rendering like the other post-pin stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerMemStats {
+    /// Bytes behind the peer-view table: per-view struct plus bitfield
+    /// heap (packed 40-byte views after the diet).
+    pub view_bytes: u64,
+    /// Live peer views at sample time.
+    pub views: u64,
+    /// Bytes behind the per-segment holder index: spine plus every set's
+    /// capacity (after purge-on-acquire and shrink-on-evict).
+    pub holder_bytes: u64,
+    /// Live holder-index entries at sample time.
+    pub holder_entries: u64,
+    /// Bytes behind auxiliary per-peer state that is empty in the common
+    /// case: defense clocks, timeout bans, source-health tracking.
+    pub aux_bytes: u64,
+    /// Modeled bytes the same state cost before the diet: 64-byte views
+    /// with `Vec`-backed bitfields, and a holder index retaining every
+    /// added-but-not-removed entry (no purge, no shrink).
+    pub prediet_bytes: u64,
+}
+
+impl PeerMemStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &PeerMemStats) {
+        self.view_bytes += other.view_bytes;
+        self.views += other.views;
+        self.holder_bytes += other.holder_bytes;
+        self.holder_entries += other.holder_entries;
+        self.aux_bytes += other.aux_bytes;
+        self.prediet_bytes += other.prediet_bytes;
+    }
+
+    /// Total measured bytes (views + holder index + auxiliary state).
+    pub fn total_bytes(&self) -> u64 {
+        self.view_bytes + self.holder_bytes + self.aux_bytes
+    }
+}
+
 /// Fault and defense counters for one leecher: what the fault plane did to
 /// it and what its defenses did about it. All counters so totals sum
 /// naturally across peers and runs.
@@ -197,6 +241,9 @@ pub struct PeerReport {
     /// Windowed-dissemination counters for this peer.
     #[serde(default)]
     pub dissem: DisseminationStats,
+    /// Memory-footprint accounting for this peer.
+    #[serde(default)]
+    pub mem: PeerMemStats,
 }
 
 /// `Debug` is hand-written to render exactly what the derive produced
@@ -339,6 +386,33 @@ impl SwarmMetrics {
             total.absorb(&report.fault);
         }
         total
+    }
+
+    /// Summed memory accounting over every report.
+    pub fn mem_totals(&self) -> PeerMemStats {
+        let mut total = PeerMemStats::default();
+        for report in &self.reports {
+            total.absorb(&report.mem);
+        }
+        total
+    }
+
+    /// Mean measured bytes per leecher (0 with no reports).
+    pub fn mean_mem_bytes_per_peer(&self) -> f64 {
+        if self.reports.is_empty() {
+            0.0
+        } else {
+            self.mem_totals().total_bytes() as f64 / self.reports.len() as f64
+        }
+    }
+
+    /// Mean modeled pre-diet bytes per leecher (0 with no reports).
+    pub fn mean_prediet_bytes_per_peer(&self) -> f64 {
+        if self.reports.is_empty() {
+            0.0
+        } else {
+            self.mem_totals().prediet_bytes as f64 / self.reports.len() as f64
+        }
     }
 
     /// Persistent peers (neither churned nor crashed) that never finished
@@ -557,6 +631,48 @@ mod tests {
         let rendered = format!("{r:?}");
         assert!(!rendered.contains("dissem"), "{rendered}");
         assert!(!rendered.contains("424242"), "{rendered}");
+    }
+
+    #[test]
+    fn debug_rendering_excludes_mem_stats() {
+        // Same digest-pin discipline: memory accounting must not widen the
+        // hashed rendering.
+        let mut r = report(0, 0, 0.0, false);
+        r.mem.view_bytes = 717_171;
+        let rendered = format!("{r:?}");
+        assert!(!rendered.contains("mem"), "{rendered}");
+        assert!(!rendered.contains("717171"), "{rendered}");
+    }
+
+    #[test]
+    fn mem_totals_sum_over_all_reports() {
+        let mut a = report(0, 0, 0.0, false);
+        a.mem.view_bytes = 400;
+        a.mem.views = 10;
+        a.mem.holder_bytes = 100;
+        a.mem.prediet_bytes = 1_000;
+        let mut b = report(1, 0, 0.0, true); // churners count too
+        b.mem.view_bytes = 200;
+        b.mem.aux_bytes = 50;
+        b.mem.holder_entries = 7;
+        b.mem.prediet_bytes = 500;
+        let m = SwarmMetrics {
+            reports: vec![a, b],
+            sim_end_secs: 1.0,
+            net: Default::default(),
+            injected: Default::default(),
+        };
+        let total = m.mem_totals();
+        assert_eq!(total.view_bytes, 600);
+        assert_eq!(total.views, 10);
+        assert_eq!(total.holder_bytes, 100);
+        assert_eq!(total.holder_entries, 7);
+        assert_eq!(total.aux_bytes, 50);
+        assert_eq!(total.prediet_bytes, 1_500);
+        assert_eq!(total.total_bytes(), 750);
+        assert!((m.mean_mem_bytes_per_peer() - 375.0).abs() < 1e-9);
+        assert!((m.mean_prediet_bytes_per_peer() - 750.0).abs() < 1e-9);
+        assert_eq!(SwarmMetrics::default().mean_mem_bytes_per_peer(), 0.0);
     }
 
     #[test]

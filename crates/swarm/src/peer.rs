@@ -6,20 +6,18 @@ use splicecast_netsim::NodeId;
 use splicecast_protocol::Bitfield;
 
 /// What this node knows about one remote peer.
+///
+/// Swarms keep one view per (node, peer) pair — O(peers²) instances — so
+/// the struct is packed for the 10k-peer regime: the four lifecycle
+/// booleans share a single flags byte behind accessor methods, the
+/// defense-only liveness clocks live in a side table the leecher
+/// allocates only when defenses are on (see `PeerClock`), and the field
+/// order leaves no interior padding. 40 bytes, down from the 64-byte
+/// pre-diet layout.
 #[derive(Debug, Clone)]
 pub struct PeerView {
     /// Last availability map the peer sent, updated by `Have`s.
     pub holdings: Bitfield,
-    /// Whether we have sent them our handshake.
-    pub greeted: bool,
-    /// Whether they have sent us their handshake.
-    pub handshaken: bool,
-    /// Whether we have told them we are interested.
-    pub interested_sent: bool,
-    /// Whether the peer wants our availability announcements. Peers are
-    /// subscribed by default; a `NotInterested` from them (the eventful
-    /// control plane's unsubscribe) clears it, an `Interested` restores it.
-    pub peer_interested: bool,
     /// First segment of the peer's announced interest window (windowed
     /// dissemination). Defaults to 0 — the whole stream — so full-mode
     /// peers and peers that never announce a window hear everything.
@@ -29,31 +27,124 @@ pub struct PeerView {
     pub win_hi: u32,
     /// Requests we have sent them that have not completed or failed.
     pub outstanding: u32,
-    /// When we last received anything from this peer. Only maintained when
-    /// failure defenses are enabled (the inactivity detector's input);
-    /// stays at zero otherwise.
-    pub last_heard: splicecast_netsim::SimTime,
-    /// When we last sent this peer anything. Only maintained when failure
-    /// defenses are enabled (drives the keepalive cadence).
-    pub last_spoke: splicecast_netsim::SimTime,
+    /// The packed lifecycle booleans; see the `FLAG_*` constants.
+    flags: u8,
 }
+
+/// We have sent them our handshake.
+const FLAG_GREETED: u8 = 1 << 0;
+/// They have sent us their handshake.
+const FLAG_HANDSHAKEN: u8 = 1 << 1;
+/// We have told them we are interested.
+const FLAG_INTERESTED_SENT: u8 = 1 << 2;
+/// The peer wants our availability announcements. Set by default; a
+/// `NotInterested` from them (the eventful control plane's unsubscribe)
+/// clears it, an `Interested` restores it.
+const FLAG_PEER_INTERESTED: u8 = 1 << 3;
 
 impl PeerView {
     /// A fresh view with nothing known.
     pub fn new(segment_count: u32) -> Self {
         PeerView {
             holdings: Bitfield::new(segment_count),
-            greeted: false,
-            handshaken: false,
-            interested_sent: false,
-            peer_interested: true,
             win_lo: 0,
             win_hi: segment_count,
             outstanding: 0,
-            last_heard: splicecast_netsim::SimTime::ZERO,
-            last_spoke: splicecast_netsim::SimTime::ZERO,
+            flags: FLAG_PEER_INTERESTED,
         }
     }
+
+    #[inline]
+    fn flag(&self, mask: u8) -> bool {
+        self.flags & mask != 0
+    }
+
+    #[inline]
+    fn set_flag(&mut self, mask: u8, value: bool) {
+        if value {
+            self.flags |= mask;
+        } else {
+            self.flags &= !mask;
+        }
+    }
+
+    /// Whether we have sent them our handshake.
+    #[inline]
+    pub fn greeted(&self) -> bool {
+        self.flag(FLAG_GREETED)
+    }
+
+    /// Records whether we have sent them our handshake.
+    #[inline]
+    pub fn set_greeted(&mut self, value: bool) {
+        self.set_flag(FLAG_GREETED, value);
+    }
+
+    /// Whether they have sent us their handshake.
+    #[inline]
+    pub fn handshaken(&self) -> bool {
+        self.flag(FLAG_HANDSHAKEN)
+    }
+
+    /// Records whether they have sent us their handshake.
+    #[inline]
+    pub fn set_handshaken(&mut self, value: bool) {
+        self.set_flag(FLAG_HANDSHAKEN, value);
+    }
+
+    /// Whether we have told them we are interested.
+    #[inline]
+    pub fn interested_sent(&self) -> bool {
+        self.flag(FLAG_INTERESTED_SENT)
+    }
+
+    /// Records whether we have told them we are interested.
+    #[inline]
+    pub fn set_interested_sent(&mut self, value: bool) {
+        self.set_flag(FLAG_INTERESTED_SENT, value);
+    }
+
+    /// Whether the peer wants our availability announcements.
+    #[inline]
+    pub fn peer_interested(&self) -> bool {
+        self.flag(FLAG_PEER_INTERESTED)
+    }
+
+    /// Records whether the peer wants our availability announcements.
+    #[inline]
+    pub fn set_peer_interested(&mut self, value: bool) {
+        self.set_flag(FLAG_PEER_INTERESTED, value);
+    }
+
+    /// Bytes this view costs: the struct itself plus the holdings
+    /// bitfield's heap. Excludes the map overhead of whatever container
+    /// holds the view (the pre-diet model excludes it identically).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.holdings.heap_bytes()
+    }
+
+    /// Bytes the same view cost in the pre-diet layout: a 64-byte struct
+    /// (32-byte `Vec`-backed bitfield, four one-byte bools, two inline
+    /// 8-byte defense clocks, padding) plus the same eagerly allocated
+    /// holdings heap. Kept as the fixed reference for the memory-diet
+    /// accounting so the saving is measurable against real state.
+    pub fn prediet_mem_bytes(&self) -> usize {
+        64 + self.holdings.heap_bytes()
+    }
+}
+
+/// Defense-only liveness clocks for one peer. Pre-diet these sat inline
+/// in every [`PeerView`] (16 bytes each) even though they are only read
+/// when `--defend` is on; the leecher now keeps them in a side map that
+/// stays empty otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeerClock {
+    /// When we last received anything from this peer (the inactivity
+    /// detector's input).
+    pub last_heard: splicecast_netsim::SimTime,
+    /// When we last sent this peer anything (drives the keepalive
+    /// cadence).
+    pub last_spoke: splicecast_netsim::SimTime,
 }
 
 /// An accepted upload: who asked for which segment.
@@ -257,11 +348,43 @@ mod tests {
     #[test]
     fn peer_view_defaults() {
         let v = PeerView::new(10);
-        assert!(!v.handshaken);
-        assert!(!v.interested_sent);
-        assert!(v.peer_interested, "peers are subscribed until they opt out");
+        assert!(!v.greeted());
+        assert!(!v.handshaken());
+        assert!(!v.interested_sent());
+        assert!(
+            v.peer_interested(),
+            "peers are subscribed until they opt out"
+        );
         assert_eq!((v.win_lo, v.win_hi), (0, 10), "default window spans all");
         assert_eq!(v.outstanding, 0);
         assert_eq!(v.holdings.count_ones(), 0);
+    }
+
+    #[test]
+    fn peer_view_flags_are_independent() {
+        let mut v = PeerView::new(4);
+        v.set_greeted(true);
+        v.set_handshaken(true);
+        v.set_interested_sent(true);
+        v.set_peer_interested(false);
+        assert!(v.greeted() && v.handshaken() && v.interested_sent());
+        assert!(!v.peer_interested());
+        v.set_handshaken(false);
+        assert!(!v.handshaken());
+        assert!(
+            v.greeted() && v.interested_sent(),
+            "clearing one flag must not disturb the others"
+        );
+    }
+
+    /// The memory diet's whole point: the packed struct must stay at 40
+    /// bytes (24-byte boxed-slice bitfield + window pair + outstanding +
+    /// flags byte + padding), 37% under the 64-byte pre-diet layout.
+    #[test]
+    fn peer_view_is_packed() {
+        assert_eq!(std::mem::size_of::<PeerView>(), 40);
+        let v = PeerView::new(80);
+        assert_eq!(v.mem_bytes(), 40 + 10, "struct plus 80 bits of heap");
+        assert_eq!(v.prediet_mem_bytes(), 64 + 10);
     }
 }

@@ -111,15 +111,34 @@ impl HolderIndex {
 
     /// Removes `peer` from every segment's holder set (peer eviction).
     /// Returns the number of entries removed.
+    ///
+    /// Shrinks-on-evict: a set whose capacity has drifted to more than
+    /// twice its population (plus slack for small sets) is reallocated
+    /// down, so long-lived swarms with churn do not keep peak-population
+    /// capacity pinned for every segment.
     pub fn remove_peer(&mut self, peer: NodeId) -> u64 {
         let mut removed = 0;
         for holders in &mut self.per_segment {
             if let Ok(pos) = holders.binary_search(&peer) {
                 holders.remove(pos);
                 removed += 1;
+                if holders.capacity() > 8 && holders.capacity() > holders.len() * 2 {
+                    holders.shrink_to_fit();
+                }
             }
         }
         removed
+    }
+
+    /// Frees one segment's holder set entirely, returning its memory to
+    /// the allocator. The leecher calls this for segments it has acquired
+    /// (and has no raced in-flight entry left for): the scheduler can
+    /// never pick them again, so their sets are dead weight — the largest
+    /// single share of a big swarm's holder-index footprint.
+    pub fn purge_segment(&mut self, segment: u32) {
+        if let Some(holders) = self.per_segment.get_mut(segment as usize) {
+            *holders = Vec::new();
+        }
     }
 
     /// The holders of `segment`, in ascending `NodeId` order.
@@ -128,6 +147,25 @@ impl HolderIndex {
             .get(segment as usize)
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// Bytes of heap behind this index: the per-segment spine plus every
+    /// set's *capacity* (allocator-visible cost, not just population).
+    pub fn heap_bytes(&self) -> usize {
+        let spine = self.per_segment.capacity() * std::mem::size_of::<Vec<NodeId>>();
+        let sets: usize = self
+            .per_segment
+            .iter()
+            .map(|h| h.capacity() * std::mem::size_of::<NodeId>())
+            .sum();
+        spine + sets
+    }
+
+    /// Live entries across every segment (input to the pre-diet model:
+    /// without purge-on-acquire the index would hold every added entry
+    /// that was not explicitly removed).
+    pub fn live_entries(&self) -> u64 {
+        self.per_segment.iter().map(|h| h.len() as u64).sum()
     }
 }
 

@@ -188,8 +188,9 @@ pub struct SwarmConfig {
     #[serde(default)]
     pub dissemination: DisseminationMode,
     /// Coalescing window of the eventful control plane, seconds: how long
-    /// completions may wait before a `HaveBundle` flush. Defaults to one
-    /// pump interval when unset.
+    /// completions may wait before a `HaveBundle` flush. When unset the
+    /// window is auto-tuned to the mean segment duration, clamped to
+    /// one-to-four pump intervals (see [`auto_coalesce_secs`]).
     #[serde(default)]
     pub have_coalesce_secs: Option<f64>,
     /// Deterministic fault injection (crash-stop churn, control-message
@@ -337,6 +338,23 @@ pub fn run_swarm(segments: &SegmentList, config: &SwarmConfig, seed: u64) -> Swa
     run_swarm_shared(&std::sync::Arc::new(segments.clone()), config, seed)
 }
 
+/// The eventful plane's `HaveBundle` coalescing window when the config
+/// does not pin one (`have_coalesce_secs: None`): the mean segment
+/// duration, clamped to one-to-four pump intervals.
+///
+/// Completions arrive roughly once per segment duration per active
+/// download, so a window much shorter than that coalesces nothing (every
+/// completion flushes its own bundle), while one much longer delays
+/// availability news past the point peers could have used it. Tracking the
+/// segment duration keeps the bundles-per-have ratio stable across
+/// splicing configurations instead of degrading at fine splicings.
+pub fn auto_coalesce_secs(mean_segment_secs: f64, pump_interval_secs: f64) -> f64 {
+    if !mean_segment_secs.is_finite() {
+        return pump_interval_secs;
+    }
+    mean_segment_secs.clamp(pump_interval_secs, 4.0 * pump_interval_secs)
+}
+
 /// Like [`run_swarm`], but the caller supplies the segment list already
 /// wrapped in an [`Arc`](std::sync::Arc), so repeated runs over the same
 /// media (averaging seeds, sweep points) share one allocation instead of
@@ -461,11 +479,14 @@ pub fn run_swarm_shared(
             control_plane: config.control_plane,
             scheduler: config.scheduler,
             dissemination: config.dissemination,
-            coalesce_window: SimDuration::from_secs_f64(
-                config
-                    .have_coalesce_secs
-                    .unwrap_or(config.pump_interval_secs),
-            ),
+            coalesce_window: SimDuration::from_secs_f64(config.have_coalesce_secs.unwrap_or_else(
+                || {
+                    auto_coalesce_secs(
+                        segments.total_duration().as_secs_f64() / segments.len() as f64,
+                        config.pump_interval_secs,
+                    )
+                },
+            )),
             sink: sink.clone(),
         });
         sim.add_node(Box::new(leecher));
@@ -667,6 +688,9 @@ mod tests {
                 let mut metrics = run_swarm(&segments, &config, 11);
                 for report in &mut metrics.reports {
                     report.sched = Default::default();
+                    // Scan mode never populates the holder index, so the
+                    // memory probe legitimately differs between modes.
+                    report.mem = Default::default();
                 }
                 metrics
             };
@@ -828,6 +852,78 @@ mod tests {
         );
     }
 
+    /// The auto-tuned window tracks segment duration inside the clamp.
+    #[test]
+    fn auto_coalesce_scales_with_segment_duration() {
+        // Below one pump interval: clamp up (a shorter window coalesces
+        // nothing anyway).
+        assert_eq!(auto_coalesce_secs(0.1, 0.5), 0.5);
+        // Inside the clamp: track the segment duration.
+        assert_eq!(auto_coalesce_secs(1.0, 0.5), 1.0);
+        assert_eq!(auto_coalesce_secs(1.5, 0.5), 1.5);
+        // Above four pump intervals: clamp down (availability news must
+        // not go stale).
+        assert_eq!(auto_coalesce_secs(4.0, 0.5), 2.0);
+        // Degenerate input falls back to the pump interval.
+        assert_eq!(auto_coalesce_secs(f64::NAN, 0.5), 0.5);
+    }
+
+    /// The coalescing-window sweep at large segment counts (the ROADMAP
+    /// prerequisite for the scale profile), kept as a regression test:
+    /// wider windows must actually coalesce more, every window must still
+    /// deliver the stream, and the auto-tuned default must be exactly the
+    /// formula's window and coalesce at least as well as the finest fixed
+    /// setting.
+    #[test]
+    fn coalesce_window_sweep_at_large_segment_counts() {
+        let video = Video::builder().duration_secs(48.0).seed(6).build();
+        // 96 half-second segments: completions arrive fast, so the window
+        // choice dominates the bundle count.
+        let segments = DurationSplicer::new(0.5).splice(&video);
+        let base = SwarmConfig {
+            n_leechers: 8,
+            peer_bandwidth_bytes_per_sec: 16_000_000.0,
+            seeder_bandwidth_bytes_per_sec: 16_000_000.0,
+            flow_model: FlowModel::Fluid,
+            control_plane: ControlPlane::Eventful,
+            ..tiny_config()
+        };
+        let run_with = |window: Option<f64>| {
+            run_swarm(
+                &segments,
+                &SwarmConfig {
+                    have_coalesce_secs: window,
+                    ..base.clone()
+                },
+                5,
+            )
+        };
+        let mut bundle_sizes = Vec::new();
+        for w in [0.125, 0.5, 2.0] {
+            let m = run_with(Some(w));
+            assert_eq!(m.completion_rate(), 1.0, "window {w} broke the stream");
+            bundle_sizes.push(m.control_totals().mean_bundle_size());
+        }
+        assert!(
+            bundle_sizes[2] > bundle_sizes[0],
+            "wider window must coalesce more: {bundle_sizes:?}"
+        );
+        // The unset window is bit-identical to pinning the formula value…
+        let mean_seg = segments.total_duration().as_secs_f64() / segments.len() as f64;
+        let auto = run_with(None);
+        let pinned = run_with(Some(auto_coalesce_secs(mean_seg, base.pump_interval_secs)));
+        assert_eq!(auto, pinned, "auto-tune must equal the pinned formula");
+        // …and coalesces at least as well as the finest fixed window.
+        assert_eq!(auto.completion_rate(), 1.0);
+        assert!(
+            auto.control_totals().mean_bundle_size() >= bundle_sizes[0],
+            "auto window {:.2} coalesces worse than the finest fixed one: {:.2} < {:.2}",
+            auto_coalesce_secs(mean_seg, base.pump_interval_secs),
+            auto.control_totals().mean_bundle_size(),
+            bundle_sizes[0],
+        );
+    }
+
     /// Windowed dissemination end to end: completions still reach everyone
     /// (via windows, catch-ups, and the lazy fold), the deferral counters
     /// show real work avoided, and the holder-index insert volume drops.
@@ -912,6 +1008,7 @@ mod tests {
             for report in &mut metrics.reports {
                 report.sched = Default::default();
                 report.dissem = Default::default();
+                report.mem = Default::default();
             }
             metrics
         };
