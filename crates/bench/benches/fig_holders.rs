@@ -1,0 +1,106 @@
+//! `fig_holders`: holder-set representation scaling — one channel at
+//! 250 / 1000 / 2000 leechers under the `scale` profile, reporting
+//! whole-run wall clock and measured bytes/peer.
+//!
+//! `BENCH_holders.json` pins the PR 9 baseline (sparse-only holder
+//! vectors, one live 40-byte `PeerView` per pair forever) and gates the
+//! hybrid sparse/dense holder sets + complete-peer summaries against it:
+//! measured bytes/peer at 2000 leechers must be >= 1.5x lower, and wall
+//! clock must be no worse (>= 1.0x).
+
+use std::time::Instant;
+
+use splicecast_core::{ExperimentConfig, SplicingSpec, VideoSpec};
+use splicecast_media::{DurationSplicer, Splicer};
+use splicecast_swarm::{run_swarm, SwarmConfig, SwarmMetrics};
+
+/// Swarm seed (the video content seed is fixed separately).
+const SEED: u64 = 5;
+/// Splicing interval, seconds: the 120 s clip cut into 60 segments, the
+/// same operating point as `fig_bigswarm` so bytes/peer is comparable.
+const SPLICE_SECS: f64 = 2.0;
+
+/// The fat-link scale-profile operating point shared with `fig_bigswarm`.
+fn scale_config(n_leechers: usize, clip_secs: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_baseline()
+        .with_splicing(SplicingSpec::Duration(SPLICE_SECS))
+        .with_leechers(n_leechers)
+        .with_scale_profile();
+    cfg.video = VideoSpec {
+        duration_secs: clip_secs,
+        ..VideoSpec::default()
+    };
+    cfg.swarm.peer_bandwidth_bytes_per_sec = 16_000_000.0;
+    cfg.swarm.seeder_bandwidth_bytes_per_sec = 64_000_000.0;
+    cfg.swarm.seeder_upload_slots = 32;
+    cfg.swarm.end_to_end_loss = 0.01;
+    cfg.swarm.max_sim_secs = 1800.0;
+    cfg
+}
+
+/// Runs one channel once; returns `(wall ns, metrics)`.
+fn run_single(config: &ExperimentConfig) -> (u128, SwarmMetrics) {
+    let video = config.video.build();
+    let segments = DurationSplicer::new(SPLICE_SECS).splice(&video);
+    let swarm: SwarmConfig = config.swarm.clone();
+    let start = Instant::now();
+    let metrics = run_swarm(&segments, &swarm, SEED);
+    let wall_ns = start.elapsed().as_nanos();
+    assert_eq!(
+        metrics.completion_rate(),
+        1.0,
+        "every viewer must finish at n={}",
+        swarm.n_leechers
+    );
+    (wall_ns, metrics)
+}
+
+fn main() {
+    // Smoke-test mode (no `--bench` flag, i.e. under `cargo test`): tiny
+    // size, print nothing. Quick mode runs the smallest real size only.
+    let full = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::var("SPLICECAST_SCALE").as_deref() == Ok("quick");
+    let (sizes, clip_secs): (&[usize], f64) = if !full {
+        (&[12], 24.0)
+    } else if quick {
+        (&[250], 120.0)
+    } else {
+        (&[250, 1000, 2000], 120.0)
+    };
+
+    for &n in sizes {
+        let cfg = scale_config(n, clip_secs);
+        let (wall_ns, metrics) = run_single(&cfg);
+        let current = metrics.mean_mem_bytes_per_peer().round() as u64;
+        let prediet = metrics.mean_prediet_bytes_per_peer().round() as u64;
+        assert!(current > 0, "memory accounting must be populated");
+        if !full {
+            continue;
+        }
+        println!(
+            "bench: holders/wall/{n} ... {wall_ns}.0 ns/iter \
+             (min {wall_ns}.0, max {wall_ns}.0, samples 1)"
+        );
+        println!(
+            "bench: holders/mem/{n} ... {current}.0 ns/iter \
+             (min {current}.0, max {current}.0, samples 1)"
+        );
+        println!(
+            "bench: holders/mem/prediet/{n} ... {prediet}.0 ns/iter \
+             (min {prediet}.0, max {prediet}.0, samples 1)"
+        );
+        let sched = metrics.sched_totals();
+        println!(
+            "info: holders/{n} run {:.1}s stalls {:.2} bytes/peer {current} \
+             (pre-diet {prediet}) messages {} holder sets {} sparse + {} \
+             dense ({} promotions), {} peers complete-folded",
+            wall_ns as f64 / 1e9,
+            metrics.mean_stalls(),
+            metrics.net.messages_sent,
+            sched.sparse_sets,
+            sched.dense_sets,
+            sched.dense_promotions,
+            sched.complete_peers,
+        );
+    }
+}

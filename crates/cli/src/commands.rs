@@ -281,6 +281,17 @@ pub fn run_swarm_command(args: &Args) -> Result<String, String> {
             averaged.mem_bytes_per_peer(config.swarm.n_leechers) / 1e3,
             averaged.prediet_bytes_per_peer(config.swarm.n_leechers) / 1e3,
         ));
+        let sched = averaged.sched;
+        if sched.sparse_sets + sched.dense_sets + sched.complete_peers > 0 {
+            let runs = averaged.runs as f64;
+            out.push_str(&format!(
+                "  holder sets:       {:.0} sparse, {:.0} dense ({:.0} promotions), {:.0} peers complete-folded (per run)\n",
+                sched.sparse_sets as f64 / runs,
+                sched.dense_sets as f64 / runs,
+                sched.dense_promotions as f64 / runs,
+                sched.complete_peers as f64 / runs,
+            ));
+        }
     }
     let runs = averaged.runs as f64;
     let control = averaged.control;
@@ -405,6 +416,17 @@ fn sharded_run(args: &Args, config: &ExperimentConfig, channels: usize) -> Resul
             agg.mem_bytes_per_peer(config.swarm.n_leechers) / 1e3,
             agg.prediet_bytes_per_peer(config.swarm.n_leechers) / 1e3,
         ));
+        let sched = agg.sched;
+        if sched.sparse_sets + sched.dense_sets + sched.complete_peers > 0 {
+            let runs = agg.runs as f64;
+            out.push_str(&format!(
+                "  holder sets:       {:.0} sparse, {:.0} dense ({:.0} promotions), {:.0} peers complete-folded (per run)\n",
+                sched.sparse_sets as f64 / runs,
+                sched.dense_sets as f64 / runs,
+                sched.dense_promotions as f64 / runs,
+                sched.complete_peers as f64 / runs,
+            ));
+        }
     }
     Ok(out)
 }

@@ -1,8 +1,19 @@
 //! Piece-availability bitsets exchanged between peers.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::ProtocolError;
+
+thread_local! {
+    /// Per-thread intern table for [`Bitfield::full_interned`], keyed by
+    /// length. A simulation thread only ever sees a handful of distinct
+    /// segment counts, so the table stays tiny and lives for the thread.
+    static FULL_FIELDS: RefCell<HashMap<u32, Arc<Bitfield>>> = RefCell::new(HashMap::new());
+}
 
 /// A fixed-width bitset tracking which segments a peer holds.
 ///
@@ -132,13 +143,38 @@ impl Bitfield {
         0xFFu8 << spare
     }
 
-    /// True when every bit is set. Short-circuits on the first byte with a
-    /// hole rather than popcounting the whole field.
+    /// True when every bit is set. Compares whole 64-bit words against
+    /// `u64::MAX` and short-circuits on the first one with a hole, so a
+    /// wide field costs len/64 comparisons, not a per-bit (or per-byte)
+    /// scan; only the sub-word tail is checked byte-wise.
     pub fn is_complete(&self) -> bool {
         let Some((&last, body)) = self.bits.split_last() else {
             return true;
         };
-        body.iter().all(|&b| b == 0xFF) && last == self.last_byte_mask()
+        let mut words = body.chunks_exact(8);
+        for word in words.by_ref() {
+            if u64::from_ne_bytes(word.try_into().expect("8-byte chunk")) != u64::MAX {
+                return false;
+            }
+        }
+        words.remainder().iter().all(|&b| b == 0xFF) && last == self.last_byte_mask()
+    }
+
+    /// A shared all-set bitfield of `len` bits, interned per thread: every
+    /// caller on the same thread gets a handle to one allocation. Used to
+    /// summarize known-complete peers — thousands of per-pair views
+    /// collapse onto a single full field instead of each owning a heap
+    /// copy. The value is immutable behind the `Arc`; a caller that needs
+    /// to diverge clones the inner `Bitfield` (copy-on-write by hand).
+    pub fn full_interned(len: u32) -> Arc<Bitfield> {
+        FULL_FIELDS.with(|cache| {
+            Arc::clone(
+                cache
+                    .borrow_mut()
+                    .entry(len)
+                    .or_insert_with(|| Arc::new(Bitfield::full(len))),
+            )
+        })
     }
 
     /// A bitfield of `len` bits, all set.
@@ -357,6 +393,22 @@ mod tests {
                 assert_eq!(a.is_complete(), naive_complete);
             }
         }
+    }
+
+    /// One allocation per (thread, length): repeated interning hands back
+    /// the same `Arc`, equal to the per-bit full field.
+    #[test]
+    fn full_interned_shares_one_allocation() {
+        for len in [0u32, 5, 64, 1031] {
+            let a = Bitfield::full_interned(len);
+            let b = Bitfield::full_interned(len);
+            assert!(Arc::ptr_eq(&a, &b), "len {len} not interned");
+            assert_eq!(*a, Bitfield::full(len));
+            assert!(a.is_complete());
+        }
+        let five = Bitfield::full_interned(5);
+        let sixtyfour = Bitfield::full_interned(64);
+        assert!(!Arc::ptr_eq(&five, &sixtyfour));
     }
 
     #[test]

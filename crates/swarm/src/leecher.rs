@@ -11,7 +11,7 @@ use splicecast_protocol::{decode_single, Bitfield, EncodeBuf, Message, PROTOCOL_
 
 use crate::fault::DefenseConfig;
 use crate::metrics::{MetricsSink, PeerMemStats, PeerReport};
-use crate::peer::{PeerClock, PeerView};
+use crate::peer::{CompleteView, PeerClock, PeerLook, PeerView, PRE_DIET_VIEW_BYTES};
 use crate::policy::{BandwidthEstimator, DownloadPolicy, PolicyInput};
 use crate::scheduler::{next_wanted_from, pick_source, HolderIndex, SourceCandidate};
 use crate::swarm::{ControlPlane, DisseminationMode, SchedulerMode};
@@ -98,6 +98,9 @@ pub struct LeecherConfig {
     /// How long completions may wait before a coalesced `HaveBundle`
     /// flush (eventful mode only).
     pub coalesce_window: SimDuration,
+    /// Pins every holder set to the sparse representation (differential-
+    /// testing knob; the hybrid default must be bit-identical).
+    pub sparse_holders: bool,
     /// Where the final [`PeerReport`] is written.
     pub sink: MetricsSink,
 }
@@ -181,6 +184,17 @@ pub struct LeecherNode {
     playback: Playback,
     holdings: Bitfield,
     views: BTreeMap<NodeId, PeerView>,
+    /// Peers whose holdings are known complete, summarized out of
+    /// `views`: each costs a compact [`CompleteView`] instead of a view
+    /// plus bitfield, its holder-index entries are purged, and pick-time
+    /// candidate collection folds it back in as an implicit holder of
+    /// everything (the same sorted-position merge the CDN uses). The CDN
+    /// itself is never summarized — its special casing throughout wants
+    /// the real view.
+    complete: BTreeMap<NodeId, CompleteView>,
+    /// The shared all-set bitfield standing in for every complete peer's
+    /// holdings (interned per thread; see `Bitfield::full_interned`).
+    full_field: Arc<Bitfield>,
     /// Defense-only liveness clocks, keyed like `views`. Empty (no heap)
     /// unless defenses are on: the clocks moved out of `PeerView` so the
     /// common undefended swarm does not pay 16 bytes per view for state
@@ -280,12 +294,22 @@ impl LeecherNode {
             peer: cfg.index,
             ..PeerReport::default()
         };
+        // Universe hint for the dense-promotion threshold: every peer this
+        // leecher could ever index (the other leechers plus seeder, CDN,
+        // hub, and itself occupy the low node indices).
+        let universe = cfg.others.len() + 4;
+        let mut holders = HolderIndex::with_universe(segment_count, universe);
+        if cfg.sparse_holders {
+            holders = holders.sparse_only();
+        }
         LeecherNode {
             playback,
             holdings: Bitfield::new(segment_count),
             views,
+            complete: BTreeMap::new(),
+            full_field: Bitfield::full_interned(segment_count),
             clocks: BTreeMap::new(),
-            holders: HolderIndex::new(segment_count),
+            holders,
             sched_state: SchedState::Dirty,
             in_flight: BTreeMap::new(),
             timeout_bans: BTreeMap::new(),
@@ -337,6 +361,78 @@ impl LeecherNode {
         self.clocks.get(&peer).copied().unwrap_or_default()
     }
 
+    /// Whether `peer` is known — it has a live view or a complete-peer
+    /// record.
+    fn knows_peer(&self, peer: NodeId) -> bool {
+        self.views.contains_key(&peer) || self.complete.contains_key(&peer)
+    }
+
+    /// Iterates every known peer in ascending `NodeId` order, presenting
+    /// live views and complete-peer records uniformly as [`PeerLook`]s.
+    /// The two maps are disjoint by invariant; this is the same
+    /// sorted-position merge the candidate collector uses, so iteration
+    /// order — and therefore wire order of anything broadcast — matches
+    /// the pre-summary single-map walk exactly. A free function over the
+    /// fields so callers can hold other `&mut self` borrows.
+    fn peers_merged<'a>(
+        views: &'a BTreeMap<NodeId, PeerView>,
+        complete: &'a BTreeMap<NodeId, CompleteView>,
+        full: &'a Bitfield,
+    ) -> impl Iterator<Item = (NodeId, PeerLook<'a>)> {
+        let mut live = views.iter().peekable();
+        let mut done = complete.iter().peekable();
+        std::iter::from_fn(move || {
+            let take_live = match (live.peek(), done.peek()) {
+                (Some((a, _)), Some((b, _))) => a < b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            Some(if take_live {
+                let (&peer, view) = live.next().expect("peeked");
+                (peer, PeerLook::view(view))
+            } else {
+                let (&peer, record) = done.next().expect("peeked");
+                (peer, PeerLook::complete(record, full))
+            })
+        })
+    }
+
+    /// Folds a peer whose holdings just became full into the compact
+    /// complete-peer map: its view and holder-index entries are dropped
+    /// and pick-time merging treats it as an implicit holder of
+    /// everything. The purge is deliberately not counted as holder
+    /// removes — nothing was forgotten, the entries became implicit. The
+    /// CDN keeps its real view (its special casing reads it), and
+    /// un-handshaken views stay put (they are not indexed yet, and the
+    /// handshake handler needs the real view to fold).
+    fn maybe_summarize_complete(&mut self, peer: NodeId) {
+        if Some(peer) == self.cfg.cdn {
+            return;
+        }
+        let complete = self
+            .views
+            .get(&peer)
+            .is_some_and(|v| v.handshaken() && v.holdings.is_complete());
+        if !complete {
+            return;
+        }
+        let view = self.views.remove(&peer).expect("checked above");
+        self.holders.remove_peer(peer);
+        self.complete.insert(peer, view.summarize_complete());
+    }
+
+    /// The outstanding-request counter for `peer`, wherever its record
+    /// lives.
+    fn outstanding_mut(&mut self, peer: NodeId) -> Option<&mut u32> {
+        if let Some(view) = self.views.get_mut(&peer) {
+            return Some(&mut view.outstanding);
+        }
+        self.complete
+            .get_mut(&peer)
+            .map(|record| &mut record.outstanding)
+    }
+
     /// Drops a peer's view and its holder-index entries. Evictions only
     /// shrink the candidate sets, so they never mark the scheduler dirty.
     fn forget_view(&mut self, peer: NodeId) {
@@ -345,6 +441,9 @@ impl LeecherNode {
             if view.handshaken() && Some(peer) != self.cfg.cdn {
                 self.report.sched.holder_removes += self.holders.remove_peer(peer);
             }
+        } else if self.complete.remove(&peer).is_some() {
+            // Complete peers have no holder-index entries to purge.
+            self.clocks.remove(&peer);
         }
         // A one-shot ban names the peer whose request timed out on that
         // segment; once the peer is evicted the ban must not survive, or a
@@ -378,7 +477,7 @@ impl LeecherNode {
         };
         match result {
             Ok(()) => {
-                if self.cfg.defense.is_some() && self.views.contains_key(&to) {
+                if self.cfg.defense.is_some() && self.knows_peer(to) {
                     self.clocks.entry(to).or_default().last_spoke = ctx.now();
                 }
                 true
@@ -393,7 +492,9 @@ impl LeecherNode {
     }
 
     fn greet(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
-        if self.views.get(&peer).is_some_and(|v| v.greeted()) {
+        if self.views.get(&peer).is_some_and(|v| v.greeted())
+            || self.complete.get(&peer).is_some_and(|c| c.greeted())
+        {
             return;
         }
         let hs = Message::Handshake {
@@ -404,6 +505,8 @@ impl LeecherNode {
         if self.say(ctx, peer, &hs) {
             if let Some(view) = self.views.get_mut(&peer) {
                 view.set_greeted(true);
+            } else if let Some(record) = self.complete.get_mut(&peer) {
+                record.set_greeted(true);
             }
         }
     }
@@ -474,15 +577,14 @@ impl LeecherNode {
         &mut self,
         ctx: &mut Ctx<'_>,
         message: &Message,
-        mut include: impl FnMut(NodeId, &PeerView) -> bool,
+        mut include: impl FnMut(NodeId, PeerLook<'_>) -> bool,
     ) -> u64 {
         let mut peers = std::mem::take(&mut self.scratch_peers);
         peers.clear();
         peers.extend(
-            self.views
-                .iter()
-                .filter(|&(&peer, view)| include(peer, view))
-                .map(|(&peer, _)| peer),
+            Self::peers_merged(&self.views, &self.complete, &self.full_field)
+                .filter(|&(peer, look)| include(peer, look))
+                .map(|(peer, _)| peer),
         );
         // One encode for the whole broadcast: a `Bytes` clone is a
         // reference-count bump, not a copy.
@@ -497,7 +599,7 @@ impl LeecherNode {
             };
             if result.is_ok() {
                 sent += 1;
-                if self.cfg.defense.is_some() && self.views.contains_key(&peer) {
+                if self.cfg.defense.is_some() && self.knows_peer(peer) {
                     self.clocks.entry(peer).or_default().last_spoke = ctx.now();
                 }
             } else {
@@ -657,9 +759,12 @@ impl LeecherNode {
         picked
     }
 
-    /// Reference candidate collection: a full scan of every peer view.
-    /// `views` is a `BTreeMap`, so the pool is in ascending `NodeId` order
-    /// — no sort needed for determinism.
+    /// Reference candidate collection: a full scan of every known peer —
+    /// live views and complete-peer records merged in ascending `NodeId`
+    /// order (both maps are `BTreeMap`s), so the pool needs no sort for
+    /// determinism. Complete peers are handshaken by construction and
+    /// hold every segment, so the uniform [`PeerLook`] checks compute for
+    /// them exactly what the full view computed before summarization.
     fn collect_candidates_scan(
         &self,
         ctx: &Ctx<'_>,
@@ -669,8 +774,8 @@ impl LeecherNode {
         out: &mut Vec<SourceCandidate>,
     ) {
         let cdn = self.cfg.cdn;
-        for (&peer, view) in &self.views {
-            if Some(peer) == exclude || !view.handshaken() || !ctx.is_online(peer) {
+        for (peer, look) in Self::peers_merged(&self.views, &self.complete, &self.full_field) {
+            if Some(peer) == exclude || !look.handshaken() || !ctx.is_online(peer) {
                 continue;
             }
             if cdn == Some(peer) {
@@ -678,7 +783,7 @@ impl LeecherNode {
                 if !cdn_busy {
                     out.push(SourceCandidate {
                         peer,
-                        outstanding: view.outstanding,
+                        outstanding: look.outstanding,
                     });
                 }
                 continue;
@@ -686,10 +791,10 @@ impl LeecherNode {
             if !self.cfg.p2p {
                 continue; // CDN-only mode: neither seeder nor peers serve data
             }
-            if view.holdings.get(index) {
+            if look.holdings.get(index) {
                 out.push(SourceCandidate {
                     peer,
-                    outstanding: view.outstanding,
+                    outstanding: look.outstanding,
                 });
             }
         }
@@ -697,9 +802,11 @@ impl LeecherNode {
 
     /// Indexed candidate collection: walks the holders of one segment
     /// instead of every view. The index already folds in handshaken-ness
-    /// and excludes the CDN; online-ness stays a live probe (a peer can go
-    /// offline before its departure is observed), and the CDN candidate is
-    /// merged at its sorted `NodeId` position so the order matches the scan.
+    /// and excludes the CDN and complete peers; online-ness stays a live
+    /// probe (a peer can go offline before its departure is observed).
+    /// The complete peers — implicit holders of everything — and the CDN
+    /// candidate are merged at their sorted `NodeId` positions, so the
+    /// order matches the scan exactly.
     fn collect_candidates_indexed(
         &self,
         ctx: &Ctx<'_>,
@@ -716,7 +823,29 @@ impl LeecherNode {
         });
         let mut cdn_pending = cdn_candidate;
         if self.cfg.p2p {
-            for &peer in self.holders.of(index) {
+            // Three-way sorted merge: the segment's indexed holders, the
+            // complete peers, and the CDN. The index and the complete map
+            // are disjoint by invariant (summarizing purges the entries).
+            let mut indexed = self.holders.of(index).peekable();
+            let mut done = self.complete.iter().peekable();
+            loop {
+                let next_indexed = indexed.peek().copied();
+                let next_done = done.peek().map(|(&p, _)| p);
+                let (peer, complete_outstanding) = match (next_indexed, next_done) {
+                    (Some(a), Some(b)) if a < b => {
+                        indexed.next();
+                        (a, None)
+                    }
+                    (_, Some(b)) => {
+                        let (_, record) = done.next().expect("peeked");
+                        (b, Some(record.outstanding))
+                    }
+                    (Some(a), None) => {
+                        indexed.next();
+                        (a, None)
+                    }
+                    (None, None) => break,
+                };
                 if let Some(cdn) = cdn_pending {
                     if cdn < peer {
                         out.push(SourceCandidate {
@@ -729,13 +858,15 @@ impl LeecherNode {
                 if Some(peer) == exclude || !ctx.is_online(peer) {
                     continue;
                 }
-                let Some(view) = self.views.get(&peer) else {
-                    continue; // evicted concurrently; the scan skips it too
+                let outstanding = match complete_outstanding {
+                    Some(outstanding) => outstanding,
+                    None => match self.views.get(&peer) {
+                        Some(view) => view.outstanding,
+                        // Evicted concurrently; the scan skips it too.
+                        None => continue,
+                    },
                 };
-                out.push(SourceCandidate {
-                    peer,
-                    outstanding: view.outstanding,
-                });
+                out.push(SourceCandidate { peer, outstanding });
             }
         }
         if let Some(cdn) = cdn_pending {
@@ -756,8 +887,8 @@ impl LeecherNode {
                     serving: false,
                 },
             );
-            if let Some(view) = self.views.get_mut(&source) {
-                view.outstanding += 1;
+            if let Some(outstanding) = self.outstanding_mut(source) {
+                *outstanding += 1;
             }
             if self.cfg.control_plane == ControlPlane::Eventful {
                 // A pump must run when this request's timeout expires.
@@ -769,8 +900,8 @@ impl LeecherNode {
 
     fn drop_in_flight(&mut self, index: u32) -> Option<InFlight> {
         let entry = self.in_flight.remove(&index)?;
-        if let Some(view) = self.views.get_mut(&entry.source) {
-            view.outstanding = view.outstanding.saturating_sub(1);
+        if let Some(outstanding) = self.outstanding_mut(entry.source) {
+            *outstanding = outstanding.saturating_sub(1);
         }
         // Freeing a segment can turn an exhausted schedule fillable again,
         // and freeing a CDN slot can give a source-less segment a source.
@@ -888,6 +1019,20 @@ impl LeecherNode {
     }
 
     fn update_interest(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
+        if let Some(record) = self.complete.get(&peer) {
+            if record.interested_sent() || self.is_origin(peer) {
+                return;
+            }
+            // A complete peer holds something we want exactly when our own
+            // holdings are not complete — the same answer `has_any_not_in`
+            // gave against the full view bitfield.
+            if !self.holdings.is_complete() && self.say(ctx, peer, &Message::Interested) {
+                if let Some(record) = self.complete.get_mut(&peer) {
+                    record.set_interested_sent(true);
+                }
+            }
+            return;
+        }
         let Some(view) = self.views.get(&peer) else {
             return;
         };
@@ -992,7 +1137,7 @@ impl LeecherNode {
             .observe(bytes, now.saturating_since(started).as_secs_f64());
         if self.cfg.defense.is_some() {
             // A delivery is proof of life even though it is not a message.
-            if self.views.contains_key(&from) {
+            if self.knows_peer(from) {
                 self.clocks.entry(from).or_default().last_heard = now;
             }
             self.record_source_success(from);
@@ -1135,7 +1280,7 @@ impl LeecherNode {
         let Ok(message) = decode_single(payload) else {
             return;
         };
-        if self.cfg.defense.is_some() && self.views.contains_key(&from) {
+        if self.cfg.defense.is_some() && self.knows_peer(from) {
             self.clocks.entry(from).or_default().last_heard = ctx.now();
         }
         match message {
@@ -1143,8 +1288,10 @@ impl LeecherNode {
                 // An unknown greeter (it discovered us via the tracker
                 // before we heard of it) gets a fresh view, so the
                 // handshake becomes mutual and its segments enter our
-                // source pool instead of being silently dropped.
-                if self.cfg.p2p && !self.is_origin(from) {
+                // source pool instead of being silently dropped. A peer
+                // already summarized as complete keeps its record — a
+                // fresh empty view would shadow it.
+                if self.cfg.p2p && !self.is_origin(from) && !self.complete.contains_key(&from) {
                     let segment_count = self.holdings.len();
                     self.views
                         .entry(from)
@@ -1181,6 +1328,9 @@ impl LeecherNode {
                     // A fresh handshake can enable candidacy — indexed
                     // bits above, or the CDN becoming eligible.
                     self.sched_state = SchedState::Dirty;
+                    // A view whose bitfield arrived full before the
+                    // handshake qualifies for summarization now.
+                    self.maybe_summarize_complete(from);
                 }
                 let bitfield = Message::Bitfield(self.holdings.clone());
                 self.say(ctx, from, &bitfield);
@@ -1201,6 +1351,35 @@ impl LeecherNode {
                 self.schedule(ctx);
             }
             Message::Bitfield(bf) => {
+                if self.complete.contains_key(&from) {
+                    if bf.len() == self.holdings.len() && !bf.is_complete() {
+                        // A stale (delayed, droppable) bitfield overtaken
+                        // by the Haves that completed the peer: demote
+                        // back to a live view so the state keeps tracking
+                        // the last message received, re-indexing its set
+                        // bits under the usual mirror rule. The re-inserts
+                        // are deliberately not counted as holder adds —
+                        // the pre-summary index already carried them — and
+                        // pickable candidate sets are unchanged (both
+                        // worlds see exactly the bits of `bf`), so the
+                        // scheduler state needs no dirty mark.
+                        let record = self.complete.remove(&from).expect("checked above");
+                        let view = record.expand(bf);
+                        let full = self.cfg.dissemination == DisseminationMode::Full;
+                        for i in view.holdings.iter_set() {
+                            let mirror = full
+                                || (i < self.fold_horizon
+                                    && (!self.holdings.get(i) || self.in_flight.contains_key(&i)));
+                            if mirror {
+                                self.holders.insert(i, from);
+                            }
+                        }
+                        self.views.insert(from, view);
+                    }
+                    self.update_interest(ctx, from);
+                    self.schedule(ctx);
+                    return;
+                }
                 let mut dirty = false;
                 if let Some(view) = self.views.get_mut(&from) {
                     if bf.len() == view.holdings.len() {
@@ -1231,6 +1410,7 @@ impl LeecherNode {
                 if dirty {
                     self.sched_state = SchedState::Dirty;
                 }
+                self.maybe_summarize_complete(from);
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
             }
@@ -1263,6 +1443,11 @@ impl LeecherNode {
                 if dirty {
                     self.sched_state = SchedState::Dirty;
                 }
+                // A `Have` from a summarized peer falls through the view
+                // lookup above untouched — exactly what the full view did
+                // (the bit was already set) — and a `Have` that fills the
+                // last hole in a live view promotes it here.
+                self.maybe_summarize_complete(from);
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
             }
@@ -1291,11 +1476,23 @@ impl LeecherNode {
                 if dirty {
                     self.sched_state = SchedState::Dirty;
                 }
+                self.maybe_summarize_complete(from);
                 self.update_interest(ctx, from);
                 self.schedule(ctx);
             }
             Message::InterestWindow { start, end } => {
                 if !self.cfg.p2p || !self.windowed() {
+                    return;
+                }
+                if let Some(record) = self.complete.get_mut(&from) {
+                    // Window monotonicity applies to the compact record
+                    // too; the catch-up scan below would find nothing (a
+                    // complete peer already holds everything), so it is
+                    // skipped outright.
+                    if start >= record.win_lo && end >= start {
+                        record.win_lo = start;
+                        record.win_hi = end;
+                    }
                     return;
                 }
                 let Some(view) = self.views.get_mut(&from) else {
@@ -1335,11 +1532,18 @@ impl LeecherNode {
             Message::Interested => {
                 if let Some(view) = self.views.get_mut(&from) {
                     view.set_peer_interested(true);
+                } else if let Some(record) = self.complete.get_mut(&from) {
+                    record.set_peer_interested(true);
                 }
             }
             Message::NotInterested => {
+                // Complete peers send this the moment they finish, which
+                // is usually right after we summarized them — the flag
+                // must land in the compact record.
                 if let Some(view) = self.views.get_mut(&from) {
                     view.set_peer_interested(false);
+                } else if let Some(record) = self.complete.get_mut(&from) {
+                    record.set_peer_interested(false);
                 }
             }
             Message::ManifestData { payload } => {
@@ -1392,7 +1596,7 @@ impl LeecherNode {
                 let me = ctx.me();
                 for raw in peers {
                     let peer = NodeId::from_index(raw as usize);
-                    if peer == me || self.is_origin(peer) || self.views.contains_key(&peer) {
+                    if peer == me || self.is_origin(peer) || self.knows_peer(peer) {
                         continue;
                     }
                     if !ctx.is_online(peer) {
@@ -1430,6 +1634,23 @@ impl LeecherNode {
         if self.cfg.scheduler != SchedulerMode::Indexed {
             return;
         }
+        // Complete-peer invariants: the compact map is disjoint from the
+        // live views, never contains the CDN, and only ever holds
+        // handshaken peers (summarization requires the handshake).
+        for (&peer, record) in &self.complete {
+            assert!(
+                !self.views.contains_key(&peer),
+                "peer {peer:?} has both a live view and a complete record"
+            );
+            assert!(
+                Some(peer) != self.cfg.cdn,
+                "the CDN must never be summarized as complete"
+            );
+            assert!(
+                record.handshaken(),
+                "complete record for un-handshaken peer {peer:?}"
+            );
+        }
         let windowed = self.windowed();
         for segment in 0..self.holdings.len() {
             let expected: Vec<NodeId> = self
@@ -1440,7 +1661,12 @@ impl LeecherNode {
                 })
                 .map(|(&peer, _)| peer)
                 .collect();
-            let indexed = self.holders.of(segment);
+            let indexed: Vec<NodeId> = self.holders.of(segment).collect();
+            assert!(
+                indexed.iter().all(|p| !self.complete.contains_key(p)),
+                "summarized peer left in the holder index at segment \
+                 {segment}: {indexed:?}"
+            );
             let dead = self.holdings.get(segment) && !self.in_flight.contains_key(&segment);
             if !windowed {
                 if dead {
@@ -1506,10 +1732,9 @@ impl LeecherNode {
         let mut stale = std::mem::take(&mut self.scratch_peers);
         stale.clear();
         stale.extend(
-            self.views
-                .iter()
-                .filter(|&(&peer, view)| {
-                    view.handshaken()
+            Self::peers_merged(&self.views, &self.complete, &self.full_field)
+                .filter(|&(peer, look)| {
+                    look.handshaken()
                         && !self.is_origin(peer)
                         && now.saturating_since(self.clock(peer).last_heard) >= deadline
                         && !self
@@ -1517,7 +1742,7 @@ impl LeecherNode {
                             .values()
                             .any(|f| f.source == peer && f.serving)
                 })
-                .map(|(&peer, _)| peer),
+                .map(|(peer, _)| peer),
         );
         for &peer in &stale {
             self.report.fault.silent_evictions += 1;
@@ -1529,14 +1754,13 @@ impl LeecherNode {
         let cadence = SimDuration::from_secs_f64(defense.keepalive_secs);
         stale.clear();
         stale.extend(
-            self.views
-                .iter()
-                .filter(|&(&peer, view)| {
-                    view.handshaken()
+            Self::peers_merged(&self.views, &self.complete, &self.full_field)
+                .filter(|&(peer, look)| {
+                    look.handshaken()
                         && !self.is_origin(peer)
                         && now.saturating_since(self.clock(peer).last_spoke) >= cadence
                 })
-                .map(|(&peer, _)| peer),
+                .map(|(peer, _)| peer),
         );
         for &peer in &stale {
             self.report.fault.keepalives_sent += 1;
@@ -1743,6 +1967,14 @@ impl LeecherNode {
             view_bytes += view.mem_bytes() as u64;
             prediet_view_bytes += view.prediet_mem_bytes() as u64;
         }
+        // Complete peers: the compact record (map payload only, like the
+        // other side tables). Pre-diet each of them was an ordinary view —
+        // a 64-byte struct plus the eagerly allocated full bitfield heap.
+        let complete_bytes =
+            (self.complete.len() * (size_of::<NodeId>() + size_of::<CompleteView>())) as u64;
+        let full_heap = self.full_field.heap_bytes() as u64;
+        let prediet_complete_bytes =
+            self.complete.len() as u64 * (PRE_DIET_VIEW_BYTES as u64 + full_heap);
         // Map payloads only; node overhead cancels across the comparison.
         let bans = (self.timeout_bans.len() * (size_of::<u32>() + size_of::<NodeId>())) as u64;
         let health = (self.health.len() * (size_of::<NodeId>() + size_of::<SourceHealth>())) as u64;
@@ -1762,7 +1994,10 @@ impl LeecherNode {
             holder_bytes: self.holders.heap_bytes() as u64,
             holder_entries: self.holders.live_entries(),
             aux_bytes: bans + health + clocks,
+            complete_bytes,
+            complete_views: self.complete.len() as u64,
             prediet_bytes: prediet_view_bytes
+                + prediet_complete_bytes
                 + spine
                 + retained * size_of::<NodeId>() as u64
                 + bans
@@ -1782,6 +2017,11 @@ impl LeecherNode {
         self.report.finished = self.playback.state() == PlaybackState::Finished;
         self.report.departed = departed;
         self.report.mem = self.mem_bytes_estimate();
+        let (sparse_sets, dense_sets) = self.holders.census();
+        self.report.sched.sparse_sets = sparse_sets;
+        self.report.sched.dense_sets = dense_sets;
+        self.report.sched.dense_promotions = self.holders.dense_promotions();
+        self.report.sched.complete_peers = self.complete.len() as u64;
         self.cfg.sink.borrow_mut().push(self.report.clone());
     }
 }
@@ -1959,6 +2199,7 @@ mod tests {
             scheduler: SchedulerMode::Indexed,
             dissemination: DisseminationMode::Full,
             coalesce_window: SimDuration::from_secs_f64(1.0),
+            sparse_holders: false,
             sink: Rc::new(RefCell::new(Vec::new())),
         }
     }
@@ -2354,17 +2595,20 @@ mod tests {
         sim.run_until_idle(SimTime::from_secs_f64(5.0));
 
         let l = node.borrow();
-        let view = l
-            .views
+        // The stranger announced a full bitfield, so its freshly created
+        // view is immediately summarized into the compact complete map —
+        // an implicit holder of everything.
+        let record = l
+            .complete
             .get(&stranger_id)
-            .expect("the unknown greeter must get a view");
-        assert!(view.handshaken());
+            .expect("the unknown complete greeter must get a complete record");
         assert!(
-            view.holdings.get(0) && view.holdings.get(1),
-            "the stranger's bitfield must land in its view"
+            !l.views.contains_key(&stranger_id),
+            "a summarized peer must not keep a live view"
         );
+        assert!(record.handshaken());
         assert!(
-            view.interested_sent(),
+            record.interested_sent(),
             "holding segments we lack makes it interesting"
         );
         let heard = heard.borrow();
@@ -2737,8 +2981,9 @@ mod tests {
                 l.views[&a_id].holdings.get(1),
                 "the announcement must land in the view"
             );
-            assert!(
-                l.holders.of(1).is_empty(),
+            assert_eq!(
+                l.holders.of(1).count(),
+                0,
                 "beyond the fold horizon: no holder-index insert"
             );
             assert_eq!(l.report.dissem.deferred_indices, 1);
@@ -2748,7 +2993,7 @@ mod tests {
         let mut l = node.borrow_mut();
         l.ensure_folded(2);
         assert_eq!(
-            l.holders.of(1),
+            l.holders.of(1).collect::<Vec<_>>(),
             &[a_id][..],
             "the fold must mirror the parked announcement"
         );

@@ -74,6 +74,15 @@ pub struct SchedulerStats {
     pub no_source: u64,
     /// Passes that found every segment held or in flight.
     pub exhausted: u64,
+    /// Non-empty holder sets in the sparse representation at report time.
+    pub sparse_sets: u64,
+    /// Holder sets in the dense bitset representation at report time.
+    pub dense_sets: u64,
+    /// Cumulative sparse→dense holder-set promotions.
+    pub dense_promotions: u64,
+    /// Peers summarized out of the view table and holder index as
+    /// complete (implicit holders of everything) at report time.
+    pub complete_peers: u64,
 }
 
 impl SchedulerStats {
@@ -86,6 +95,10 @@ impl SchedulerStats {
         self.full_pool += other.full_pool;
         self.no_source += other.no_source;
         self.exhausted += other.exhausted;
+        self.sparse_sets += other.sparse_sets;
+        self.dense_sets += other.dense_sets;
+        self.dense_promotions += other.dense_promotions;
+        self.complete_peers += other.complete_peers;
     }
 }
 
@@ -148,9 +161,16 @@ pub struct PeerMemStats {
     /// Bytes behind auxiliary per-peer state that is empty in the common
     /// case: defense clocks, timeout bans, source-health tracking.
     pub aux_bytes: u64,
+    /// Bytes behind the compact complete-peer records (peers summarized
+    /// out of the view table; their holdings are one shared interned
+    /// full bitfield, not counted per peer).
+    pub complete_bytes: u64,
+    /// Complete-peer records at sample time.
+    pub complete_views: u64,
     /// Modeled bytes the same state cost before the diet: 64-byte views
-    /// with `Vec`-backed bitfields, and a holder index retaining every
-    /// added-but-not-removed entry (no purge, no shrink).
+    /// with `Vec`-backed bitfields (one per neighbour, complete or not),
+    /// and a holder index retaining every added-but-not-removed entry
+    /// (no purge, no shrink, no complete-peer summaries).
     pub prediet_bytes: u64,
 }
 
@@ -162,12 +182,15 @@ impl PeerMemStats {
         self.holder_bytes += other.holder_bytes;
         self.holder_entries += other.holder_entries;
         self.aux_bytes += other.aux_bytes;
+        self.complete_bytes += other.complete_bytes;
+        self.complete_views += other.complete_views;
         self.prediet_bytes += other.prediet_bytes;
     }
 
-    /// Total measured bytes (views + holder index + auxiliary state).
+    /// Total measured bytes (views + holder index + auxiliary state +
+    /// complete-peer records).
     pub fn total_bytes(&self) -> u64 {
-        self.view_bytes + self.holder_bytes + self.aux_bytes
+        self.view_bytes + self.holder_bytes + self.aux_bytes + self.complete_bytes
     }
 }
 

@@ -201,6 +201,11 @@ pub struct SwarmConfig {
     /// source backoff, CDN fallback, watchdog), if any.
     #[serde(default)]
     pub defense: Option<DefenseConfig>,
+    /// Pins every holder set to the sparse representation. A
+    /// differential-testing knob: the hybrid sparse/dense default must be
+    /// bit-identical, so production configs never set this.
+    #[serde(default)]
+    pub sparse_holders: bool,
     /// Hard cap on simulated time, seconds.
     pub max_sim_secs: f64,
 }
@@ -236,6 +241,7 @@ impl Default for SwarmConfig {
             have_coalesce_secs: None,
             faults: None,
             defense: None,
+            sparse_holders: false,
             max_sim_secs: 1_800.0,
         }
     }
@@ -487,6 +493,7 @@ pub fn run_swarm_shared(
                     )
                 },
             )),
+            sparse_holders: config.sparse_holders,
             sink: sink.clone(),
         });
         sim.add_node(Box::new(leecher));
@@ -1015,6 +1022,74 @@ mod tests {
         let scan = run(SchedulerMode::Scan);
         let indexed = run(SchedulerMode::Indexed);
         assert_eq!(scan, indexed, "windowed scheduler modes diverged");
+    }
+
+    /// The hybrid sparse/dense holder index must be bit-identical to a
+    /// sparse-only index: promotion changes the representation, never the
+    /// membership or the ascending iteration order a pick sees. Exercised
+    /// on the same hostile scenarios as the scan-vs-indexed differential —
+    /// tracker discovery with churn, and the eventful+fluid+windowed stack
+    /// — with enough leechers that per-segment holder sets actually cross
+    /// the promotion threshold. Scheduler counters and the memory probe
+    /// are zeroed before comparing: the representation census and heap
+    /// bytes differ by design, everything else must not.
+    #[test]
+    fn hybrid_holder_sets_match_sparse_bit_for_bit() {
+        let video = Video::builder().duration_secs(40.0).seed(6).build();
+        let segments = DurationSplicer::new(4.0).splice(&video);
+        let scenarios = [
+            SwarmConfig {
+                n_leechers: 12,
+                churn: Some(ChurnConfig {
+                    volatile_fraction: 0.3,
+                    mean_lifetime_secs: 20.0,
+                }),
+                discovery: DiscoveryMode::Tracker,
+                ..tiny_config()
+            },
+            SwarmConfig {
+                n_leechers: 12,
+                control_plane: ControlPlane::Eventful,
+                flow_model: FlowModel::Fluid,
+                dissemination: DisseminationMode::Windowed,
+                churn: Some(ChurnConfig {
+                    volatile_fraction: 0.3,
+                    mean_lifetime_secs: 20.0,
+                }),
+                ..tiny_config()
+            },
+        ];
+        for (i, base) in scenarios.into_iter().enumerate() {
+            let run = |sparse_only: bool| {
+                let config = SwarmConfig {
+                    sparse_holders: sparse_only,
+                    ..base.clone()
+                };
+                run_swarm(&segments, &config, 11)
+            };
+            let mut hybrid = run(false);
+            let mut sparse = run(true);
+            assert!(
+                hybrid.sched_totals().dense_promotions > 0,
+                "scenario {i} never crossed the promotion threshold — the \
+                 differential would be vacuous"
+            );
+            assert_eq!(
+                sparse.sched_totals().dense_promotions,
+                0,
+                "the sparse-only reference must never promote"
+            );
+            for metrics in [&mut hybrid, &mut sparse] {
+                for report in &mut metrics.reports {
+                    report.sched = Default::default();
+                    report.mem = Default::default();
+                }
+            }
+            assert_eq!(
+                sparse, hybrid,
+                "scenario {i} diverged between holder-set representations"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@ kinds of gate can be declared in the baseline file:
 
 - `speedup_gate`: {"benches": [...], "min_speedup": X} — each listed
   benchmark's current median must be at least X times faster than the
-  committed baseline median (regression gate).
+  committed baseline median (regression gate). Like `ratio_gate`, this may
+  be a *list* of such objects so different benches gate at different
+  thresholds (e.g. bytes/peer at >= 1.5x but wall clock at >= 1.0x).
 - `ratio_gate`: {"pairs": [[slow, fast], ...], "min_ratio": X} — within
   the *current* run, the `slow` benchmark must be at least X times the
   `fast` one. This gates a relative property (e.g. the fluid flow model
@@ -16,6 +18,10 @@ kinds of gate can be declared in the baseline file:
   machine the benches run on. A baseline may also declare a *list* of such
   objects to gate several properties at different thresholds (e.g. message
   volume at >= 5x and wall clock at >= 2x).
+
+When `$GITHUB_STEP_SUMMARY` is set (GitHub Actions), the same comparison is
+appended there as a markdown table so the numbers are readable from the run
+page without expanding the log.
 
 Usage:
     python3 scripts/bench_compare.py                # hot-path baseline
@@ -26,6 +32,7 @@ Usage:
 
 import argparse
 import json
+import os
 import re
 import shlex
 import subprocess
@@ -60,41 +67,64 @@ def parse_log(text: str) -> dict:
     return results
 
 
-def check_speedup_gate(baseline: dict, current: dict) -> list:
-    """Prints the baseline-vs-current table; returns gate failures."""
-    gate = baseline.get("speedup_gate", {})
-    gated = set(gate.get("benches", []))
-    min_speedup = float(gate.get("min_speedup", 1.0))
+def speedup_thresholds(baseline: dict) -> dict:
+    """Flattens `speedup_gate` (one object or a list) to name -> min_speedup."""
+    gates = baseline.get("speedup_gate")
+    if not gates:
+        return {}
+    if isinstance(gates, dict):
+        gates = [gates]
+    thresholds = {}
+    for gate in gates:
+        min_speedup = float(gate.get("min_speedup", 1.0))
+        for name in gate.get("benches", []):
+            thresholds[name] = max(min_speedup, thresholds.get(name, 0.0))
+    return thresholds
+
+
+def check_speedup_gate(baseline: dict, current: dict, rows: list) -> list:
+    """Prints the baseline-vs-current table; returns gate failures.
+
+    Each printed comparison is also appended to `rows` as
+    (benchmark, baseline, current, speedup-or-None, gate-label) for the
+    markdown step summary.
+    """
+    gated = speedup_thresholds(baseline)
 
     width = max(len(n) for n in baseline["benches"])
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'speedup':>8}")
     failures = []
     for name, base in baseline["benches"].items():
         cur = current.get(name)
+        gate_label = f">= {gated[name]:.1f}x" if name in gated else ""
         if cur is None:
             print(f"{name:<{width}}  {base:>12.1f}  {'MISSING':>12}  {'-':>8}")
+            rows.append((name, base, None, None, gate_label))
             if name in gated:
                 failures.append(f"{name}: missing from bench output")
             continue
         speedup = base / cur
-        marker = ""
-        if name in gated:
-            marker = "  [gate]"
-            if speedup < min_speedup:
-                failures.append(
-                    f"{name}: {speedup:.2f}x < required {min_speedup:.1f}x"
-                )
+        marker = f"  [gate {gate_label}]" if name in gated else ""
+        if name in gated and speedup < gated[name]:
+            failures.append(
+                f"{name}: {speedup:.2f}x < required {gated[name]:.1f}x"
+            )
         print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  {speedup:>7.2f}x{marker}")
+        rows.append((name, base, cur, speedup, gate_label))
 
     for name in sorted(set(current) - set(baseline["benches"])):
         print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.1f}  {'-':>8}")
+        rows.append((name, None, current[name], None, ""))
     return failures
 
 
-def check_ratio_gate(baseline: dict, current: dict) -> list:
+def check_ratio_gate(baseline: dict, current: dict, ratio_rows: list) -> list:
     """Checks slow/fast pairs within the current run; returns failures.
 
-    `ratio_gate` may be one gate object or a list of them.
+    `ratio_gate` may be one gate object or a list of them. Each line prints
+    the absolute medians next to the ratio so a failing (or barely passing)
+    gate can be read without re-running the bench; the same tuples land in
+    `ratio_rows` as (label, slow, fast, slow-val, fast-val, ratio, min).
     """
     gates = baseline.get("ratio_gate")
     if not gates:
@@ -111,15 +141,57 @@ def check_ratio_gate(baseline: dict, current: dict) -> list:
             if missing:
                 failures.append(f"{slow} / {fast}: missing {', '.join(missing)}")
                 print(f"  {slow} / {fast}: MISSING")
+                ratio_rows.append((label, slow, fast, None, None, None, min_ratio))
                 continue
             ratio = current[slow] / current[fast]
             ok = ratio >= min_ratio
-            print(f"  {slow} / {fast}: {ratio:.2f}x {'ok' if ok else 'FAIL'}")
+            print(
+                f"  {slow} / {fast}: {ratio:.2f}x {'ok' if ok else 'FAIL'}"
+                f"  ({current[slow]:.1f} / {current[fast]:.1f})"
+            )
+            ratio_rows.append(
+                (label, slow, fast, current[slow], current[fast], ratio, min_ratio)
+            )
             if not ok:
                 failures.append(
                     f"{slow} / {fast}: {ratio:.2f}x < required {min_ratio:.1f}x"
                 )
     return failures
+
+
+def write_step_summary(baseline_name: str, rows: list, ratio_rows: list,
+                       failures: list) -> None:
+    """Appends the comparison as markdown to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+
+    def fmt(value, suffix=""):
+        return f"{value:,.1f}{suffix}" if value is not None else "—"
+
+    lines = [f"### Bench gate: `{baseline_name}`", ""]
+    if rows:
+        lines += ["| benchmark | baseline | current | speedup | gate |",
+                  "|---|---:|---:|---:|---|"]
+        for name, base, cur, speedup, gate_label in rows:
+            lines.append(
+                f"| `{name}` | {fmt(base)} | {fmt(cur)} | {fmt(speedup, 'x')} "
+                f"| {gate_label or ''} |"
+            )
+        lines.append("")
+    if ratio_rows:
+        lines += ["| ratio gate | slow | fast | ratio | required |",
+                  "|---|---:|---:|---:|---|"]
+        for label, slow, fast, sval, fval, ratio, min_ratio in ratio_rows:
+            lines.append(
+                f"| {label}: `{slow}` / `{fast}` | {fmt(sval)} | {fmt(fval)} "
+                f"| {fmt(ratio, 'x')} | >= {min_ratio:.1f}x |"
+            )
+        lines.append("")
+    lines.append("**FAIL**: " + "; ".join(failures) if failures else "**OK**")
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 def main() -> int:
@@ -153,8 +225,10 @@ def main() -> int:
         print(f"updated {baseline_path}")
         return 0
 
-    failures = check_speedup_gate(baseline, current)
-    failures += check_ratio_gate(baseline, current)
+    rows, ratio_rows = [], []
+    failures = check_speedup_gate(baseline, current, rows)
+    failures += check_ratio_gate(baseline, current, ratio_rows)
+    write_step_summary(baseline_path.name, rows, ratio_rows, failures)
 
     if failures:
         print("\nFAIL: benchmark gate not met:")

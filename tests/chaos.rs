@@ -259,3 +259,52 @@ fn windowed_dissemination_survives_combined_churn() {
         "the schedule must exercise the deferred fold"
     );
 }
+
+/// The combined-churn schedule with a swarm large enough that per-segment
+/// holder sets cross the sparse→dense promotion threshold mid-run, under
+/// windowed dissemination, crash-stop churn, and message loss. In debug
+/// builds (CI's test profile) every pump re-runs the windowed-aware holder
+/// auditor against the hybrid representation — stale dense bits, broken
+/// ascending iteration, or a summarized peer left in the index all fail
+/// loudly here; the Scan/Indexed comparison catches release builds too.
+#[test]
+fn dense_promotion_survives_combined_churn() {
+    let mut config = base().with_leechers(32);
+    config.swarm.discovery = DiscoveryMode::Tracker;
+    config.swarm.control_plane = ControlPlane::Eventful;
+    config.swarm.dissemination = DisseminationMode::Windowed;
+    config.swarm.churn = Some(ChurnConfig::new(0.4, 15.0));
+    config.swarm.faults = Some(FaultPlanConfig {
+        crash: Some(CrashChurnConfig::new(0.3, 12.0)),
+        message_loss: 0.05,
+        ..FaultPlanConfig::default()
+    });
+
+    config.swarm.scheduler = SchedulerMode::Indexed;
+    let indexed = run_once(&config, 55).metrics;
+    config.swarm.scheduler = SchedulerMode::Scan;
+    let scanned = run_once(&config, 55).metrics;
+
+    assert_eq!(
+        format!("{indexed:?}"),
+        format!("{scanned:?}"),
+        "hybrid holder index diverged from the reference rescan"
+    );
+    assert_eq!(
+        indexed.stuck_peers().count(),
+        0,
+        "persistent peers stuck:\n{}",
+        indexed.stuck_report()
+    );
+    let sched = indexed.sched_totals();
+    assert!(
+        sched.dense_promotions >= 1,
+        "the schedule must actually cross the promotion threshold \
+         (promotions {})",
+        sched.dense_promotions
+    );
+    assert!(
+        sched.complete_peers + sched.sparse_sets + sched.dense_sets > 0,
+        "representation census must be reported"
+    );
+}
